@@ -1,0 +1,85 @@
+// Wall-clock microbenchmarks (google-benchmark) of the simulation engine
+// itself: how fast the reproduction executes on the host. All other
+// benches report *simulated* milliseconds; this one keeps us honest about
+// the cost of running them.
+#include <benchmark/benchmark.h>
+
+#include "benchsupport/stream.h"
+#include "core/network.h"
+#include "sim/event_queue.h"
+#include "sodal/sodal.h"
+
+namespace {
+
+using namespace soda;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(i % 97, [&sink] { ++sink; });
+    }
+    while (!q.empty()) q.pop().second();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SimulatorTimerWheel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int sink = 0;
+    for (int i = 0; i < 500; ++i) {
+      s.after(i * 10, [&] { ++sink; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SimulatorTimerWheel);
+
+void BM_StreamPut100Words(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::StreamOptions o;
+    o.kind = bench::OpKind::kPut;
+    o.words = 100;
+    o.ops = 40;
+    o.warmup = 10;
+    auto r = bench::run_stream(o);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+  state.SetLabel("simulated SODA PUTs per wall-clock second");
+}
+BENCHMARK(BM_StreamPut100Words);
+
+constexpr Pattern kP = kWellKnownBit | 0x57EA;
+
+class Echo : public sodal::SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kP);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs a) override {
+    Bytes in;
+    co_await accept_current_exchange(0, &in, a.put_size, {});
+  }
+};
+
+void BM_NetworkSetupTeardown(benchmark::State& state) {
+  for (auto _ : state) {
+    Network net;
+    for (int i = 0; i < 8; ++i) net.spawn<Echo>(NodeConfig{});
+    net.run_for(10 * sim::kMillisecond);
+    benchmark::DoNotOptimize(net.size());
+  }
+}
+BENCHMARK(BM_NetworkSetupTeardown);
+
+}  // namespace
+
+BENCHMARK_MAIN();

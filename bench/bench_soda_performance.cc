@@ -1,0 +1,107 @@
+// Regenerates the paper's "SODA Performance" tables (§5.5): milliseconds
+// per PUT / GET / EXCHANGE for 0-1000 words, pipelined and non-pipelined
+// kernels, with the paper's values printed alongside for comparison.
+//
+// Absolute numbers come from the calibrated cost model (DESIGN.md §5);
+// the packet counts, retry cycles and crossovers emerge from the
+// protocol. EXPERIMENTS.md discusses the one structural deviation
+// (non-pipelined EXCHANGE alternates 6-packet and 3-packet cycles).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "benchsupport/stream.h"
+
+namespace {
+
+using soda::bench::OpKind;
+using soda::bench::StreamOptions;
+using soda::bench::run_stream;
+using soda::bench::to_string;
+
+const std::vector<std::uint32_t> kWords = {0,   1,   100, 200, 300, 400,
+                                           500, 600, 700, 800, 900, 1000};
+
+// The paper's tables, for side-by-side printing.
+const std::map<std::pair<OpKind, bool>, std::vector<double>> kPaper = {
+    {{OpKind::kPut, false},
+     {7, 8, 11, 16, 19, 23, 27, 31, 35, 39, 43, 47}},
+    {{OpKind::kPut, true}, {8, 8, 12, 15, 19, 23, 28, 31, 35, 39, 43, 46}},
+    {{OpKind::kGet, false},
+     {7, 16, 20, 23, 28, 32, 35, 39, 43, 48, 52, 55}},
+    {{OpKind::kGet, true}, {8, 11, 16, 19, 23, 27, 31, 34, 39, 42, 47, 50}},
+    {{OpKind::kExchange, false},
+     {7, 22, 32, 44, 57, 65, 75, 86, 96, 107, 117, 128}},
+    {{OpKind::kExchange, true},
+     {8, 12, 20, 27, 35, 43, 50, 58, 67, 75, 82, 90}},
+};
+
+const std::map<std::pair<OpKind, bool>, int> kPaperPackets = {
+    {{OpKind::kPut, false}, 2},      {{OpKind::kPut, true}, 2},
+    {{OpKind::kGet, false}, 4},      {{OpKind::kGet, true}, 2},
+    {{OpKind::kExchange, false}, 6}, {{OpKind::kExchange, true}, 2},
+};
+
+void run_table(OpKind kind, bool pipelined) {
+  std::printf("\nMilliseconds Per %s (%s)  [paper: %d packets per op]\n",
+              to_string(kind), pipelined ? "pipelined" : "non-pipelined",
+              kPaperPackets.at({kind, pipelined}));
+  std::printf("%-8s", "Words");
+  for (auto w : kWords) std::printf("%7u", w);
+  std::printf("\n%-8s", "ms");
+  double total_pkts = 0;
+  int cells = 0;
+  for (auto w : kWords) {
+    StreamOptions o;
+    o.kind = kind;
+    o.words = w;
+    o.pipelined = pipelined;
+    auto r = run_stream(o);
+    std::printf("%7.1f", r.finished ? r.ms_per_op : -1.0);
+    total_pkts += r.packets_per_op;
+    ++cells;
+  }
+  std::printf("\n%-8s", "paper");
+  for (auto v : kPaper.at({kind, pipelined})) std::printf("%7.0f", v);
+  std::printf("\n%-8s%7.2f packets/op measured\n", "pkts",
+              total_pkts / cells);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SODA Performance (reproduction of the §5.5 tables)\n");
+  std::printf("==================================================\n");
+  std::printf("MAXREQUESTS=3, ACCEPTs issued immediately by the server "
+              "handler, 1 Mbit/s bus.\n");
+  for (bool pipelined : {false, true}) {
+    for (auto kind : {OpKind::kPut, OpKind::kGet, OpKind::kExchange}) {
+      run_table(kind, pipelined);
+    }
+  }
+
+  // The SIGNAL rows quoted in the §5.5 text.
+  std::printf("\nSIGNAL forms (§5.5 text)\n");
+  struct Row {
+    const char* name;
+    bool blocking;
+    bool queued;
+    double paper_ms;
+  };
+  const Row rows[] = {
+      {"SIGNAL (non-blocking, handler accept)", false, false, 7.1},
+      {"SIGNAL (non-blocking, queued accept)", false, true, 8.0},
+      {"B_SIGNAL (handler accept)", true, false, 10.7},
+      {"B_SIGNAL (queued accept)", true, true, 12.2},
+  };
+  for (const auto& row : rows) {
+    StreamOptions o;
+    o.kind = OpKind::kSignal;
+    o.blocking = row.blocking;
+    o.queued_accept = row.queued;
+    auto r = run_stream(o);
+    std::printf("  %-40s %6.1f ms/op   (paper ~%4.1f incl. client)\n",
+                row.name, r.ms_per_op, row.paper_ms);
+  }
+  return 0;
+}

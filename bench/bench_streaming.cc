@@ -1,0 +1,79 @@
+// Streams and chunk size (§6.17.4): SODA has no multipacket messages —
+// "arbitrarily long transmissions are supportable by higher-level
+// protocols that packetize and reassemble", and the authors report that
+// client-driven streaming performs well. This bench transfers a 100 KB
+// file through the §4.4.5 file server at different chunk sizes and
+// reports effective throughput, showing the small-chunk overhead cliff
+// and the flattening toward the 1 Mbit/s wire limit.
+#include <cstdio>
+
+#include "apps/file_server.h"
+#include "core/network.h"
+
+using namespace soda;
+using namespace soda::apps;
+
+namespace {
+
+class StreamReader : public sodal::SodalClient {
+ public:
+  StreamReader(std::uint32_t chunk, std::size_t total)
+      : chunk_(chunk), total_(total) {}
+  sim::Task on_task() override {
+    auto fh = co_await fs_open(*this, 0, "big");
+    start_ = sim().now();
+    std::size_t got = 0;
+    while (got < total_) {
+      Bytes b;
+      auto c = co_await fs_read(*this, fh, &b, chunk_);
+      if (!c.ok()) break;
+      got += c.get_done;
+      if (c.get_done < chunk_) break;
+    }
+    end_ = sim().now();
+    bytes = got;
+    done = true;
+    co_await park_forever();
+  }
+  double seconds() const { return sim::to_ms(end_ - start_) / 1000.0; }
+  std::uint32_t chunk_;
+  std::size_t total_;
+  std::size_t bytes = 0;
+  bool done = false;
+
+ private:
+  sim::Time start_ = 0, end_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kFileSize = 100 * 1024;
+  std::printf("Streaming a %zu KB file from the §4.4.5 file server\n",
+              kFileSize / 1024);
+  std::printf("(1 Mbit/s bus => wire ceiling ~125 KB/s; per-chunk protocol "
+              "cost dominates small chunks)\n\n");
+  std::printf("%12s %12s %12s %14s\n", "chunk bytes", "sim seconds",
+              "KB/s", "% of wire max");
+
+  for (std::uint32_t chunk : {64u, 128u, 256u, 512u, 1000u, 1500u, 2000u}) {
+    Network net;
+    Disk disk;
+    disk.file("big") = Bytes(kFileSize, std::byte{0x42});
+    net.spawn<FileServer>(NodeConfig{}, &disk, /*op_queue=*/64);
+    auto& r = net.spawn<StreamReader>(NodeConfig{}, chunk, kFileSize);
+    net.run_for(3600 * sim::kSecond);
+    net.check_clients();
+    if (!r.done || r.bytes != kFileSize) {
+      std::printf("%12u  transfer failed (%zu bytes)\n", chunk, r.bytes);
+      continue;
+    }
+    const double kbs = (kFileSize / 1024.0) / r.seconds();
+    std::printf("%12u %12.1f %12.1f %13.0f%%\n", chunk, r.seconds(), kbs,
+                100.0 * kbs / 125.0);
+  }
+  std::printf("\nShape: throughput grows with chunk size and saturates "
+              "well below the wire limit\n(per-chunk kernel cost ~6 ms), "
+              "matching the paper's advice to stream in large chunks.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Two-way bounded buffer (§4.4.1): two producer nodes stream items at a
+// buffering consumer; backpressure flows through CLOSE/OPEN of the
+// consumer's handler and the producers' wait-for-ACCEPT discipline.
+#include <cstdio>
+
+#include "apps/bounded_buffer.h"
+#include "core/network.h"
+
+using namespace soda;
+using namespace soda::apps;
+
+int main() {
+  Network net;
+  int consumed = 0;
+  auto& consumer = net.spawn<BufferConsumer>(
+      NodeConfig{}, /*data_buffers=*/4, /*pending_slots=*/6,
+      /*consume_time=*/8 * sim::kMillisecond,
+      [&](std::int32_t seq, const Bytes& data) {
+        ++consumed;
+        if (consumed % 10 == 0) {
+          std::printf("  consumed %d items (last seq %d, %zu bytes)\n",
+                      consumed, seq, data.size());
+        }
+      });
+  auto& p1 = net.spawn<BufferProducer>(NodeConfig{}, 25, 64,
+                                       2 * sim::kMillisecond);
+  auto& p2 = net.spawn<BufferProducer>(NodeConfig{}, 25, 64,
+                                       3 * sim::kMillisecond);
+
+  std::printf("two producers (25 items each) -> one buffering consumer, "
+              "consumer 3-4x slower\n");
+  net.run_for(300 * sim::kSecond);
+  net.check_clients();
+
+  std::printf("\nproduced: %d + %d, consumed: %d, still buffered: %zu\n",
+              p1.produced(), p2.produced(), consumer.consumed(),
+              consumer.buffered());
+  const bool ok = consumer.consumed() == 50;
+  std::printf("flow control %s: nothing lost, nothing duplicated\n",
+              ok ? "worked" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// A Leo-style personal workstation on one multiprogrammed node (§7.2):
+// the host runs three logical processes — a clock service, a spooler and
+// a shell — each with its own virtual SODA interface, while a separate
+// uniprogrammed node talks to all three. Demonstrates the paper's
+// closing future-work claim that SODA generalizes past one process per
+// processor.
+#include <cstdio>
+
+#include "core/network.h"
+#include "sodal/multiprog.h"
+#include "sodal/util.h"
+
+using namespace soda;
+using namespace soda::sodal;
+
+constexpr Pattern kClock = kWellKnownBit | 0xC10;
+constexpr Pattern kSpool = kWellKnownBit | 0xC11;
+constexpr Pattern kShell = kWellKnownBit | 0xC12;
+
+class ClockProc : public LogicalProcess {
+ public:
+  sim::Task lp_boot() override {
+    advertise(kClock);
+    co_return;
+  }
+  sim::Task lp_entry(HandlerArgs a) override {
+    co_await accept_get(
+        a.asker, 0,
+        encode_u32(static_cast<std::uint32_t>(sim::to_ms(sim().now()))));
+  }
+};
+
+class SpoolerProc : public LogicalProcess {
+ public:
+  sim::Task lp_entry(HandlerArgs a) override {
+    Bytes doc;
+    co_await accept_put(a.asker, 0, &doc, a.put_size);
+    queue.push_back(to_string(doc));
+    std::printf("  [spooler] queued \"%s\" (%zu jobs)\n",
+                to_string(doc).c_str(), queue.size());
+  }
+  sim::Task lp_boot() override {
+    advertise(kSpool);
+    co_return;
+  }
+  sim::Task lp_task() override {
+    // Drain the spool at printer speed.
+    for (;;) {
+      co_await delay(25 * sim::kMillisecond);
+      if (!queue.empty()) {
+        std::printf("  [spooler] printed \"%s\"\n", queue.front().c_str());
+        queue.erase(queue.begin());
+        ++printed;
+      }
+    }
+  }
+  std::vector<std::string> queue;
+  int printed = 0;
+};
+
+class ShellProc : public LogicalProcess {
+ public:
+  sim::Task lp_boot() override {
+    advertise(kShell);
+    co_return;
+  }
+  sim::Task lp_entry(HandlerArgs a) override {
+    Bytes cmd;
+    Bytes reply = to_bytes("ok");
+    co_await accept_exchange(a.asker, 0, &cmd, a.put_size,
+                             std::move(reply));
+    std::printf("  [shell]   executed \"%s\"\n", to_string(cmd).c_str());
+    ++commands;
+  }
+  int commands = 0;
+};
+
+class Terminal : public SodalClient {
+ public:
+  sim::Task on_task() override {
+    // Ask the workstation's clock...
+    Bytes now;
+    co_await b_get(ServerSignature{0, kClock}, 0, &now, 4);
+    std::printf("[terminal] workstation clock says %u ms\n",
+                decode_u32(now));
+    // ...queue two print jobs...
+    co_await b_put(ServerSignature{0, kSpool}, 0, to_bytes("thesis.tex"));
+    co_await b_put(ServerSignature{0, kSpool}, 0, to_bytes("grades.txt"));
+    // ...and run a command, all against one physical node.
+    Bytes out;
+    co_await b_exchange(ServerSignature{0, kShell}, 0, to_bytes("make"),
+                        &out, 8);
+    std::printf("[terminal] shell replied \"%s\"\n", to_string(out).c_str());
+    done = true;
+    co_await park_forever();
+  }
+  bool done = false;
+};
+
+int main() {
+  Network net;
+  auto& workstation = net.spawn<ProcessHost>(NodeConfig{});  // MID 0
+  workstation.add_process<ClockProc>();
+  auto& spool = workstation.add_process<SpoolerProc>();
+  auto& shell = workstation.add_process<ShellProc>();
+  auto& term = net.spawn<Terminal>(NodeConfig{});  // MID 1
+
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+
+  std::printf("\nterminal finished: %s; spooler printed %d jobs; shell ran "
+              "%d commands\n",
+              term.done ? "yes" : "no", spool.printed, shell.commands);
+  std::printf("three services, one node, one SODA interface each.\n");
+  return (term.done && spool.printed == 2 && shell.commands == 1) ? 0 : 1;
+}

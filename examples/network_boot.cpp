@@ -1,0 +1,87 @@
+// Network booting (§3.5.2): a parent client discovers a free machine by
+// its BOOT pattern, obtains a LOAD pattern, ships a core image in PUT
+// chunks, starts the child with a SIGNAL — and later kills it with the
+// second LOAD-pattern SIGNAL. No special process-creation primitives:
+// booting is just message passing to the kernel's reserved patterns.
+#include <cstdio>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+using namespace soda;
+using namespace soda::sodal;
+
+constexpr Pattern kHello = kWellKnownBit | 0xB007;
+
+class Child : public SodalClient {
+ public:
+  sim::Task on_boot(Mid parent) override {
+    std::printf("[child]  %5.1f ms  booted by MID %d, advertising HELLO\n",
+                sim::to_ms(sim().now()), parent);
+    advertise(kHello);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs) override {
+    co_await accept_current_signal(1984);
+  }
+};
+
+class Parent : public SodalClient {
+ public:
+  sim::Task on_task() override {
+    // 1. Which machines are free? DISCOVER the boot pattern.
+    Bytes mids;
+    Tid t = discover_request(Kernel::kDefaultBootPattern, &mids, 16);
+    (void)t;
+    co_await delay(100 * sim::kMillisecond);
+    if (mids.size() < 4) {
+      std::printf("[parent] no free machines!\n");
+      co_return;
+    }
+    const Mid target = static_cast<Mid>(decode_u32(mids));
+    std::printf("[parent] %5.1f ms  free machine: MID %d\n",
+                sim::to_ms(sim().now()), target);
+
+    // 2. GET the boot pattern -> a fresh LOAD pattern.
+    Bytes load_b;
+    co_await b_get(ServerSignature{target, Kernel::kDefaultBootPattern}, 0,
+                   &load_b, 8);
+    const Pattern load = decode_u64(load_b) & kPatternMask;
+    std::printf("[parent] %5.1f ms  LOAD pattern %#llx allocated\n",
+                sim::to_ms(sim().now()),
+                static_cast<unsigned long long>(load));
+
+    // 3. PUT the core image (the program's registered name) and SIGNAL.
+    co_await b_put(ServerSignature{target, load}, 0, to_bytes("child"));
+    co_await b_signal(ServerSignature{target, load}, 0);
+    std::printf("[parent] %5.1f ms  child started\n",
+                sim::to_ms(sim().now()));
+
+    // 4. Talk to it like any other service.
+    auto c = co_await b_signal(ServerSignature{target, kHello}, 0);
+    std::printf("[parent] %5.1f ms  child answered with arg %d\n",
+                sim::to_ms(sim().now()), c.arg);
+
+    // 5. Second SIGNAL on the LOAD pattern: kill the child (§3.5.2).
+    co_await b_signal(ServerSignature{target, load}, 0);
+    std::printf("[parent] %5.1f ms  child killed\n",
+                sim::to_ms(sim().now()));
+    killed = true;
+    co_await park_forever();
+  }
+  bool killed = false;
+};
+
+int main() {
+  Network net;
+  Node& free_machine = net.add_node();  // MID 0: clientless
+  free_machine.register_program(
+      "child", [] { return std::make_unique<Child>(); });
+  auto& parent = net.spawn<Parent>(NodeConfig{});  // MID 1
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  std::printf("\nchild running now: %s (killed by parent: %s)\n",
+              net.node(0).has_client() ? "yes" : "no",
+              parent.killed ? "yes" : "no");
+  return parent.killed && !net.node(0).has_client() ? 0 : 1;
+}

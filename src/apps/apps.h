@@ -1,0 +1,9 @@
+// Umbrella header for the programmed examples of chapter 4.
+#pragma once
+
+#include "apps/bounded_buffer.h"
+#include "apps/file_server.h"
+#include "apps/four_way_buffer.h"
+#include "apps/philosophers.h"
+#include "apps/readers_writers.h"
+#include "apps/replicated_store.h"

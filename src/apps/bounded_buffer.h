@@ -1,0 +1,154 @@
+// Two-way bounded buffer (§4.4.1): producers stream items at a consumer
+// that buffers them, with backpressure on both request signatures (CLOSE
+// when the pending queue fills) and data (a producer will not issue a new
+// PUT until the previous one was ACCEPTED — double buffering lets it keep
+// working in the meantime).
+#pragma once
+
+#include <functional>
+
+#include "sodal/sodal.h"
+
+namespace soda::apps {
+
+constexpr Pattern kConsumerPattern = kWellKnownBit | 0xB0FF;
+
+class BufferProducer : public sodal::SodalClient {
+ public:
+  /// Produce `count` items of `item_size` bytes each; `work_time` models
+  /// the time to produce one item.
+  BufferProducer(int count, std::uint32_t item_size,
+                 sim::Duration work_time = 2 * sim::kMillisecond)
+      : count_(count), item_size_(item_size), work_time_(work_time) {}
+
+  sim::Task on_completion(HandlerArgs a) override {
+    if (a.status == CompletionStatus::kCompleted) ++accepted_;
+    ready_ = true;
+    readiness_.notify_all();
+    co_return;
+  }
+
+  sim::Task on_task() override {
+    consumer_ = co_await discover(kConsumerPattern);
+    for (int i = 0; i < count_; ++i) {
+      // Produce into the current buffer (double buffering: the other
+      // buffer may still be in flight).
+      co_await delay(work_time_);
+      Bytes item(item_size_);
+      for (std::uint32_t b = 0; b < item_size_; ++b) {
+        item[b] = static_cast<std::byte>((i + static_cast<int>(b)) & 0xFF);
+      }
+      while (!ready_) co_await wait_on(readiness_);
+      ready_ = false;
+      while (put(consumer_, i, item) == kNoTid) {
+        co_await wait_on(readiness_);  // MAXREQUESTS: wait for a slot
+      }
+      ++produced_;
+    }
+    // Wait for the final PUTs to complete before dying.
+    while (accepted_ < produced_) co_await wait_on(readiness_);
+    done_ = true;
+    co_await delay(50 * sim::kMillisecond);
+  }
+
+  int produced() const { return produced_; }
+  int accepted() const { return accepted_; }
+  bool done() const { return done_; }
+
+ private:
+  int count_;
+  std::uint32_t item_size_;
+  sim::Duration work_time_;
+  ServerSignature consumer_;
+  bool ready_ = true;
+  int produced_ = 0;
+  int accepted_ = 0;
+  bool done_ = false;
+  sim::CondVar readiness_;
+};
+
+class BufferConsumer : public sodal::SodalClient {
+ public:
+  using ItemSink = std::function<void(std::int32_t seq, const Bytes& data)>;
+
+  BufferConsumer(std::size_t data_buffers, std::size_t pending_slots,
+                 sim::Duration consume_time, ItemSink sink)
+      : produced_(data_buffers),
+        pending_(pending_slots),
+        consume_time_(consume_time),
+        sink_(std::move(sink)) {}
+
+  sim::Task on_boot(Mid) override {
+    advertise(kConsumerPattern);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    if (a.invoked_pattern != kConsumerPattern) co_return;
+    if (produced_.is_full()) {
+      // No room for data: hold the signature; stop arrivals when the
+      // signature queue fills too (flow control, §4.4.1).
+      pending_.enqueue(Pending{a.asker, a.arg, a.put_size});
+      if (pending_.is_full()) close();
+    } else {
+      Item it;
+      it.seq = a.arg;
+      auto r = co_await accept_current_put(0, &it.data, a.put_size);
+      if (r.status == AcceptStatus::kSuccess) {
+        produced_.enqueue(std::move(it));
+        work_.notify_all();
+      }
+    }
+    co_return;
+  }
+
+  sim::Task on_task() override {
+    for (;;) {
+      while (produced_.is_empty() && pending_.is_empty()) {
+        co_await wait_on(work_);
+      }
+      // Drain one buffered pending producer first so signatures keep
+      // flowing in arrival order.
+      if (!pending_.is_empty() && !produced_.is_full()) {
+        const bool was_full = pending_.is_full();
+        Pending p = pending_.dequeue();
+        if (was_full) open();
+        Item it;
+        it.seq = p.arg;
+        auto r = co_await accept_put(p.from, 0, &it.data, p.put_size);
+        if (r.status == AcceptStatus::kSuccess) {
+          produced_.enqueue(std::move(it));
+        }
+      }
+      if (!produced_.is_empty()) {
+        Item it = produced_.dequeue();
+        co_await delay(consume_time_);  // process_data
+        ++consumed_;
+        if (sink_) sink_(it.seq, it.data);
+      }
+    }
+  }
+
+  int consumed() const { return consumed_; }
+  std::size_t buffered() const { return produced_.size(); }
+
+ private:
+  struct Item {
+    std::int32_t seq = 0;
+    Bytes data;
+  };
+  struct Pending {
+    RequesterSignature from;
+    std::int32_t arg;
+    std::uint32_t put_size;
+  };
+
+  sodal::Queue<Item> produced_;
+  sodal::Queue<Pending> pending_;
+  sim::Duration consume_time_;
+  ItemSink sink_;
+  int consumed_ = 0;
+  sim::CondVar work_;
+};
+
+}  // namespace soda::apps

@@ -1,0 +1,173 @@
+// Concurrent readers and writers (§4.4.4): a moderator client arbitrates
+// START_READ / START_WRITE / END_READ / END_WRITE with the fairness rule
+// of Courtois et al.: a pending write blocks new reads; readers that
+// accumulated during a write all go before the next write.
+//
+// The moderator is pure handler code — the paper's point about flexible
+// scheduling: requests are held (not ACCEPTed) until policy admits them.
+#pragma once
+
+#include <functional>
+
+#include "sodal/sodal.h"
+
+namespace soda::apps {
+
+constexpr Pattern kStartRead = kWellKnownBit | 0x4001;
+constexpr Pattern kStartWrite = kWellKnownBit | 0x4002;
+constexpr Pattern kEndRead = kWellKnownBit | 0x4003;
+constexpr Pattern kEndWrite = kWellKnownBit | 0x4004;
+
+class Moderator : public sodal::SodalClient {
+ public:
+  explicit Moderator(std::size_t queue_cap = 64)
+      : read_queue_(queue_cap), write_queue_(queue_cap) {}
+
+  sim::Task on_boot(Mid) override {
+    advertise(kStartRead);
+    advertise(kStartWrite);
+    advertise(kEndRead);
+    advertise(kEndWrite);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    if (a.invoked_pattern == kStartRead) {
+      if (write_queue_.is_empty() && writecount_ == 0) {
+        co_await accept_current_signal(0);
+        ++readcount_;
+      } else {
+        read_queue_.enqueue(a.asker);  // a write is pending: readers wait
+      }
+    } else if (a.invoked_pattern == kStartWrite) {
+      if (readcount_ == 0 && writecount_ == 0) {
+        co_await accept_current_signal(0);
+        ++writecount_;
+      } else {
+        write_queue_.enqueue(a.asker);
+      }
+    } else if (a.invoked_pattern == kEndRead) {
+      co_await accept_current_signal(0);
+      --readcount_;
+      if (readcount_ == 0 && !write_queue_.is_empty()) {
+        auto w = write_queue_.dequeue();
+        co_await accept_signal(w, 0);
+        ++writecount_;
+      }
+    } else if (a.invoked_pattern == kEndWrite) {
+      co_await accept_current_signal(0);
+      --writecount_;
+      if (!read_queue_.is_empty()) {
+        // Admit every reader that accumulated during the write.
+        while (!read_queue_.is_empty()) {
+          auto r = read_queue_.dequeue();
+          co_await accept_signal(r, 0);
+          ++readcount_;
+        }
+      } else if (!write_queue_.is_empty()) {
+        auto w = write_queue_.dequeue();
+        co_await accept_signal(w, 0);
+        ++writecount_;
+      }
+    }
+    co_return;
+  }
+
+  int readcount() const { return readcount_; }
+  int writecount() const { return writecount_; }
+
+ private:
+  sodal::Queue<RequesterSignature> read_queue_;
+  sodal::Queue<RequesterSignature> write_queue_;
+  int readcount_ = 0;
+  int writecount_ = 0;
+};
+
+/// Shared instrumentation standing in for the protected database: tracks
+/// concurrent readers/writers so tests can assert the exclusion invariant.
+struct DatabaseProbe {
+  int readers_inside = 0;
+  int writers_inside = 0;
+  int max_readers_inside = 0;
+  int total_reads = 0;
+  int total_writes = 0;
+  bool violation = false;
+
+  void enter_read() {
+    ++readers_inside;
+    max_readers_inside = std::max(max_readers_inside, readers_inside);
+    if (writers_inside > 0) violation = true;
+  }
+  void exit_read() {
+    --readers_inside;
+    ++total_reads;
+  }
+  void enter_write() {
+    ++writers_inside;
+    if (writers_inside > 1 || readers_inside > 0) violation = true;
+  }
+  void exit_write() {
+    --writers_inside;
+    ++total_writes;
+  }
+};
+
+class ReaderClient : public sodal::SodalClient {
+ public:
+  ReaderClient(Mid moderator, DatabaseProbe* db, int rounds,
+               sim::Duration read_time = 3 * sim::kMillisecond)
+      : moderator_(moderator), db_(db), rounds_(rounds),
+        read_time_(read_time) {}
+
+  sim::Task on_task() override {
+    for (int i = 0; i < rounds_; ++i) {
+      auto c = co_await b_signal(ServerSignature{moderator_, kStartRead});
+      if (!c.ok()) break;
+      db_->enter_read();
+      co_await delay(read_time_);
+      db_->exit_read();
+      co_await b_signal(ServerSignature{moderator_, kEndRead});
+      co_await delay(read_time_ / 2);
+    }
+    done = true;
+    co_await park_forever();
+  }
+  bool done = false;
+
+ private:
+  Mid moderator_;
+  DatabaseProbe* db_;
+  int rounds_;
+  sim::Duration read_time_;
+};
+
+class WriterClient : public sodal::SodalClient {
+ public:
+  WriterClient(Mid moderator, DatabaseProbe* db, int rounds,
+               sim::Duration write_time = 5 * sim::kMillisecond)
+      : moderator_(moderator), db_(db), rounds_(rounds),
+        write_time_(write_time) {}
+
+  sim::Task on_task() override {
+    for (int i = 0; i < rounds_; ++i) {
+      auto c = co_await b_signal(ServerSignature{moderator_, kStartWrite});
+      if (!c.ok()) break;
+      db_->enter_write();
+      co_await delay(write_time_);
+      db_->exit_write();
+      co_await b_signal(ServerSignature{moderator_, kEndWrite});
+      co_await delay(write_time_);
+    }
+    done = true;
+    co_await park_forever();
+  }
+  bool done = false;
+
+ private:
+  Mid moderator_;
+  DatabaseProbe* db_;
+  int rounds_;
+  sim::Duration write_time_;
+};
+
+}  // namespace soda::apps

@@ -1,0 +1,48 @@
+// Measurement harness for the paper's evaluation (§5.5): drives a stream
+// of SIGNAL / PUT / GET / EXCHANGE operations from one node at another
+// whose handler ACCEPTs immediately (or whose task ACCEPTs from a queue,
+// for the *MOD-comparison rows), and reports steady-state simulated
+// milliseconds and packets per operation, plus the per-category cost
+// ledger for the overhead-breakdown table.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/timing.h"
+
+namespace soda::bench {
+
+enum class OpKind : std::uint8_t { kSignal, kPut, kGet, kExchange };
+
+const char* to_string(OpKind k);
+
+struct StreamOptions {
+  OpKind kind = OpKind::kPut;
+  std::uint32_t words = 0;      // 16-bit PDP-11 words per transfer direction
+  bool pipelined = false;       // both kernels pipelined (§5.2.3)
+  int ops = 80;                 // total operations
+  int warmup = 20;              // excluded from the measurement
+  int max_requests = 3;         // MAXREQUESTS (the paper measures with 3)
+  bool queued_accept = false;   // server queues in handler, ACCEPTs in task
+  bool blocking = false;        // requester uses the blocking B_* form
+  std::uint64_t seed = 1;
+  double loss = 0.0;            // bus frame-loss probability
+  TimingModel timing{};         // per-run timing overrides (ablations)
+};
+
+struct StreamResult {
+  double ms_per_op = 0.0;
+  double packets_per_op = 0.0;
+  double bytes_per_op = 0.0;
+  int completed = 0;
+  bool finished = false;
+  // Aggregate CPU charges (both nodes) per measured operation, in ms,
+  // indexed by CostCategory.
+  double cost_ms[static_cast<int>(CostCategory::kCount)] = {};
+  double wire_ms_per_op = 0.0;  // serialization time on the bus
+};
+
+/// Run one streaming experiment to completion and report.
+StreamResult run_stream(const StreamOptions& options);
+
+}  // namespace soda::bench

@@ -1,0 +1,70 @@
+// Per-node configuration and network-wide unique-id generation.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "proto/timing.h"
+
+namespace soda {
+
+/// Configuration of one SODA node.
+struct NodeConfig {
+  /// Maximum uncompleted REQUESTs a requester may hold (§3.3.2 item 5).
+  /// The paper's measurements use 3.
+  int max_requests = 3;
+
+  /// Maximum message (buffer) size in bytes. 1000 PDP-11 words.
+  std::uint32_t max_message_bytes = 2000;
+
+  /// Pipelined kernel: hold a REQUEST that meets a BUSY handler in the
+  /// input buffer instead of NACKing, and have ENDHANDLER re-check the
+  /// buffer (§5.2.3 "the pipelined version").
+  bool pipelined = false;
+
+  /// How long a held REQUEST may sit in the input buffer before the
+  /// kernel gives up and BUSY-NACKs after all.
+  sim::Duration input_buffer_hold = 6'000;
+
+  /// Size of the server-side LRU of recently completed requester
+  /// signatures (backs stale-ACCEPT and probe answers).
+  std::size_t completed_lru = 64;
+
+  /// Faithful §5.4 pattern table: the paper's implementation lacked
+  /// associative hardware, so the first 8 bits of a pattern index a
+  /// 256-entry array and "if two patterns are advertised that are
+  /// identical in the first eight bits, the second overwrites the first."
+  /// Off by default (the clean §3.4 semantics); switch on to reproduce
+  /// the 1984 artefact.
+  bool indexed_pattern_table = false;
+
+  /// §6.15: mix a per-node random component into GETUNIQUEID patterns so
+  /// they are hard to guess while staying network-wide unique.
+  bool randomized_unique_ids = false;
+
+  TimingModel timing;
+};
+
+/// Network-wide unique pattern source (§5.4): the paper concatenates an
+/// 8-bit machine serial number with a 32-bit counter whose initial value
+/// comes from a monotonic clock on the development VAX. The simulator
+/// plays the VAX: one shared monotone counter.
+class UniqueIdSource {
+ public:
+  /// A fresh pattern for machine `serial`. Never has the RESERVED or
+  /// WELL-KNOWN bits set, so client-made names cannot collide with either
+  /// kernel patterns or published names (§3.4.2).
+  net::Pattern next(net::Mid serial) {
+    const std::uint64_t counter = counter_++;
+    net::Pattern p = ((counter & 0xFFFFFFFFull) << 8) |
+                     (static_cast<std::uint64_t>(serial) & 0xFF);
+    return p & ~(net::kReservedBit | net::kWellKnownBit) & net::kPatternMask;
+  }
+
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  std::uint64_t counter_ = 1;
+};
+
+}  // namespace soda

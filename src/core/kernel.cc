@@ -1,0 +1,1122 @@
+#include "core/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace soda {
+
+using net::Frame;
+using sim::TraceCategory;
+
+namespace {
+
+Bytes pattern_to_bytes(Pattern p) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::byte>((p >> (8 * i)) & 0xFF);
+  }
+  return b;
+}
+
+Pattern pattern_from_bytes(const Bytes& b) {
+  Pattern p = 0;
+  for (std::size_t i = 0; i < 8 && i < b.size(); ++i) {
+    p |= static_cast<Pattern>(std::to_integer<std::uint8_t>(b[i])) << (8 * i);
+  }
+  return p & kPatternMask;
+}
+
+}  // namespace
+
+Kernel::Kernel(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
+               UniqueIdSource& uids, NodeCpu& cpu, KernelHost& host)
+    : sim_(sim),
+      config_(std::move(config)),
+      mid_(mid),
+      uids_(uids),
+      cpu_(cpu),
+      host_(host),
+      transport_(
+          sim, bus, mid, config_.timing, cpu,
+          proto::TransportCallbacks{
+              [this](const Frame& f) { return classify(f); },
+              [this](const Frame& f) { deliver(f); },
+              [this](Mid peer, const Frame& sent) { on_acked(peer, sent); },
+              [this](Mid peer, const Frame& sent, net::NackReason reason) {
+                on_failed(peer, sent, reason);
+              }}) {
+  boot_patterns_.insert(kDefaultBootPattern);
+}
+
+bool Kernel::client_dead() const { return !host_.has_client(); }
+
+// ===================================================================
+// Naming primitives (§3.4)
+
+bool Kernel::advertise(Pattern p) {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  if (net::is_reserved_pattern(p)) return false;
+  p &= kPatternMask;
+  if (config_.indexed_pattern_table) {
+    // §5.4: the low 8 bits index a 256-entry array; a colliding advertise
+    // overwrites the previous occupant — the 1984 artefact, reproduced.
+    const auto slot = static_cast<std::size_t>(p & 0xFF);
+    indexed_table_[slot] = p;
+    indexed_used_[slot] = true;
+    return true;
+  }
+  client_patterns_.insert(p);
+  return true;
+}
+
+bool Kernel::unadvertise(Pattern p) {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  if (net::is_reserved_pattern(p)) return false;
+  p &= kPatternMask;
+  if (config_.indexed_pattern_table) {
+    const auto slot = static_cast<std::size_t>(p & 0xFF);
+    if (!indexed_used_[slot] || indexed_table_[slot] != p) return false;
+    indexed_used_[slot] = false;
+    return true;
+  }
+  return client_patterns_.erase(p) > 0;
+}
+
+bool Kernel::pattern_bound(Pattern p) const {
+  p &= kPatternMask;
+  if (config_.indexed_pattern_table) {
+    const auto slot = static_cast<std::size_t>(p & 0xFF);
+    return indexed_used_[slot] && indexed_table_[slot] == p;
+  }
+  return client_patterns_.count(p) > 0;
+}
+
+bool Kernel::advertised(Pattern p) const { return pattern_bound(p); }
+
+Pattern Kernel::get_unique_id() {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  Pattern p = uids_.next(mid_);
+  if (config_.randomized_unique_ids) {
+    // §6.15: GETUNIQUEID returns fewer than PATTERNSIZE bits, so a random
+    // component can ride above the serial/counter pair, keeping patterns
+    // unique but hard to guess.
+    const Pattern random_bits = sim_.rng().next_below(1u << 6);
+    p |= (random_bits << 40);
+    p &= ~(kReservedBit | kWellKnownBit) & kPatternMask;
+  }
+  return p;
+}
+
+// ===================================================================
+// REQUEST (§3.3.1)
+
+std::optional<Tid> Kernel::request(RequestParams params) {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  if (live_requests() >= config_.max_requests) {
+    // "If MAXREQUESTS remain uncompleted, a REQUEST is ignored by the
+    // kernel" (§3.7.4).
+    return std::nullopt;
+  }
+  if (params.put_data.size() > config_.max_message_bytes ||
+      params.get_size > config_.max_message_bytes) {
+    return std::nullopt;
+  }
+
+  const Tid tid = next_tid_++;
+  PendingRequest p;
+  p.tid = tid;
+  p.server = params.server;
+  p.arg = params.arg;
+  p.put_data = std::move(params.put_data);
+  p.get_size = params.get_size;
+  p.get_into = params.get_into;
+
+  sim_.trace().record(sim_.now(), TraceCategory::kRequestIssued, mid_,
+                      "tid=" + std::to_string(tid));
+
+  if (params.server.mid == kBroadcastMid) {
+    // DISCOVER (§3.4.4): broadcast the query, collect staggered replies
+    // for a window, then complete like a GET.
+    p.discover = true;
+    Frame f;
+    f.discover = net::DiscoverSection{params.server.pattern, tid, false};
+    pending_.emplace(tid, std::move(p));
+    transport_.broadcast(std::move(f));
+    sim_.after(config_.timing.discover_window,
+               [this, tid]() { finish_discover(tid); });
+    return tid;
+  }
+
+  if (params.server.mid == mid_) {
+    // "There is no provision for local messages" (§3.3): fail the request
+    // the same way an unknown pattern would.
+    pending_.emplace(tid, std::move(p));
+    sim_.after(0, [this, tid]() {
+      auto it = pending_.find(tid);
+      if (it != pending_.end()) {
+        fail_request(it->second, CompletionStatus::kUnadvertised);
+      }
+    });
+    return tid;
+  }
+
+  Frame f;
+  f.request = net::RequestSection{
+      tid, params.server.pattern, params.arg,
+      static_cast<std::uint32_t>(p.put_data.size()), p.get_size,
+      /*carries_data=*/!p.put_data.empty()};
+  if (!p.put_data.empty()) {
+    f.data = p.put_data;  // the pending entry keeps a copy for a late DATA
+    f.data_tag = net::DataTag::kRequestData;
+    f.data_tid = tid;
+  }
+  const Mid peer = params.server.mid;
+  const auto response_allowance =
+      static_cast<sim::Duration>(p.get_size) *
+      config_.timing.retransmit_per_byte;
+  pending_.emplace(tid, std::move(p));
+  transport_.send_sequenced(peer, std::move(f),
+                            {.strip_data_on_retransmit = true,
+                             .urgent = false,
+                             .response_allowance = response_allowance});
+  return tid;
+}
+
+void Kernel::finish_discover(Tid tid) {
+  auto it = pending_.find(tid);
+  if (it == pending_.end()) return;
+  PendingRequest& p = it->second;
+  const std::uint32_t room = p.get_size / 4;
+  const std::uint32_t n =
+      std::min<std::uint32_t>(room, static_cast<std::uint32_t>(
+                                        p.discovered.size()));
+  if (p.get_into) {
+    p.get_into->resize(n * 4);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t m = static_cast<std::uint32_t>(p.discovered[i]);
+      (*p.get_into)[i * 4 + 0] = static_cast<std::byte>(m & 0xFF);
+      (*p.get_into)[i * 4 + 1] = static_cast<std::byte>((m >> 8) & 0xFF);
+      (*p.get_into)[i * 4 + 2] = static_cast<std::byte>((m >> 16) & 0xFF);
+      (*p.get_into)[i * 4 + 3] = static_cast<std::byte>((m >> 24) & 0xFF);
+    }
+  }
+  complete_request(p, CompletionStatus::kCompleted, /*arg=*/0,
+                   /*put_done=*/0, /*get_done=*/n * 4);
+}
+
+// ===================================================================
+// ACCEPT (§3.3.2)
+
+sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  sim::Promise<AcceptResult> pr;
+  const RequesterSignature rs = params.requester;
+  sim_.trace().record(sim_.now(), TraceCategory::kAcceptIssued, mid_,
+                      "tid=" + std::to_string(rs.tid));
+
+  if (rs.mid == mid_ || rs.mid == kBroadcastMid || rs.tid == kNoTid) {
+    pr.set(AcceptResult{AcceptStatus::kCancelled, 0, 0});
+    return pr.future();
+  }
+
+  const ServerKey key{rs.mid, rs.tid};
+  auto dit = delivered_.find(key);
+  if (dit == delivered_.end()) {
+    if (is_recently_completed(key)) {
+      // Accepting an already-completed request (§3.6.1).
+      pr.set(AcceptResult{AcceptStatus::kCancelled, 0, 0});
+      return pr.future();
+    }
+    // We never received this request: offer the ACCEPT on the wire and let
+    // the requester's kernel judge it (guessed signatures fail there with
+    // CANCELLED / WRONG_CLIENT / CRASHED, §3.3.2 item 6).
+    Frame af;
+    af.accept = net::AcceptSection{rs.tid, params.arg, 0, 0, false, false};
+    OngoingAccept oa;
+    oa.promise = pr;
+    oa.requester = rs;
+    accepts_.emplace(key, std::move(oa));
+    transport_.send_sequenced(rs.mid, std::move(af));
+    return pr.future();
+  }
+
+  DeliveredRequest& dr = dit->second;
+  if (dr.accepting) {
+    pr.set(AcceptResult{AcceptStatus::kCancelled, 0, 0});
+    return pr.future();
+  }
+
+  const std::uint32_t put_n = std::min(dr.put_size, params.max_take);
+  const std::uint32_t get_n = std::min(
+      static_cast<std::uint32_t>(params.reply_data.size()), dr.get_size);
+  const bool have_data = dr.data_present;
+  const bool needs_put = put_n > 0 && !have_data;
+
+  if (have_data && put_n > 0 && params.take_into) {
+    // The receive-side copy was already charged when the frame landed in
+    // the input buffer; handing the bytes to the client is the same copy.
+    params.take_into->assign(dr.data.begin(), dr.data.begin() + put_n);
+  }
+
+  AcceptResult result{AcceptStatus::kSuccess, have_data ? put_n : 0, get_n};
+
+  if (!needs_put && get_n == 0 && transport_.ack_pending(rs.mid)) {
+    // Fast path: the ACCEPT rides on the delayed ACK of the REQUEST —
+    // the paper's two-packet PUT (§5.2.3). Reliable because a lost
+    // ACCEPT+ACK is replayed when the requester retransmits.
+    Frame af;
+    af.accept = net::AcceptSection{rs.tid, params.arg, put_n, 0, false, false};
+    transport_.send_control(rs.mid, std::move(af), /*store_as_response=*/true);
+    delivered_.erase(dit);
+    note_completed(key);
+    sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
+                        "tid=" + std::to_string(rs.tid) + " (piggybacked)");
+    pr.set(result);
+    return pr.future();
+  }
+
+  // Slow path: a sequenced ACCEPT frame, carrying reply data and asking
+  // for a late DATA frame when the REQUEST data did not survive.
+  Frame af;
+  af.accept = net::AcceptSection{rs.tid, params.arg,     put_n,
+                                 get_n,  needs_put,      get_n > 0};
+  if (get_n > 0) {
+    params.reply_data.resize(get_n);
+    af.data = std::move(params.reply_data);
+    af.data_tag = net::DataTag::kAcceptData;
+    af.data_tid = rs.tid;
+  }
+  OngoingAccept oa;
+  oa.promise = pr;
+  oa.requester = rs;
+  oa.take_into = params.take_into;
+  oa.max_take = params.max_take;
+  oa.waiting_put_data = needs_put;
+  oa.result = result;
+  dr.accepting = true;
+  accepts_.emplace(key, std::move(oa));
+  transport_.send_sequenced(rs.mid, std::move(af));
+  return pr.future();
+}
+
+void Kernel::finish_accept(ServerKey key, OngoingAccept& oa) {
+  if (!oa.frame_acked || oa.waiting_put_data) return;
+  sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
+                      "tid=" + std::to_string(key.second));
+  AcceptResult result = oa.result;
+  auto promise = std::move(oa.promise);
+  auto kernel_done = std::move(oa.kernel_done);
+  delivered_.erase(key);
+  note_completed(key);
+  accepts_.erase(key);
+  if (promise) promise->set(result);
+  if (kernel_done) kernel_done(result);
+}
+
+void Kernel::handle_late_data(const net::Frame& f) {
+  const ServerKey key{f.src, f.data_tid};
+  auto it = accepts_.find(key);
+  if (it != accepts_.end() && it->second.waiting_put_data) {
+    OngoingAccept& oa = it->second;
+    const std::uint32_t n = std::min(
+        oa.max_take, static_cast<std::uint32_t>(f.data.size()));
+    if (oa.take_into) {
+      oa.take_into->assign(f.data.begin(), f.data.begin() + n);
+    }
+    if (oa.kernel_on_data) oa.kernel_on_data(f.data);
+    oa.result.put_received = n;
+    oa.waiting_put_data = false;
+    finish_accept(key, oa);
+  }
+  // Acknowledge in all cases (duplicates included): the requester's
+  // exchange finishes on this DATA_ACK — the paper's final "ACK (by
+  // server)" packet.
+  Frame ackf;
+  ackf.data_ack = f.data_tid;
+  transport_.send_control(f.src, std::move(ackf));
+}
+
+// ===================================================================
+// CANCEL (§3.3.3)
+
+sim::Future<CancelStatus> Kernel::cancel(Tid tid) {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  sim::Promise<CancelStatus> pr;
+  auto it = pending_.find(tid);
+  if (it == pending_.end() || it->second.discover ||
+      it->second.accept_info.has_value() ||
+      it->second.cancel_promise.has_value()) {
+    pr.set(CancelStatus::kFail);
+    return pr.future();
+  }
+  PendingRequest& p = it->second;
+  p.cancel_promise = pr;
+  if (p.phase == PendingRequest::Phase::kDelivered) {
+    send_cancel_query(p);
+  } else {
+    // A REQUEST is only eligible for cancellation once acknowledged
+    // (§5.2.3); the query goes out when the delivery ack arrives.
+    p.cancel_requested = true;
+  }
+  return pr.future();
+}
+
+void Kernel::send_cancel_query(PendingRequest& p) {
+  p.cancel_sent = true;
+  Frame f;
+  f.cancel = net::CancelSection{p.tid, false, false};
+  transport_.send_sequenced(p.server.mid, std::move(f));
+}
+
+// ===================================================================
+// Handler control (§3.3.4)
+
+void Kernel::open() {
+  if (handler_busy_) {
+    open_change_pending_ = true;
+    pending_open_value_ = true;
+    return;
+  }
+  handler_open_ = true;
+  try_dispatch();
+  if (!handler_busy_ && held_frame_ && handler_available_for_arrival()) {
+    Frame f = *held_frame_;
+    clear_held_frame();
+    transport_.accept_held(f);
+  }
+}
+
+void Kernel::close() {
+  if (handler_busy_) {
+    open_change_pending_ = true;
+    pending_open_value_ = false;
+    return;
+  }
+  handler_open_ = false;
+}
+
+void Kernel::endhandler() {
+  handler_busy_ = false;
+  sim_.trace().record(sim_.now(), TraceCategory::kHandlerEnded, mid_, "");
+  if (open_change_pending_) {
+    handler_open_ = pending_open_value_;
+    open_change_pending_ = false;
+  }
+  if (config_.pipelined) {
+    // The pipelined kernel's ENDHANDLER checks the input buffer for a
+    // REQUEST that arrived while the handler was busy (§5.2.3).
+    cpu_.charge(config_.timing.pipeline_check, CostCategory::kProtocol);
+  }
+  try_dispatch();
+  if (!handler_busy_ && held_frame_ && handler_available_for_arrival()) {
+    Frame f = *held_frame_;
+    clear_held_frame();
+    transport_.accept_held(f);
+  }
+  if (!handler_busy_) {
+    host_.drain_client_deferred();
+  }
+}
+
+bool Kernel::handler_available_for_arrival() const {
+  // "As long as queued completion interrupts are present, the handler is
+  // considered BUSY" for arrivals (§3.7.5).
+  return host_.has_client() && handler_open_ && !handler_busy_ &&
+         completions_.empty();
+}
+
+void Kernel::post_completion(HandlerArgs args) {
+  if (!host_.has_client()) return;
+  completions_.push_back(args);
+  try_dispatch();
+}
+
+void Kernel::try_dispatch() {
+  if (!host_.has_client()) {
+    completions_.clear();
+    return;
+  }
+  if (!handler_open_ || handler_busy_ || completions_.empty()) return;
+  handler_busy_ = true;
+  HandlerArgs args = completions_.front();
+  completions_.pop_front();
+  cpu_.run(config_.timing.context_switch, CostCategory::kContextSwitch,
+           [this, args, epoch = death_epoch_]() {
+             if (epoch != death_epoch_) return;
+             if (!host_.has_client()) {
+               handler_busy_ = false;
+               return;
+             }
+             sim_.trace().record(sim_.now(), TraceCategory::kHandlerInvoked,
+                                 mid_, "completion");
+             host_.invoke_handler(args);
+           });
+}
+
+void Kernel::set_held_frame(const net::Frame& f) {
+  held_frame_ = f;
+  if (hold_timer_armed_) sim_.cancel(hold_timer_);
+  hold_timer_armed_ = true;
+  hold_timer_ = sim_.after(
+      config_.input_buffer_hold, [this, epoch = death_epoch_]() {
+        if (epoch != death_epoch_) return;
+        hold_timer_armed_ = false;
+        if (!held_frame_) return;
+        Frame f = *held_frame_;
+        held_frame_.reset();
+        transport_.reject_held(f);
+      });
+}
+
+void Kernel::clear_held_frame() {
+  held_frame_.reset();
+  if (hold_timer_armed_) {
+    sim_.cancel(hold_timer_);
+    hold_timer_armed_ = false;
+  }
+}
+
+// ===================================================================
+// Process control (§3.5)
+
+void Kernel::client_booted(Mid parent) {
+  handler_open_ = true;
+  handler_busy_ = true;
+  HandlerArgs args;
+  args.reason = HandlerReason::kBooting;
+  args.parent = parent;
+  cpu_.run(config_.timing.context_switch, CostCategory::kContextSwitch,
+           [this, args, epoch = death_epoch_]() {
+             if (epoch != death_epoch_) return;
+             if (!host_.has_client()) {
+               handler_busy_ = false;
+               return;
+             }
+             host_.invoke_handler(args);
+           });
+}
+
+void Kernel::die() {
+  cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
+  reset_for_death(/*client_initiated=*/true);
+}
+
+void Kernel::crash() { reset_for_death(/*client_initiated=*/false); }
+
+void Kernel::reset_for_death(bool client_initiated) {
+  sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
+                      client_initiated ? "die" : "killed/crashed");
+  host_.kill_client();
+  client_patterns_.clear();
+  indexed_used_.fill(false);
+  for (auto& [tid, p] : pending_) stop_probing(p);
+  pending_.clear();
+  completions_.clear();
+  accepts_.clear();
+  delivered_.clear();
+  completed_lru_.clear();
+  clear_held_frame();
+  handler_busy_ = false;
+  handler_open_ = true;
+  open_change_pending_ = false;
+  core_image_.clear();
+  load_pattern_ = 0;
+  boot_min_tid_ = next_tid_;
+  ++death_epoch_;
+  transport_.reset();
+}
+
+// ===================================================================
+// Transport callbacks
+
+proto::DispositionResult Kernel::classify(const net::Frame& f) {
+  if (f.request) {
+    const Pattern p = f.request->pattern & kPatternMask;
+    const Tid tid = f.request->tid;
+    if (net::is_reserved_pattern(p)) {
+      // Reserved patterns are bound to kernel routines whose execution
+      // "cannot be impeded by the client handler state" (§3.4.3).
+      if (!reserved_bound(p)) {
+        return {proto::Disposition::kError, net::NackReason::kUnadvertised,
+                tid};
+      }
+      if (p == kSystemPattern && f.src != 0) {
+        // Only machine 0 may administer reserved patterns (§3.5.4).
+        return {proto::Disposition::kError, net::NackReason::kUnadvertised,
+                tid};
+      }
+      return {proto::Disposition::kDeliver, {}, kNoTid};
+    }
+    if (!host_.has_client() || !pattern_bound(p)) {
+      return {proto::Disposition::kError, net::NackReason::kUnadvertised, tid};
+    }
+    if (handler_available_for_arrival() && !held_frame_) {
+      return {proto::Disposition::kDeliver, {}, kNoTid};
+    }
+    if (config_.pipelined) {
+      if (held_frame_ && held_frame_->src == f.src && held_frame_->request &&
+          held_frame_->request->tid == tid) {
+        return {proto::Disposition::kHold, {}, kNoTid};  // already holding it
+      }
+      if (!held_frame_) {
+        set_held_frame(f);
+        return {proto::Disposition::kHold, {}, kNoTid};
+      }
+    }
+    return {proto::Disposition::kBusy, {}, kNoTid};
+  }
+
+  if (f.accept) {
+    const Tid tid = f.accept->tid;
+    auto it = pending_.find(tid);
+    if (it == pending_.end()) {
+      // Stale or forged ACCEPT (§3.6.1, §5.4): requests from before this
+      // incarnation report CRASHED; completed/cancelled/forged report
+      // CANCELLED.
+      const net::NackReason r = (tid < boot_min_tid_)
+                                    ? net::NackReason::kCrashed
+                                    : net::NackReason::kCancelled;
+      return {proto::Disposition::kError, r, tid};
+    }
+    if (it->second.server.mid != f.src) {
+      // "An ACCEPT will fail if issued by a different client than that
+      // named in the matching REQUEST" (§3.3.2 item 6).
+      return {proto::Disposition::kError, net::NackReason::kWrongClient, tid};
+    }
+    return {proto::Disposition::kDeliver, {}, kNoTid};
+  }
+
+  // Late DATA frames and CANCEL queries are kernel-level: always deliver.
+  return {proto::Disposition::kDeliver, {}, kNoTid};
+}
+
+void Kernel::deliver(const net::Frame& f) {
+  if (f.discover) {
+    const auto& d = *f.discover;
+    if (!d.is_reply) {
+      const Pattern p = d.pattern & kPatternMask;
+      const bool match = (host_.has_client() && pattern_bound(p)) ||
+                         reserved_bound(p);
+      if (match) {
+        // Stagger replies by MID so they do not collide on the bus (§5.3).
+        const sim::Duration delay =
+            config_.timing.discover_stagger * (mid_ + 1);
+        sim_.after(delay, [this, d, peer = f.src,
+                           epoch = death_epoch_]() {
+          if (epoch != death_epoch_) return;
+          Frame rf;
+          rf.discover = net::DiscoverSection{d.pattern, d.tid, true};
+          transport_.send_control(peer, std::move(rf));
+        });
+      }
+    } else {
+      auto it = pending_.find(d.tid);
+      if (it != pending_.end() && it->second.discover) {
+        auto& mids = it->second.discovered;
+        if (std::find(mids.begin(), mids.end(), f.src) == mids.end()) {
+          mids.push_back(f.src);
+        }
+      }
+    }
+    return;  // DISCOVER frames carry nothing else
+  }
+
+  if (f.probe) {
+    const auto& pb = *f.probe;
+    if (!pb.is_reply) {
+      const ServerKey key{f.src, pb.tid};
+      const bool known = delivered_.count(key) > 0 ||
+                         accepts_.count(key) > 0 ||
+                         is_recently_completed(key);
+      Frame rf;
+      rf.probe = net::ProbeSection{pb.tid, true, known};
+      transport_.send_control(f.src, std::move(rf));
+      sim_.trace().record(sim_.now(), TraceCategory::kProbe, mid_,
+                          "reply tid=" + std::to_string(pb.tid) +
+                              (known ? " known" : " unknown"));
+    } else {
+      auto it = pending_.find(pb.tid);
+      if (it != pending_.end()) {
+        PendingRequest& p = it->second;
+        p.probe_reply_seen = true;
+        p.probe_misses = 0;
+        if (!pb.known) {
+          // The server rebooted and lost the request: it cannot escape
+          // detection (§3.6.2).
+          fail_request(p, CompletionStatus::kCrashed);
+        }
+      }
+    }
+  }
+
+  if (f.cancel) {
+    const auto& c = *f.cancel;
+    if (!c.is_reply) {
+      const ServerKey key{f.src, c.tid};
+      auto it = delivered_.find(key);
+      bool ok = false;
+      if (it != delivered_.end() && !it->second.accepting) {
+        delivered_.erase(it);
+        note_completed(key);
+        ok = true;
+      }
+      Frame rf;
+      rf.cancel = net::CancelSection{c.tid, true, ok};
+      transport_.send_control(f.src, std::move(rf));
+    } else {
+      auto it = pending_.find(c.tid);
+      if (it != pending_.end() && it->second.cancel_promise) {
+        PendingRequest& p = it->second;
+        auto promise = std::move(*p.cancel_promise);
+        p.cancel_promise.reset();
+        if (c.ok) {
+          stop_probing(p);
+          pending_.erase(it);  // no completion interrupt for a cancelled one
+          promise.set(CancelStatus::kSuccess);
+        } else {
+          promise.set(CancelStatus::kFail);
+        }
+      }
+    }
+  }
+
+  if (f.accept) handle_accept_info(f);
+  if (f.request) on_request_delivered(f);
+  if (!f.request && f.data_tag == net::DataTag::kRequestData) {
+    handle_late_data(f);
+  }
+  if (f.data_ack != kNoTid) {
+    auto it = pending_.find(f.data_ack);
+    if (it != pending_.end()) {
+      PendingRequest& p = it->second;
+      p.late_put_acked = true;
+      stop_data_timer(p);
+      maybe_complete(p.tid);
+    }
+  }
+}
+
+void Kernel::on_acked(Mid peer, const net::Frame& sent) {
+  if (sent.request) {
+    auto it = pending_.find(sent.request->tid);
+    if (it != pending_.end()) {
+      PendingRequest& p = it->second;
+      if (p.phase == PendingRequest::Phase::kInTransport) {
+        p.phase = PendingRequest::Phase::kDelivered;
+        start_probing(p.tid);
+        if (p.cancel_requested && !p.cancel_sent) send_cancel_query(p);
+      }
+    }
+  }
+  if (sent.accept) {
+    const ServerKey key{peer, sent.accept->tid};
+    auto it = accepts_.find(key);
+    if (it != accepts_.end()) {
+      it->second.frame_acked = true;
+      finish_accept(key, it->second);
+    }
+  }
+}
+
+void Kernel::on_failed(Mid peer, const net::Frame& sent,
+                       net::NackReason reason) {
+  if (sent.request) {
+    auto it = pending_.find(sent.request->tid);
+    if (it != pending_.end()) {
+      fail_request(it->second, reason == net::NackReason::kUnadvertised
+                                   ? CompletionStatus::kUnadvertised
+                                   : CompletionStatus::kCrashed);
+    }
+  }
+  if (sent.accept) {
+    const ServerKey key{peer, sent.accept->tid};
+    auto it = accepts_.find(key);
+    if (it != accepts_.end()) {
+      OngoingAccept& oa = it->second;
+      AcceptResult result;
+      result.status = (reason == net::NackReason::kCrashed)
+                          ? AcceptStatus::kCrashed
+                          : AcceptStatus::kCancelled;
+      auto promise = std::move(oa.promise);
+      auto kernel_done = std::move(oa.kernel_done);
+      accepts_.erase(it);
+      delivered_.erase(key);
+      note_completed(key);
+      if (promise) promise->set(result);
+      if (kernel_done) kernel_done(result);
+    }
+  }
+  if (sent.cancel && !sent.cancel->is_reply) {
+    auto it = pending_.find(sent.cancel->tid);
+    if (it != pending_.end() && it->second.cancel_promise) {
+      auto promise = std::move(*it->second.cancel_promise);
+      it->second.cancel_promise.reset();
+      promise.set(CancelStatus::kFail);
+    }
+  }
+}
+
+// ===================================================================
+// Requester-side completion assembly
+
+void Kernel::handle_accept_info(const net::Frame& f) {
+  auto it = pending_.find(f.accept->tid);
+  if (it == pending_.end()) return;  // stale piggybacked ACCEPT
+  PendingRequest& p = it->second;
+  if (p.accept_info) return;  // duplicate
+  if (p.server.mid != f.src) return;
+  p.accept_info = *f.accept;
+  stop_probing(p);
+
+  if (f.accept->carries_data && p.get_into) {
+    const std::uint32_t n = std::min(
+        p.get_size, static_cast<std::uint32_t>(f.data.size()));
+    p.get_into->assign(f.data.begin(), f.data.begin() + n);
+  }
+
+  if (f.accept->needs_put_data && !p.put_data.empty()) {
+    // Our REQUEST data did not survive (stripped after a BUSY encounter):
+    // ship it now as a DATA frame; the server's DATA_ACK completes the
+    // exchange. This is the paper's DATA+ACK packet followed by the final
+    // ACK (§5.2.3). The DATA frame is a control frame with its own
+    // retransmission: it must not wait in the alternating-bit slot behind
+    // a queued REQUEST, or the server's blocked ACCEPT deadlocks it.
+    p.late_put_sent = true;
+    send_late_data(p);
+  } else if (f.accept->needs_put_data) {
+    p.late_put_acked = true;  // nothing to send after all
+  }
+
+  maybe_complete(p.tid);
+}
+
+void Kernel::send_late_data(PendingRequest& p) {
+  Bytes chunk = p.put_data;
+  if (p.accept_info && chunk.size() > p.accept_info->put_transferred) {
+    chunk.resize(p.accept_info->put_transferred);
+  }
+  Frame df;
+  df.data = std::move(chunk);
+  df.data_tag = net::DataTag::kRequestData;
+  df.data_tid = p.tid;
+  transport_.send_control(p.server.mid, std::move(df));
+  ++p.data_attempts;
+  if (p.data_timer_armed) sim_.cancel(p.data_timer);
+  p.data_timer_armed = true;
+  const sim::Duration timeout =
+      config_.timing.retransmit_interval +
+      static_cast<sim::Duration>(p.put_data.size()) *
+          config_.timing.retransmit_per_byte;
+  const Tid tid = p.tid;
+  p.data_timer = sim_.after(timeout, [this, tid, epoch = death_epoch_]() {
+    if (epoch != death_epoch_) return;
+    auto it = pending_.find(tid);
+    if (it == pending_.end()) return;
+    PendingRequest& pr = it->second;
+    pr.data_timer_armed = false;
+    if (pr.late_put_acked) return;
+    if (pr.data_attempts > config_.timing.max_ack_retries) {
+      fail_request(pr, CompletionStatus::kCrashed);
+      return;
+    }
+    sim_.trace().record(sim_.now(), TraceCategory::kRetransmit, mid_,
+                        "late data tid=" + std::to_string(tid));
+    send_late_data(pr);
+  });
+}
+
+void Kernel::stop_data_timer(PendingRequest& p) {
+  if (p.data_timer_armed) {
+    sim_.cancel(p.data_timer);
+    p.data_timer_armed = false;
+  }
+}
+
+void Kernel::maybe_complete(Tid tid) {
+  auto it = pending_.find(tid);
+  if (it == pending_.end()) return;
+  PendingRequest& p = it->second;
+  if (!p.accept_info) return;
+  if (p.accept_info->needs_put_data && p.late_put_sent && !p.late_put_acked) {
+    return;
+  }
+  complete_request(p, CompletionStatus::kCompleted, p.accept_info->arg,
+                   p.accept_info->put_transferred,
+                   p.accept_info->get_transferred);
+}
+
+void Kernel::complete_request(PendingRequest& p, CompletionStatus status,
+                              std::int32_t arg, std::uint32_t put_done,
+                              std::uint32_t get_done) {
+  stop_probing(p);
+  stop_data_timer(p);
+  if (p.cancel_promise) {
+    auto promise = std::move(*p.cancel_promise);
+    p.cancel_promise.reset();
+    promise.set(CancelStatus::kFail);
+  }
+  HandlerArgs args;
+  args.reason = HandlerReason::kRequestCompletion;
+  args.asker = RequesterSignature{mid_, p.tid};
+  args.arg = arg;
+  args.status = status;
+  args.put_size = put_done;
+  args.get_size = get_done;
+  sim_.trace().record(sim_.now(), TraceCategory::kRequestCompleted, mid_,
+                      "tid=" + std::to_string(p.tid) + " " +
+                          to_string(status));
+  pending_.erase(p.tid);
+  post_completion(args);
+}
+
+void Kernel::fail_request(PendingRequest& p, CompletionStatus status) {
+  complete_request(p, status, 0, 0, 0);
+}
+
+// ===================================================================
+// Probes (§3.6.2)
+
+void Kernel::start_probing(Tid tid) {
+  auto it = pending_.find(tid);
+  if (it == pending_.end()) return;
+  PendingRequest& p = it->second;
+  p.probe_misses = 0;
+  p.awaiting_probe_reply = false;
+  p.probe_armed = true;
+  p.probe_timer =
+      sim_.after(config_.timing.probe_interval,
+                 [this, tid, epoch = death_epoch_]() {
+                   if (epoch != death_epoch_) return;
+                   probe_tick(tid);
+                 });
+}
+
+void Kernel::stop_probing(PendingRequest& p) {
+  if (p.probe_armed) {
+    sim_.cancel(p.probe_timer);
+    p.probe_armed = false;
+  }
+}
+
+void Kernel::probe_tick(Tid tid) {
+  auto it = pending_.find(tid);
+  if (it == pending_.end()) return;
+  PendingRequest& p = it->second;
+  p.probe_armed = false;
+  if (p.phase != PendingRequest::Phase::kDelivered || p.accept_info) return;
+  if (p.awaiting_probe_reply && !p.probe_reply_seen) {
+    if (++p.probe_misses >= config_.timing.max_probe_misses) {
+      // "If several successive probes fail, a crash is reported" (§3.6.2).
+      fail_request(p, CompletionStatus::kCrashed);
+      return;
+    }
+  }
+  Frame f;
+  f.probe = net::ProbeSection{tid, false, false};
+  transport_.send_control(p.server.mid, std::move(f));
+  sim_.trace().record(sim_.now(), TraceCategory::kProbe, mid_,
+                      "tid=" + std::to_string(tid));
+  p.awaiting_probe_reply = true;
+  p.probe_reply_seen = false;
+  p.probe_armed = true;
+  p.probe_timer = sim_.after(config_.timing.probe_interval,
+                             [this, tid, epoch = death_epoch_]() {
+                               if (epoch != death_epoch_) return;
+                               probe_tick(tid);
+                             });
+}
+
+// ===================================================================
+// Server-side arrival handling
+
+void Kernel::on_request_delivered(const net::Frame& f) {
+  const Pattern p = f.request->pattern & kPatternMask;
+  if (net::is_reserved_pattern(p)) {
+    serve_reserved(f);
+    return;
+  }
+  DeliveredRequest dr;
+  dr.requester = RequesterSignature{f.src, f.request->tid};
+  dr.pattern = p;
+  dr.arg = f.request->arg;
+  dr.put_size = f.request->put_size;
+  dr.get_size = f.request->get_size;
+  if (f.request->carries_data) {
+    dr.data_present = true;
+    dr.data = f.data;
+  }
+  delivered_[{f.src, f.request->tid}] = std::move(dr);
+  dispatch_arrival(f);
+}
+
+void Kernel::dispatch_arrival(const net::Frame& f) {
+  handler_busy_ = true;
+  HandlerArgs args;
+  args.reason = HandlerReason::kRequestArrival;
+  args.asker = RequesterSignature{f.src, f.request->tid};
+  args.arg = f.request->arg;
+  args.invoked_pattern = f.request->pattern & kPatternMask;
+  args.put_size = f.request->put_size;
+  args.get_size = f.request->get_size;
+  cpu_.run(config_.timing.context_switch, CostCategory::kContextSwitch,
+           [this, args, epoch = death_epoch_]() {
+             if (epoch != death_epoch_) return;
+             if (!host_.has_client()) {
+               handler_busy_ = false;
+               return;
+             }
+             sim_.trace().record(sim_.now(), TraceCategory::kHandlerInvoked,
+                                 mid_, "arrival");
+             host_.invoke_handler(args);
+           });
+}
+
+// ===================================================================
+// Kernel-served reserved patterns: booting & killing (§3.5)
+
+bool Kernel::reserved_bound(Pattern p) const {
+  if (p == kill_pattern_) return true;
+  if (p == kSystemPattern) return true;
+  if (load_pattern_ != 0 && p == load_pattern_) return true;
+  if (boot_patterns_.count(p)) {
+    // Boot patterns are advertised only while the node is clientless and
+    // not already being loaded (§3.5.2-§3.5.3).
+    return !host_.has_client() && load_pattern_ == 0;
+  }
+  return false;
+}
+
+void Kernel::respond_kernel_accept(const net::Frame& f, std::int32_t arg,
+                                   Bytes reply_data) {
+  const auto& rq = *f.request;
+  const std::uint32_t get_n = std::min(
+      static_cast<std::uint32_t>(reply_data.size()), rq.get_size);
+  Frame af;
+  af.accept =
+      net::AcceptSection{rq.tid, arg, rq.carries_data ? rq.put_size : 0,
+                         get_n, false, get_n > 0};
+  if (get_n > 0) {
+    reply_data.resize(get_n);
+    af.data = std::move(reply_data);
+    af.data_tag = net::DataTag::kAcceptData;
+    af.data_tid = rq.tid;
+  }
+  // The kernel answers synchronously, so the REQUEST's ack is still owed
+  // and the composite response is reliable via duplicate replay.
+  transport_.send_control(f.src, std::move(af), /*store_as_response=*/true);
+}
+
+void Kernel::serve_reserved(const net::Frame& f) {
+  const Pattern p = f.request->pattern & kPatternMask;
+  const auto& rq = *f.request;
+
+  if (boot_patterns_.count(p) && !host_.has_client() && load_pattern_ == 0) {
+    // GET <MID, BOOT_PATTERN>: allocate a LOAD pattern and return it
+    // (§3.5.2). Boot patterns stop matching until the client dies.
+    load_pattern_ = (uids_.next(mid_) | kReservedBit) &
+                    ~kWellKnownBit & kPatternMask;
+    core_image_.clear();
+    sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
+                        "load pattern allocated for parent " +
+                            std::to_string(f.src));
+    respond_kernel_accept(f, 0, pattern_to_bytes(load_pattern_));
+    return;
+  }
+
+  if (load_pattern_ != 0 && p == load_pattern_) {
+    if (rq.put_size > 0) {
+      // PUT <MID, LOAD_PATTERN>: the next chunk of the core image.
+      if (rq.carries_data) {
+        core_image_.insert(core_image_.end(), f.data.begin(), f.data.end());
+        respond_kernel_accept(f, 0, {});
+      } else {
+        // The chunk was stripped en route: ask for a late DATA frame.
+        Frame af;
+        af.accept = net::AcceptSection{rq.tid, 0, rq.put_size, 0, true, false};
+        OngoingAccept oa;
+        oa.requester = RequesterSignature{f.src, rq.tid};
+        oa.waiting_put_data = true;
+        oa.kernel_on_data = [this](const Bytes& d) {
+          core_image_.insert(core_image_.end(), d.begin(), d.end());
+        };
+        accepts_.emplace(ServerKey{f.src, rq.tid}, std::move(oa));
+        transport_.send_sequenced(f.src, std::move(af));
+      }
+      return;
+    }
+    // SIGNAL <MID, LOAD_PATTERN>: first = start the client; second = the
+    // parent kills it (§3.5.2).
+    respond_kernel_accept(f, 0, {});
+    if (!host_.has_client()) {
+      ++boots_;
+      sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
+                          "booting client, parent " + std::to_string(f.src));
+      Bytes image = core_image_;
+      const Mid parent = f.src;
+      sim_.after(0, [this, image, parent, epoch = death_epoch_]() {
+        if (epoch != death_epoch_) return;
+        host_.boot_client(image, parent);
+      });
+    } else {
+      // Let the response leave before tearing the node down.
+      sim_.after(2'500, [this, epoch = death_epoch_]() {
+        if (epoch != death_epoch_) return;
+        reset_for_death(/*client_initiated=*/false);
+      });
+    }
+    return;
+  }
+
+  if (p == kill_pattern_) {
+    // SIGNAL <MID, KILL_PATTERN>: unconditional death (§3.5.3).
+    respond_kernel_accept(f, 0, {});
+    if (host_.has_client() || load_pattern_ != 0) {
+      sim_.after(2'500, [this, epoch = death_epoch_]() {
+        if (epoch != death_epoch_) return;
+        reset_for_death(/*client_initiated=*/false);
+      });
+    }
+    return;
+  }
+
+  if (p == kSystemPattern) {
+    // Machine 0 administers reserved patterns (§3.5.4).
+    const Pattern target = pattern_from_bytes(f.data);
+    switch (rq.arg) {
+      case kSystemAddBoot:
+        boot_patterns_.insert((target | kReservedBit) & kPatternMask);
+        break;
+      case kSystemDeleteBoot:
+        boot_patterns_.erase((target | kReservedBit) & kPatternMask);
+        break;
+      case kSystemReplaceKill:
+        kill_pattern_ = (target | kReservedBit) & kPatternMask;
+        break;
+      default:
+        break;
+    }
+    respond_kernel_accept(f, 0, {});
+    return;
+  }
+
+  // A reserved pattern that stopped being bound between classify and
+  // deliver: answer nothing; the requester's probes will sort it out.
+}
+
+// ===================================================================
+
+bool Kernel::is_recently_completed(ServerKey k) const {
+  return std::find(completed_lru_.begin(), completed_lru_.end(), k) !=
+         completed_lru_.end();
+}
+
+void Kernel::note_completed(ServerKey k) {
+  completed_lru_.push_back(k);
+  while (completed_lru_.size() > config_.completed_lru) {
+    completed_lru_.pop_front();
+  }
+}
+
+}  // namespace soda

@@ -1,0 +1,98 @@
+// A SODA node: one kernel (co)processor plus at most one client program,
+// sharing a single multiplexed CPU as in the paper's implementation (§5.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/client.h"
+#include "core/kernel.h"
+
+namespace soda {
+
+/// Stands in for the development VAX's program store: a "core image" on
+/// the wire is the program's registered name, and booting instantiates the
+/// registered factory (see DESIGN.md on this substitution).
+using ProgramFactory = std::function<std::unique_ptr<Client>()>;
+
+class Node final : public KernelHost {
+ public:
+  Node(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
+       UniqueIdSource& uids)
+      : sim_(sim),
+        cpu_(sim, ledger_),
+        kernel_(sim, bus, mid, std::move(config), uids, cpu_, *this) {}
+
+  Mid mid() const { return kernel_.mid(); }
+  Kernel& kernel() { return kernel_; }
+  NodeCpu& cpu() { return cpu_; }
+  CostLedger& ledger() { return ledger_; }
+  Client* client() { return client_.get(); }
+
+  /// Directly install a client program (tests and examples use this in
+  /// place of the network boot protocol).
+  void install_client(std::unique_ptr<Client> c, Mid parent) {
+    client_ = std::move(c);
+    client_->bind(this);
+    kernel_.client_booted(parent);
+  }
+
+  /// Make a program bootable over the network via the LOAD protocol.
+  void register_program(std::string name, ProgramFactory factory) {
+    programs_[std::move(name)] = std::move(factory);
+  }
+
+  /// Hard failure: lose all kernel and client state (§3.6).
+  void crash() { kernel_.crash(); }
+
+  sim::Simulator& simulator() { return sim_; }
+
+  // ---- KernelHost ----
+  void boot_client(const Bytes& image, Mid parent) override {
+    std::string name(image.size(), '\0');
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      name[i] = static_cast<char>(std::to_integer<unsigned char>(image[i]));
+    }
+    auto it = programs_.find(name);
+    if (it == programs_.end()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kBoot, mid(),
+                          "unknown core image '" + name + "'");
+      return;
+    }
+    install_client(it->second(), parent);
+  }
+
+  void kill_client() override {
+    if (!client_) return;
+    client_->mark_dead();
+    // The dead program's memory persists on the node (its core image is
+    // only replaced by the next boot) — which also keeps test/example
+    // inspection of a finished client's state valid, and lets coroutines
+    // still unwinding on it do so safely.
+    dead_clients_.push_back(std::move(client_));
+    client_.reset();
+  }
+
+  bool has_client() const override { return client_ != nullptr; }
+
+  void invoke_handler(const HandlerArgs& args) override {
+    if (client_) client_->invoke_handler(args);
+  }
+
+  void drain_client_deferred() override {
+    if (client_) client_->drain_deferred();
+  }
+
+ private:
+  sim::Simulator& sim_;
+  CostLedger ledger_;
+  NodeCpu cpu_;
+  Kernel kernel_;
+  std::unique_ptr<Client> client_;
+  std::vector<std::unique_ptr<Client>> dead_clients_;
+  std::unordered_map<std::string, ProgramFactory> programs_;
+};
+
+}  // namespace soda

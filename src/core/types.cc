@@ -1,0 +1,40 @@
+#include "core/types.h"
+
+namespace soda {
+
+const char* to_string(HandlerReason r) {
+  switch (r) {
+    case HandlerReason::kRequestArrival: return "REQUEST_ARRIVAL";
+    case HandlerReason::kRequestCompletion: return "REQUEST_COMPLETION";
+    case HandlerReason::kBooting: return "BOOTING";
+  }
+  return "?";
+}
+
+const char* to_string(CompletionStatus s) {
+  switch (s) {
+    case CompletionStatus::kCompleted: return "REQUEST_COMPLETED";
+    case CompletionStatus::kCrashed: return "REQUEST_CRASHED";
+    case CompletionStatus::kUnadvertised: return "REQUEST_UNADVERTISED";
+  }
+  return "?";
+}
+
+const char* to_string(AcceptStatus s) {
+  switch (s) {
+    case AcceptStatus::kSuccess: return "SUCCESS";
+    case AcceptStatus::kCancelled: return "CANCELLED";
+    case AcceptStatus::kCrashed: return "CRASHED";
+  }
+  return "?";
+}
+
+const char* to_string(CancelStatus s) {
+  switch (s) {
+    case CancelStatus::kSuccess: return "SUCCESS";
+    case CancelStatus::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+}  // namespace soda

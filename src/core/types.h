@@ -1,0 +1,85 @@
+// Client-visible vocabulary of the SODA kernel (§3.7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace soda {
+
+using net::Mid;
+using net::Pattern;
+using net::RequesterSignature;
+using net::ServerSignature;
+using net::Tid;
+using net::kBroadcastMid;
+using net::kNoTid;
+using net::kPatternMask;
+using net::kReservedBit;
+using net::kWellKnownBit;
+
+using Bytes = std::vector<std::byte>;
+
+/// Why the handler was invoked (§3.7.6).
+enum class HandlerReason : std::uint8_t {
+  kRequestArrival,     // an incoming REQUEST was delivered (the "tag")
+  kRequestCompletion,  // one of our REQUESTs finished (any status)
+  kBooting,            // first invocation of a freshly loaded client
+};
+
+/// Completion status reported to the requester's handler.
+enum class CompletionStatus : std::uint8_t {
+  kCompleted,     // the server ACCEPTed; data was exchanged
+  kCrashed,       // the server crashed / died / went silent
+  kUnadvertised,  // the pattern was not advertised at the server
+};
+
+/// Result of the server-side blocking ACCEPT (§3.3.2).
+enum class AcceptStatus : std::uint8_t {
+  kSuccess,
+  kCancelled,  // the request completed or was cancelled (incl. wrong client)
+  kCrashed,    // the requester crashed before/while the ACCEPT ran
+};
+
+enum class CancelStatus : std::uint8_t { kSuccess, kFail };
+
+const char* to_string(HandlerReason r);
+const char* to_string(CompletionStatus s);
+const char* to_string(AcceptStatus s);
+const char* to_string(CancelStatus s);
+
+/// Everything the kernel passes to a handler invocation (§3.7.6). Fields
+/// are populated according to `reason`.
+struct HandlerArgs {
+  HandlerReason reason = HandlerReason::kRequestArrival;
+
+  /// Arrival: who asked. Completion: <own MID, tid of the finished REQUEST>.
+  RequesterSignature asker;
+
+  /// Arrival: the REQUEST argument. Completion: the ACCEPT argument.
+  std::int32_t arg = 0;
+
+  /// Completion only.
+  CompletionStatus status = CompletionStatus::kCompleted;
+
+  /// Arrival only: the pattern part of the server signature used.
+  Pattern invoked_pattern = 0;
+
+  /// Arrival: buffer sizes offered by the REQUEST.
+  /// Completion: bytes actually transferred in each direction.
+  std::uint32_t put_size = 0;
+  std::uint32_t get_size = 0;
+
+  /// Booting only: MID of the client that loaded us.
+  Mid parent = kBroadcastMid;
+};
+
+/// Result of the blocking ACCEPT.
+struct AcceptResult {
+  AcceptStatus status = AcceptStatus::kSuccess;
+  std::uint32_t put_received = 0;  // requester->server bytes landed
+  std::uint32_t get_sent = 0;      // server->requester bytes shipped
+};
+
+}  // namespace soda

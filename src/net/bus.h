@@ -1,0 +1,161 @@
+// Broadcast bus model standing in for the CompuNet Megalink (§5.1): a
+// 1 Mbit/s shared medium with hardware CRC (a damaged frame is silently
+// discarded by the receiver's interface) and physical broadcast.
+//
+// Fault injection: uniform frame-loss probability and CRC-corruption
+// probability exercise the retransmission and Delta-t machinery the same
+// way collisions and line noise did on the real bus.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace soda::net {
+
+struct BusConfig {
+  /// Wire time per byte. 1 Mbit/s = 8 us/byte, as in the paper's Megalink.
+  sim::Duration us_per_byte = 8;
+  /// Fixed propagation + interface latency per frame.
+  sim::Duration propagation = 30;  // 30 us
+  /// Probability an individual frame is lost outright (collision model).
+  double loss_probability = 0.0;
+  /// Probability a frame arrives damaged; the receiving interface discards
+  /// it after the CRC check, so it still consumed wire time.
+  double corruption_probability = 0.0;
+  /// Extra random per-frame latency, uniform in [0, delivery_jitter]. A
+  /// broadcast bus delivers in order, but store-and-forward media (or
+  /// UDP) may not — jitter lets control frames overtake sequenced ones
+  /// and exercises the reordering tolerance of the protocol.
+  sim::Duration delivery_jitter = 0;
+};
+
+/// Receiver callback installed by a NIC.
+using FrameSink = std::function<void(const Frame&)>;
+
+class Bus {
+ public:
+  Bus(sim::Simulator& sim, BusConfig config) : sim_(sim), config_(config) {}
+  virtual ~Bus() = default;
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  /// Attach a station. Frames addressed to `mid` or to kBroadcastMid are
+  /// delivered to `sink` after serialization + propagation delay.
+  void attach(Mid mid, FrameSink sink) { stations_[mid] = std::move(sink); }
+
+  void detach(Mid mid) { stations_.erase(mid); }
+
+  /// Serialize a frame onto the bus. Each addressed receiver gets its own
+  /// independent loss/corruption draw (broadcast frames can reach a subset,
+  /// which is why the paper declines to make DISCOVER reliable, §3.4.4).
+  /// Virtual so alternative media (the posix/ UDP backend) can carry the
+  /// same kernels over real sockets.
+  virtual void send(Frame frame) {
+    const sim::Duration wire =
+        config_.propagation +
+        static_cast<sim::Duration>(frame.wire_size()) * config_.us_per_byte;
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketSent, frame.src,
+                        frame.describe());
+    ++frames_sent_;
+    bytes_sent_ += frame.wire_size();
+
+    auto deliver_to = [&](Mid mid) {
+      if (sim_.rng().chance(config_.loss_probability)) {
+        sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketDropped,
+                            mid, "lost: " + frame.describe());
+        ++frames_lost_;
+        return;
+      }
+      Frame copy = frame;
+      if (sim_.rng().chance(config_.corruption_probability)) {
+        copy.corrupted = true;  // receiver NIC discards after CRC check
+      }
+      sim::Duration jitter = 0;
+      if (config_.delivery_jitter > 0) {
+        jitter = sim_.rng().next_range(0, config_.delivery_jitter);
+      }
+      sim_.after(wire + jitter, [this, mid, f = std::move(copy)]() {
+        auto it = stations_.find(mid);
+        if (it == stations_.end()) return;  // station powered off
+        if (f.corrupted) {
+          sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketDropped,
+                              mid, "crc: " + f.describe());
+          ++frames_corrupted_;
+          return;
+        }
+        sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
+                            mid, f.describe());
+        it->second(f);
+      });
+    };
+
+    if (frame.dst == kBroadcastMid) {
+      for (const auto& [mid, sink] : stations_) {
+        if (mid != frame.src) deliver_to(mid);
+      }
+    } else {
+      deliver_to(frame.dst);
+    }
+  }
+
+  // --- statistics (used by tests and the bench harness) ---
+  std::size_t frames_sent() const { return frames_sent_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t frames_lost() const { return frames_lost_; }
+  std::size_t frames_corrupted() const { return frames_corrupted_; }
+  void reset_stats() {
+    frames_sent_ = bytes_sent_ = frames_lost_ = frames_corrupted_ = 0;
+  }
+
+  const BusConfig& config() const { return config_; }
+  void set_loss_probability(double p) { config_.loss_probability = p; }
+  void set_corruption_probability(double p) {
+    config_.corruption_probability = p;
+  }
+
+ protected:
+  /// For subclasses delivering frames that arrived from elsewhere.
+  void deliver_to_station(const Frame& f) {
+    auto it = stations_.find(f.dst);
+    if (f.dst == kBroadcastMid) {
+      for (const auto& [mid, sink] : stations_) {
+        if (mid != f.src) sink(f);
+      }
+      return;
+    }
+    if (it != stations_.end()) it->second(f);
+  }
+
+  /// Deliver a frame to one specific station's sink, leaving the frame's
+  /// own dst untouched (a per-station broadcast datagram keeps its
+  /// broadcast address so kernels can recognise DISCOVER queries).
+  void deliver_to_one(Mid station, const Frame& f) {
+    auto it = stations_.find(station);
+    if (it != stations_.end()) it->second(f);
+  }
+
+  bool station_attached(Mid mid) const { return stations_.count(mid) > 0; }
+  sim::Simulator& simulator() { return sim_; }
+  void count_sent(std::size_t bytes) {
+    ++frames_sent_;
+    bytes_sent_ += bytes;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  BusConfig config_;
+  std::unordered_map<Mid, FrameSink> stations_;
+  std::size_t frames_sent_ = 0;
+  std::size_t bytes_sent_ = 0;
+  std::size_t frames_lost_ = 0;
+  std::size_t frames_corrupted_ = 0;
+};
+
+}  // namespace soda::net

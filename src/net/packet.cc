@@ -1,0 +1,58 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace soda::net {
+
+const char* to_string(NackReason r) {
+  switch (r) {
+    case NackReason::kBusy: return "BUSY";
+    case NackReason::kUnadvertised: return "UNADVERTISED";
+    case NackReason::kCancelled: return "CANCELLED";
+    case NackReason::kCrashed: return "CRASHED";
+    case NackReason::kWrongClient: return "WRONG_CLIENT";
+  }
+  return "?";
+}
+
+std::string Frame::describe() const {
+  std::ostringstream os;
+  os << src << "->";
+  if (dst == kBroadcastMid) {
+    os << "*";
+  } else {
+    os << dst;
+  }
+  if (seq) os << " seq=" << static_cast<int>(*seq);
+  if (ack) os << " ACK(" << static_cast<int>(ack->seq) << ")";
+  if (nack) os << " NACK[" << to_string(nack->reason) << "]";
+  if (request) {
+    os << " REQ(tid=" << request->tid << ",put=" << request->put_size
+       << ",get=" << request->get_size
+       << (request->carries_data ? ",+data" : "") << ")";
+  }
+  if (accept) {
+    os << " ACC(tid=" << accept->tid
+       << (accept->carries_data ? ",+data" : "")
+       << (accept->needs_put_data ? ",want-data" : "") << ")";
+  }
+  if (probe) {
+    os << (probe->is_reply ? " PROBE_RE(" : " PROBE(") << probe->tid
+       << (probe->is_reply && probe->known ? ",known" : "") << ")";
+  }
+  if (discover) {
+    os << (discover->is_reply ? " DISC_RE" : " DISC");
+  }
+  if (cancel) {
+    os << (cancel->is_reply ? " CANCEL_RE(" : " CANCEL(") << cancel->tid
+       << (cancel->is_reply && cancel->ok ? ",ok" : "") << ")";
+  }
+  if (data_tag != DataTag::kNone) {
+    os << " DATA[" << data.size() << "b,"
+       << (data_tag == DataTag::kRequestData ? "req" : "acc") << "]";
+  }
+  if (data_ack != kNoTid) os << " DATA_ACK(" << data_ack << ")";
+  return os.str();
+}
+
+}  // namespace soda::net

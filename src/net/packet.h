@@ -1,0 +1,196 @@
+// Wire-frame model for the SODA kernel protocol.
+//
+// The paper's kernel exchanges composite packets: a single frame can carry
+// an alternating-bit ACK, a NACK, a REQUEST header, ACCEPT (completion)
+// information, and a data block — in whatever combination piggybacking
+// produced (§5.2.3: "REQUEST+DATA", "ACCEPT+ACK", "DATA+ACK", ...).
+// We model a frame as a struct of optional sections; wire_size() computes
+// the byte count the bus charges for serialization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace soda::net {
+
+/// Machine id. The paper gives MID 0 administrative privilege (§3.5.4).
+using Mid = std::int32_t;
+constexpr Mid kBroadcastMid = -1;
+
+/// Transaction id: unique per requester kernel across all time (§3.3.1).
+using Tid = std::int64_t;
+constexpr Tid kNoTid = -1;
+
+/// A PATTERN is a PATTERNSIZE-bit string (§3.4.1); 48 bits in the paper's
+/// implementation (§5.4). We keep the low 48 bits of a u64.
+using Pattern = std::uint64_t;
+constexpr int kPatternBits = 48;
+constexpr Pattern kPatternMask = (Pattern{1} << kPatternBits) - 1;
+
+/// Bit distinguishing RESERVED from CLIENT patterns (§3.4.3). Patterns with
+/// this bit set are bound to kernel routines and cannot be (un)advertised
+/// by clients.
+constexpr Pattern kReservedBit = Pattern{1} << (kPatternBits - 1);
+constexpr bool is_reserved_pattern(Pattern p) { return (p & kReservedBit) != 0; }
+
+/// Bit distinguishing GETUNIQUEID-generated patterns from well-known ones
+/// (§3.4.2: GETUNIQUEID returns fewer than PATTERNSIZE bits so a bit can be
+/// reserved to mark well-known names).
+constexpr Pattern kWellKnownBit = Pattern{1} << (kPatternBits - 2);
+
+struct ServerSignature {
+  Mid mid = kBroadcastMid;
+  Pattern pattern = 0;
+  bool operator==(const ServerSignature&) const = default;
+};
+
+struct RequesterSignature {
+  Mid mid = kBroadcastMid;
+  Tid tid = kNoTid;
+  bool operator==(const RequesterSignature&) const = default;
+};
+
+/// Why a NACK was sent.
+enum class NackReason : std::uint8_t {
+  kBusy,          // server handler BUSY/CLOSED; retry later (rate-adjusted)
+  kUnadvertised,  // pattern not advertised at the server
+  kCancelled,     // ACCEPT named a request that completed or was cancelled
+  kCrashed,       // ACCEPT named a request from a crashed/rebooted requester
+  kWrongClient,   // ACCEPT issued by a machine other than the REQUEST's server
+};
+
+const char* to_string(NackReason r);
+
+/// Alternating-bit acknowledgement for one direction of a connection.
+struct AckSection {
+  std::uint8_t seq = 0;  // the sequence bit being acknowledged
+};
+
+/// Negative acknowledgement. Busy NACKs refer to the offered REQUEST seq so
+/// the requester retries the same frame; error NACKs refer to a tid.
+struct NackSection {
+  NackReason reason = NackReason::kBusy;
+  std::uint8_t seq = 0;
+  Tid tid = kNoTid;
+};
+
+/// REQUEST header (§3.3.1): delivered to the server handler as the "tag".
+struct RequestSection {
+  Tid tid = kNoTid;
+  Pattern pattern = 0;       // pattern part of the server signature used
+  std::int32_t arg = 0;      // one-word argument
+  std::uint32_t put_size = 0;  // bytes requester wants to send
+  std::uint32_t get_size = 0;  // bytes requester wants to receive
+  bool carries_data = false;  // true when requester->server data rides along
+};
+
+/// ACCEPT / completion information (§3.3.2). `needs_put_data` tells the
+/// requester its REQUEST data did not survive (first transmission hit a
+/// BUSY handler and retransmissions omit data), so it must now send a DATA
+/// frame (the paper's 6-packet EXCHANGE scenario, §5.2.3).
+struct AcceptSection {
+  Tid tid = kNoTid;
+  std::int32_t arg = 0;
+  std::uint32_t put_transferred = 0;  // requester->server bytes the server took
+  std::uint32_t get_transferred = 0;  // server->requester bytes provided
+  bool needs_put_data = false;
+  bool carries_data = false;  // server->requester data rides along
+};
+
+/// Probe of a delivered-but-unaccepted request (§3.6.2).
+struct ProbeSection {
+  Tid tid = kNoTid;
+  bool is_reply = false;
+  bool known = false;  // reply: server still has the request pending
+};
+
+/// Broadcast DISCOVER query/reply (§3.4.4).
+struct DiscoverSection {
+  Pattern pattern = 0;
+  Tid tid = kNoTid;    // requester-side id of the discover operation
+  bool is_reply = false;
+};
+
+/// CANCEL of a delivered-but-unaccepted request (§3.3.3). The query is
+/// sequenced (the requester must know the outcome); the reply rides as a
+/// control frame.
+struct CancelSection {
+  Tid tid = kNoTid;
+  bool is_reply = false;
+  bool ok = false;  // reply: true = the request was revoked at the server
+};
+
+/// Which logical transfer a frame's data block belongs to.
+enum class DataTag : std::uint8_t {
+  kNone,
+  kRequestData,  // requester -> server (the PUT direction)
+  kAcceptData,   // server -> requester (the GET direction)
+};
+
+/// A composite wire frame.
+struct Frame {
+  Mid src = kBroadcastMid;
+  Mid dst = kBroadcastMid;
+
+  // Delta-t: every frame carries whether the sender considers the
+  // connection open, preventing stray piggybacked ACK interpretation
+  // (§5.2.3) and driving receiver-side record management.
+  bool conn_open = false;
+
+  // Sequencing: present on frames that consume an alternating bit.
+  std::optional<std::uint8_t> seq;
+
+  std::optional<AckSection> ack;
+  std::optional<NackSection> nack;
+  std::optional<RequestSection> request;
+  std::optional<AcceptSection> accept;
+  std::optional<ProbeSection> probe;
+  std::optional<DiscoverSection> discover;
+  std::optional<CancelSection> cancel;
+
+  DataTag data_tag = DataTag::kNone;
+  Tid data_tid = kNoTid;  // transaction a standalone data block belongs to
+  std::vector<std::byte> data;
+
+  /// Acknowledges receipt of a late DATA block for this transaction. Late
+  /// DATA travels outside the alternating-bit slot (it must not queue
+  /// behind a REQUEST that the blocked ACCEPT prevents from landing), so
+  /// it carries its own acknowledgement.
+  Tid data_ack = kNoTid;
+
+  bool corrupted = false;  // set by the bus when injecting a CRC error
+
+  /// True when this frame needs reliable (sequenced) delivery.
+  bool sequenced() const { return seq.has_value(); }
+
+  /// Bytes on the wire: fixed header plus per-section and payload bytes.
+  /// The constants approximate the paper's packet layout; the header
+  /// dominates the fixed per-packet wire time (~0.2 ms at 1 Mbit/s).
+  std::size_t wire_size() const {
+    std::size_t n = kHeaderBytes;
+    if (ack) n += 2;
+    if (nack) n += 4;
+    if (request) n += kRequestHeaderBytes;
+    if (accept) n += kAcceptHeaderBytes;
+    if (probe) n += 10;
+    if (discover) n += 10;
+    if (cancel) n += 10;
+    if (data_ack != kNoTid) n += 10;
+    n += data.size();
+    return n;
+  }
+
+  /// One-line description for traces.
+  std::string describe() const;
+
+  static constexpr std::size_t kHeaderBytes = 12;
+  static constexpr std::size_t kRequestHeaderBytes = 22;
+  static constexpr std::size_t kAcceptHeaderBytes = 18;
+};
+
+}  // namespace soda::net

@@ -1,0 +1,39 @@
+// Wire serialization of frames.
+//
+// The simulator passes Frame structs around directly; a real deployment
+// (the posix/ UDP backend, or hardware like the paper's Megalink) needs
+// bytes. The format is a tagged section layout mirroring the Frame
+// struct: fixed header, presence bitmap, then each present section in a
+// fixed order, then the data block. A Fletcher-16 checksum stands in for
+// the Megalink's CRC (§5.2.2): decode() rejects damaged buffers the way
+// the receiving interface silently discarded bad frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace soda::net {
+
+/// Serialize a frame. The encoding is self-contained and versioned.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parse a frame. Returns nullopt for short/corrupt/checksum-failing
+/// buffers (the hardware-CRC discard path).
+std::optional<Frame> decode_frame(const std::uint8_t* data,
+                                  std::size_t size);
+
+inline std::optional<Frame> decode_frame(
+    const std::vector<std::uint8_t>& buf) {
+  return decode_frame(buf.data(), buf.size());
+}
+
+/// The checksum used by the codec (exposed for tests).
+std::uint16_t fletcher16(const std::uint8_t* data, std::size_t size);
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint16_t kWireMagic = 0x50DA;
+
+}  // namespace soda::net

@@ -1,0 +1,136 @@
+#include "posix/udp_bus.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace soda::posix {
+
+UdpBus::UdpBus(sim::Simulator& sim) : net::Bus(sim, net::BusConfig{}) {}
+
+UdpBus::~UdpBus() {
+  for (auto& [mid, st] : sockets_) {
+    if (st.fd >= 0) ::close(st.fd);
+  }
+}
+
+bool UdpBus::open_station(net::Mid mid) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  // Bind to an ephemeral loopback port; record what we got.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockets_[mid] = Station{fd, ntohs(addr.sin_port)};
+  return true;
+}
+
+void UdpBus::send(net::Frame frame) {
+  const auto wire = net::encode_frame(frame);
+  auto send_to = [&](const Station& st) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(st.port);
+    // Send from the source's socket when we have one (any works on
+    // loopback; the frame itself names src/dst).
+    const auto src_it = sockets_.find(frame.src);
+    const int from_fd =
+        src_it != sockets_.end() ? src_it->second.fd : st.fd;
+    (void)::sendto(from_fd, wire.data(), wire.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    ++datagrams_out_;
+  };
+
+  count_sent(frame.wire_size());
+  if (frame.dst == net::kBroadcastMid) {
+    for (const auto& [mid, st] : sockets_) {
+      if (mid != frame.src) send_to(st);
+    }
+    return;
+  }
+  const auto it = sockets_.find(frame.dst);
+  if (it != sockets_.end()) send_to(it->second);
+}
+
+int UdpBus::pump() {
+  int delivered = 0;
+  std::uint8_t buf[65536];
+  for (auto& [mid, st] : sockets_) {
+    for (;;) {
+      const ssize_t n = ::recv(st.fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        break;  // EWOULDBLOCK or error: done with this socket
+      }
+      ++datagrams_in_;
+      if (drop_probability_ > 0.0 &&
+          simulator().rng().chance(drop_probability_)) {
+        ++dropped_;
+        continue;
+      }
+      auto frame = net::decode_frame(buf, static_cast<std::size_t>(n));
+      if (!frame) {
+        ++decode_failures_;  // the "CRC discard" path
+        continue;
+      }
+      // Deliver only if this socket's owner is the addressee (broadcast
+      // datagrams were fanned out one per station already, so each is
+      // consumed by exactly the socket it landed on).
+      if (frame->dst != mid && frame->dst != net::kBroadcastMid) continue;
+      simulator().trace().record(simulator().now(),
+                                 sim::TraceCategory::kPacketReceived, mid,
+                                 frame->describe());
+      deliver_to_one(mid, *frame);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+bool RealtimeRunner::run_until(std::function<bool()> until,
+                               std::chrono::milliseconds wall_budget) {
+  // Advance the simulated clock toward the scaled wall clock in small
+  // slices, pumping the sockets between slices: a datagram must be able
+  // to land within ~a simulated millisecond of its arrival or kernel
+  // retransmission timers fire spuriously at high speedups.
+  constexpr sim::Duration kSlice = 1 * sim::kMillisecond;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto wall_elapsed = std::chrono::duration_cast<
+        std::chrono::microseconds>(std::chrono::steady_clock::now() - start);
+    const auto sim_target = static_cast<sim::Time>(
+        static_cast<double>(wall_elapsed.count()) * speedup_);
+    while (sim_.now() < sim_target) {
+      sim_.run_until(std::min(sim_.now() + kSlice, sim_target));
+      if (bus_.pump() > 0) {
+        // Frames arrived: let the kernels react before time moves on.
+        sim_.run_until(sim_.now());
+      }
+      if (until()) return true;
+    }
+    bus_.pump();
+    if (until()) return true;
+    if (wall_elapsed > wall_budget) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace soda::posix

@@ -1,0 +1,91 @@
+// A real-socket medium for SODA: the same kernels, transport and SODAL
+// programs, but frames travel as UDP datagrams on the loopback interface
+// instead of through the simulated Megalink.
+//
+// This is the "systems-level IPC over sockets" realization: every node
+// gets its own bound UDP socket; send() wire-encodes the frame
+// (net/wire.h) and sendto()s it; a poll loop decodes arrivals and injects
+// them into the receiving kernel at the current simulated instant. The
+// RealtimeRunner advances the simulation clock against the wall clock
+// (optionally scaled), so kernel timers — retransmission, Delta-t record
+// expiry, probes — run in real time.
+//
+// UDP gives the same failure model the paper assumes of the Megalink:
+// datagrams may be dropped or reordered, never corrupted past the
+// checksum; the alternating-bit machinery recovers exactly as in the
+// simulator.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "net/bus.h"
+#include "net/wire.h"
+
+namespace soda::posix {
+
+class UdpBus final : public net::Bus {
+ public:
+  /// Creates the bus; call open_station() for every MID before use.
+  explicit UdpBus(sim::Simulator& sim);
+  ~UdpBus() override;
+
+  UdpBus(const UdpBus&) = delete;
+  UdpBus& operator=(const UdpBus&) = delete;
+
+  /// Bind a loopback UDP socket for `mid`. Returns false on socket
+  /// failure (tests skip gracefully).
+  bool open_station(net::Mid mid);
+
+  /// Encode and transmit over UDP (unicast, or one datagram per station
+  /// for broadcast — loopback needs no real multicast configuration).
+  void send(net::Frame frame) override;
+
+  /// Drain every socket; decode and deliver arrivals to the attached
+  /// sinks at the current simulated time. Returns frames delivered.
+  int pump();
+
+  std::size_t stations() const { return sockets_.size(); }
+  std::size_t datagrams_in() const { return datagrams_in_; }
+  std::size_t datagrams_out() const { return datagrams_out_; }
+  std::size_t decode_failures() const { return decode_failures_; }
+
+  /// Drop this fraction of incoming datagrams (failure injection on top
+  /// of whatever the real network does).
+  void set_drop_probability(double p) { drop_probability_ = p; }
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  struct Station {
+    int fd = -1;
+    std::uint16_t port = 0;
+  };
+  std::map<net::Mid, Station> sockets_;
+  std::size_t datagrams_in_ = 0;
+  std::size_t datagrams_out_ = 0;
+  std::size_t decode_failures_ = 0;
+  double drop_probability_ = 0.0;
+  std::size_t dropped_ = 0;
+};
+
+/// Drives a Simulator against the wall clock while pumping a UdpBus.
+class RealtimeRunner {
+ public:
+  /// speedup: how many simulated microseconds pass per wall microsecond
+  /// (100 = the 1984 hardware runs 100x faster than real time).
+  RealtimeRunner(sim::Simulator& sim, UdpBus& bus, double speedup = 50.0)
+      : sim_(sim), bus_(bus), speedup_(speedup) {}
+
+  /// Run until `until` returns true or `wall_budget` elapses. Returns
+  /// whether the predicate was satisfied.
+  bool run_until(std::function<bool()> until,
+                 std::chrono::milliseconds wall_budget);
+
+ private:
+  sim::Simulator& sim_;
+  UdpBus& bus_;
+  double speedup_;
+};
+
+}  // namespace soda::posix

@@ -1,0 +1,64 @@
+// Assembly of a SODA network over real UDP sockets: same Node/Kernel/
+// client code as core/network.h, different medium and a real-time clock.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/node.h"
+#include "posix/udp_bus.h"
+
+namespace soda::posix {
+
+class UdpNetwork {
+ public:
+  explicit UdpNetwork(std::uint64_t seed = 1, double speedup = 50.0)
+      : sim_(seed), bus_(sim_), runner_(sim_, bus_, speedup) {}
+
+  /// Add a node with its own loopback UDP socket. Throws when sockets are
+  /// unavailable (callers may catch and skip).
+  Node& add_node(NodeConfig config = {}) {
+    const auto mid = static_cast<net::Mid>(nodes_.size());
+    if (!bus_.open_station(mid)) {
+      throw std::runtime_error("cannot open UDP socket");
+    }
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, bus_, mid, std::move(config), uids_));
+    return *nodes_.back();
+  }
+
+  template <typename T, typename... Args>
+  T& spawn(NodeConfig config, Args&&... args) {
+    Node& n = add_node(std::move(config));
+    auto client = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *client;
+    n.install_client(std::move(client), n.mid());
+    return ref;
+  }
+
+  Node& node(net::Mid mid) { return *nodes_.at(static_cast<size_t>(mid)); }
+  sim::Simulator& sim() { return sim_; }
+  UdpBus& bus() { return bus_; }
+
+  /// Run in real time until `until` holds or the wall budget elapses.
+  bool run_until(std::function<bool()> until,
+                 std::chrono::milliseconds wall_budget) {
+    return runner_.run_until(std::move(until), wall_budget);
+  }
+
+  void check_clients() {
+    for (auto& n : nodes_) {
+      if (n->client()) n->client()->rethrow_error();
+    }
+  }
+
+ private:
+  sim::Simulator sim_;
+  UdpBus bus_;
+  RealtimeRunner runner_;
+  UniqueIdSource uids_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace soda::posix

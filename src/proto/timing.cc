@@ -1,0 +1,19 @@
+#include "proto/timing.h"
+
+namespace soda {
+
+const char* to_string(CostCategory c) {
+  switch (c) {
+    case CostCategory::kConnectionTimers: return "Connection Timers";
+    case CostCategory::kRetransmitTimers: return "Retransmit Timers";
+    case CostCategory::kContextSwitch: return "Context Switch";
+    case CostCategory::kTransmission: return "Transmission Time";
+    case CostCategory::kClientOverhead: return "Client Overhead";
+    case CostCategory::kProtocol: return "Protocol Time";
+    case CostCategory::kDataCopy: return "Data Copy";
+    case CostCategory::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace soda

@@ -1,0 +1,432 @@
+#include "proto/transport.h"
+
+#include <cassert>
+#include <utility>
+
+namespace soda::proto {
+
+using net::Frame;
+using net::Mid;
+using sim::TraceCategory;
+
+Transport::Transport(sim::Simulator& sim, net::Bus& bus, net::Mid mid,
+                     const TimingModel& timing, NodeCpu& cpu,
+                     TransportCallbacks callbacks)
+    : sim_(sim),
+      bus_(bus),
+      mid_(mid),
+      timing_(timing),
+      cpu_(cpu),
+      cb_(std::move(callbacks)) {
+  bus_.attach(mid_, [this](const Frame& f) { on_bus_frame(f); });
+}
+
+Transport::~Transport() { bus_.detach(mid_); }
+
+bool Transport::quarantined() const { return sim_.now() < rejoin_at_; }
+
+Transport::Record& Transport::record(Mid peer) {
+  auto [it, inserted] = records_.try_emplace(peer);
+  if (inserted) {
+    sim_.trace().record(sim_.now(), TraceCategory::kConnectionOpened, mid_,
+                        "record for peer " + std::to_string(peer));
+  }
+  return it->second;
+}
+
+void Transport::touch(Record& r, Mid peer) {
+  if (r.expiry_armed) sim_.cancel(r.expiry_timer);
+  r.expiry_armed = true;
+  const auto epoch = epoch_;
+  r.expiry_timer =
+      sim_.after(timing_.record_lifetime(), [this, peer, epoch]() {
+        if (stale(epoch)) return;
+        auto it = records_.find(peer);
+        if (it == records_.end()) return;
+        Record& rec = it->second;
+        rec.expiry_armed = false;
+        // Keep the record alive while traffic is still in progress; the
+        // retransmission budget will declare the peer dead first if it has
+        // actually vanished.
+        if (rec.outstanding || rec.ack_owed || !rec.queue.empty()) {
+          touch(rec, peer);
+          return;
+        }
+        drop_record(peer);
+      });
+}
+
+void Transport::drop_record(Mid peer) {
+  auto it = records_.find(peer);
+  if (it == records_.end()) return;
+  Record& r = it->second;
+  if (r.retransmit_armed) sim_.cancel(r.retransmit_timer);
+  if (r.ack_timer_armed) sim_.cancel(r.ack_timer);
+  if (r.expiry_armed) sim_.cancel(r.expiry_timer);
+  sim_.trace().record(sim_.now(), TraceCategory::kConnectionClosed, mid_,
+                      "record for peer " + std::to_string(peer) + " expired");
+  records_.erase(it);
+}
+
+void Transport::reset() {
+  ++epoch_;
+  for (auto& [peer, r] : records_) {
+    if (r.retransmit_armed) sim_.cancel(r.retransmit_timer);
+    if (r.ack_timer_armed) sim_.cancel(r.ack_timer);
+    if (r.expiry_armed) sim_.cancel(r.expiry_timer);
+  }
+  records_.clear();
+  rejoin_at_ = sim_.now() + timing_.crash_quarantine();
+}
+
+// ---------------------------------------------------------------- sending
+
+void Transport::send_sequenced(Mid peer, Frame frame, SendOptions opts) {
+  frame.src = mid_;
+  frame.dst = peer;
+  Record& r = record(peer);
+  frame.conn_open = true;
+  if (r.outstanding) {
+    if (opts.urgent) {
+      r.queue.emplace_front(std::move(frame), opts);
+    } else {
+      r.queue.emplace_back(std::move(frame), opts);
+    }
+    return;
+  }
+  frame.seq = r.send_bit;
+  r.outstanding = std::move(frame);
+  r.outstanding_opts = opts;
+  r.ack_attempts = 0;
+  r.busy_attempts = 0;
+  r.retransmitted_once = false;
+  transmit_outstanding(peer, r, /*is_retransmit=*/false);
+}
+
+void Transport::send_control(Mid peer, Frame frame, bool store_as_response) {
+  frame.src = mid_;
+  frame.dst = peer;
+  Record& r = record(peer);
+  frame.conn_open = true;
+  attach_pending_ack(peer, r, frame);
+  if (store_as_response) r.last_response = frame;
+  send_now(std::move(frame), /*sequenced_costs=*/false);
+}
+
+void Transport::broadcast(Frame frame) {
+  frame.src = mid_;
+  frame.dst = net::kBroadcastMid;
+  frame.conn_open = false;
+  send_now(std::move(frame), /*sequenced_costs=*/false);
+}
+
+void Transport::send_now(Frame f, bool sequenced_costs) {
+  if (quarantined()) return;  // a rebooted node stays silent (§5.2.2)
+  cpu_.charge(timing_.protocol_send, CostCategory::kProtocol);
+  cpu_.charge(timing_.conn_timer_send, CostCategory::kConnectionTimers);
+  if (sequenced_costs) {
+    cpu_.charge(timing_.retransmit_timer, CostCategory::kRetransmitTimers);
+  }
+  sim::Duration copy = 0;
+  if (!f.data.empty()) {
+    copy = static_cast<sim::Duration>(f.data.size()) * timing_.copy_per_byte;
+  }
+  const auto epoch = epoch_;
+  cpu_.run(copy, CostCategory::kDataCopy, [this, epoch, f = std::move(f)]() {
+    if (stale(epoch)) return;
+    bus_.send(f);
+  });
+}
+
+void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
+  assert(r.outstanding);
+  Frame f = *r.outstanding;  // copy: the stored frame may be stripped below
+  if (is_retransmit) {
+    ++retransmits_;
+    sim_.trace().record(sim_.now(), TraceCategory::kRetransmit, mid_,
+                        f.describe());
+    if (r.outstanding_opts.strip_data_on_retransmit && !r.retransmitted_once) {
+      // "A REQUEST is only sent with data one time" (§5.2.3): later copies
+      // go out bare and the server asks for the data after ACCEPTing.
+      r.retransmitted_once = true;
+      if (!r.outstanding->data.empty() &&
+          r.outstanding->data_tag == net::DataTag::kRequestData) {
+        r.outstanding->data.clear();
+        r.outstanding->data_tag = net::DataTag::kNone;
+        if (r.outstanding->request) r.outstanding->request->carries_data = false;
+        f = *r.outstanding;
+      }
+    }
+  }
+  attach_pending_ack(peer, r, f);
+  ++r.ack_attempts;
+  const sim::Duration size_allowance =
+      static_cast<sim::Duration>(f.data.size()) * timing_.retransmit_per_byte +
+      r.outstanding_opts.response_allowance;
+  send_now(std::move(f), /*sequenced_costs=*/true);
+  arm_retransmit(peer, r,
+                 timing_.retransmit_interval + size_allowance +
+                     sim_.rng().next_range(0, timing_.retransmit_jitter));
+}
+
+void Transport::arm_retransmit(Mid peer, Record& r, sim::Duration delay) {
+  disarm_retransmit(r);
+  r.retransmit_armed = true;
+  const auto epoch = epoch_;
+  r.retransmit_timer = sim_.after(delay, [this, peer, epoch]() {
+    if (stale(epoch)) return;
+    auto it = records_.find(peer);
+    if (it == records_.end()) return;
+    Record& rec = it->second;
+    rec.retransmit_armed = false;
+    if (!rec.outstanding) return;
+    if (rec.ack_attempts > timing_.max_ack_retries) {
+      // Retransmission budget exhausted: declare the peer crashed. The
+      // record must be advanced *before* the callback: a client reacting
+      // to the failure may synchronously send a new frame to this peer,
+      // which must not be clobbered by our own bookkeeping.
+      Frame dead = std::move(*rec.outstanding);
+      rec.outstanding.reset();
+      clear_outstanding_and_advance(peer, rec);
+      sim_.trace().record(sim_.now(), TraceCategory::kCrashDetected, mid_,
+                          "peer " + std::to_string(peer) + " silent");
+      cb_.on_failed(peer, dead, net::NackReason::kCrashed);
+      return;
+    }
+    transmit_outstanding(peer, rec, /*is_retransmit=*/true);
+  });
+}
+
+void Transport::disarm_retransmit(Record& r) {
+  if (r.retransmit_armed) {
+    sim_.cancel(r.retransmit_timer);
+    r.retransmit_armed = false;
+  }
+}
+
+void Transport::clear_outstanding_and_advance(Mid peer, Record& r) {
+  r.outstanding.reset();
+  r.retransmitted_once = false;
+  r.busy_attempts = 0;
+  r.ack_attempts = 0;
+  if (!r.queue.empty()) {
+    auto [f, opts] = std::move(r.queue.front());
+    r.queue.pop_front();
+    f.seq = r.send_bit;
+    r.outstanding = std::move(f);
+    r.outstanding_opts = opts;
+    transmit_outstanding(peer, r, /*is_retransmit=*/false);
+  }
+}
+
+// ------------------------------------------------------------ ack plumbing
+
+void Transport::owe_ack(Mid peer, Record& r, std::uint8_t seq) {
+  r.ack_owed = true;
+  r.ack_seq = seq;
+  if (r.ack_timer_armed) sim_.cancel(r.ack_timer);
+  r.ack_timer_armed = true;
+  const auto epoch = epoch_;
+  r.ack_timer = sim_.after(timing_.ack_delay_window, [this, peer, epoch]() {
+    if (stale(epoch)) return;
+    flush_ack(peer);
+  });
+}
+
+void Transport::attach_pending_ack(Mid, Record& r, Frame& f) {
+  if (!r.ack_owed) return;
+  f.ack = net::AckSection{r.ack_seq};
+  r.ack_owed = false;
+  if (r.ack_timer_armed) {
+    sim_.cancel(r.ack_timer);
+    r.ack_timer_armed = false;
+  }
+}
+
+void Transport::flush_ack(Mid peer) {
+  auto it = records_.find(peer);
+  if (it == records_.end()) return;
+  Record& r = it->second;
+  r.ack_timer_armed = false;
+  if (!r.ack_owed) return;
+  Frame f;
+  f.src = mid_;
+  f.dst = peer;
+  f.conn_open = true;
+  attach_pending_ack(peer, r, f);
+  r.last_response = f;  // replay on duplicate
+  send_now(std::move(f), /*sequenced_costs=*/false);
+}
+
+void Transport::accept_held(const net::Frame& frame) {
+  Record& r = record(frame.src);
+  touch(r, frame.src);
+  r.has_recv = true;
+  r.last_recv_seq = *frame.seq;
+  r.last_response.reset();
+  owe_ack(frame.src, r, *frame.seq);
+  cb_.deliver(frame);
+}
+
+void Transport::reject_held(const net::Frame& frame) {
+  Frame nackf;
+  nackf.nack = net::NackSection{net::NackReason::kBusy, *frame.seq,
+                                net::kNoTid};
+  send_control(frame.src, std::move(nackf));
+}
+
+// --------------------------------------------------------------- receiving
+
+void Transport::on_bus_frame(const Frame& f) {
+  if (quarantined()) return;  // the interface is silent after a crash
+  cpu_.charge(timing_.protocol_recv, CostCategory::kProtocol);
+  cpu_.charge(timing_.conn_timer_recv, CostCategory::kConnectionTimers);
+  sim::Duration copy = 0;
+  if (!f.data.empty()) {
+    copy = static_cast<sim::Duration>(f.data.size()) * timing_.copy_per_byte;
+  }
+  const auto epoch = epoch_;
+  cpu_.run(copy, CostCategory::kDataCopy, [this, epoch, f]() {
+    if (stale(epoch)) return;
+    process_frame(f);
+  });
+}
+
+void Transport::process_frame(Frame f) {
+  // Broadcast queries carry no connection state; hand straight to the
+  // kernel (DISCOVER handling) without touching records.
+  if (f.dst == net::kBroadcastMid) {
+    cb_.deliver(f);
+    return;
+  }
+
+  Record& r = record(f.src);
+  touch(r, f.src);
+
+  if (f.sequenced()) {
+    // The sequenced section goes first so that any response it provokes
+    // (an immediate ACCEPT, a DATA frame) can carry the ACK we now owe —
+    // and so that a piggybacked REQUEST meets the handler state *before*
+    // the ACK completes the server's blocking ACCEPT, exactly the busy
+    // encounter the paper's packet counts assume (§5.2.3).
+    process_sequenced(f.src, r, f);
+    if (f.ack) process_ack(f.src, r, f);
+    if (f.nack) process_nack(f.src, r, f);
+    return;
+  }
+
+  if (f.ack) process_ack(f.src, r, f);
+  if (f.nack) process_nack(f.src, r, f);
+  if (f.accept || f.probe || f.discover || f.cancel ||
+      f.data_tag != net::DataTag::kNone || f.data_ack != net::kNoTid) {
+    cb_.deliver(f);
+  }
+}
+
+void Transport::process_ack(Mid peer, Record& r, const Frame& f) {
+  if (!r.outstanding) return;                       // stale/duplicate ack
+  if (f.ack->seq != *r.outstanding->seq) return;    // not ours
+  disarm_retransmit(r);
+  Frame sent = std::move(*r.outstanding);
+  r.send_bit ^= 1;
+  clear_outstanding_and_advance(peer, r);
+  cb_.on_acked(peer, sent);
+}
+
+void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
+  if (!r.outstanding) return;
+  if (f.nack->seq != *r.outstanding->seq) return;
+  ++busy_nacks_;
+  if (f.nack->reason == net::NackReason::kBusy) {
+    // The peer is alive but its handler is unavailable: retry at the
+    // slower busy pace (§5.2.2: "the rate of REQUEST retransmission
+    // decreases with the number of retransmission attempts").
+    r.ack_attempts = 0;  // we heard from the peer; it is not dead
+    // The offered data block was discarded by the busy peer.
+    if (r.outstanding_opts.strip_data_on_retransmit &&
+        !r.outstanding->data.empty() &&
+        r.outstanding->data_tag == net::DataTag::kRequestData) {
+      r.retransmitted_once = true;
+      r.outstanding->data.clear();
+      r.outstanding->data_tag = net::DataTag::kNone;
+      if (r.outstanding->request) r.outstanding->request->carries_data = false;
+    }
+    const sim::Duration pace =
+        std::min(timing_.busy_retry_interval +
+                     timing_.busy_retry_growth * r.busy_attempts,
+                 timing_.busy_retry_max);
+    ++r.busy_attempts;
+    arm_retransmit(peer, r, pace);
+    return;
+  }
+  // Error NACK: the operation this frame carried has failed.
+  disarm_retransmit(r);
+  Frame sent = std::move(*r.outstanding);
+  r.send_bit ^= 1;  // the peer consumed our frame even though it refused it
+  const net::NackReason reason = f.nack->reason;
+  clear_outstanding_and_advance(peer, r);
+  cb_.on_failed(peer, sent, reason);
+}
+
+void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
+  if (r.has_recv && f.seq == r.last_recv_seq) {
+    // Duplicate: the peer missed our acknowledgement. Re-answer from
+    // connection state (§5.2.3).
+    if (r.last_response) {
+      Frame replay = *r.last_response;
+      send_now(std::move(replay), /*sequenced_costs=*/false);
+    } else if (r.outstanding && r.outstanding->ack &&
+               r.outstanding->ack->seq == *f.seq) {
+      // Our own in-flight sequenced frame already carries the ack; let the
+      // retransmission machinery re-deliver it rather than double-acking.
+    } else {
+      Frame ackf;
+      ackf.conn_open = true;
+      ackf.ack = net::AckSection{*f.seq};
+      ackf.src = mid_;
+      ackf.dst = peer;
+      r.last_response = ackf;
+      send_now(std::move(ackf), /*sequenced_costs=*/false);
+    }
+    return;
+  }
+
+  DispositionResult d = cb_.classify(f);
+  switch (d.disposition) {
+    case Disposition::kDeliver: {
+      r.has_recv = true;
+      r.last_recv_seq = *f.seq;
+      r.last_response.reset();
+      owe_ack(peer, r, *f.seq);
+      cb_.deliver(f);
+      break;
+    }
+    case Disposition::kBusy: {
+      Frame nackf;
+      nackf.nack = net::NackSection{net::NackReason::kBusy, *f.seq,
+                                    net::kNoTid};
+      send_control(peer, std::move(nackf));
+      break;
+    }
+    case Disposition::kHold: {
+      // No response at all: the frame sits in the kernel's input buffer.
+      // The peer's retransmission timer is the backstop if we never get
+      // around to it.
+      break;
+    }
+    case Disposition::kError: {
+      // An error NACK consumes the frame: the peer flips its bit and the
+      // operation fails. Record the seq as seen so a duplicate in flight
+      // does not fail twice.
+      r.has_recv = true;
+      r.last_recv_seq = *f.seq;
+      r.last_response.reset();
+      Frame nackf;
+      nackf.nack = net::NackSection{d.error, *f.seq, d.nack_tid};
+      send_control(peer, std::move(nackf), /*store_as_response=*/true);
+      break;
+    }
+  }
+}
+
+}  // namespace soda::proto

@@ -1,0 +1,89 @@
+// A deterministic discrete-event queue.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break on a monotone sequence number), which keeps
+// simulation runs reproducible regardless of heap implementation details.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace soda::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute time `at`. Returns an id usable with
+  /// cancel(). `at` must not be in the past relative to the last popped
+  /// event (enforced by Simulator, not here).
+  EventId schedule(Time at, std::function<void()> fn) {
+    EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn), false});
+    ++live_;
+    return id;
+  }
+
+  /// Cancel a previously scheduled event. Cancelling an event that already
+  /// ran (or was already cancelled) is a harmless no-op.
+  void cancel(EventId id) {
+    if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
+    if (!cancelled_[id]) {
+      cancelled_[id] = true;
+      if (live_ > 0) --live_;
+    }
+  }
+
+  bool empty() const { return live_ == 0; }
+
+  /// Earliest pending event time; only valid when !empty().
+  Time next_time() {
+    skip_cancelled();
+    return heap_.top().at;
+  }
+
+  /// Pop and return the earliest pending event. Only valid when !empty().
+  std::pair<Time, std::function<void()>> pop() {
+    skip_cancelled();
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    --live_;
+    return {e.at, std::move(e.fn)};
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+    bool tombstone;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      const Entry& e = heap_.top();
+      if (e.id < cancelled_.size() && cancelled_[e.id]) {
+        heap_.pop();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<bool> cancelled_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace soda::sim

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random source for the simulator.
+//
+// One generator per simulation keeps runs reproducible from a single seed;
+// components draw from it through the Simulator so event interleavings do
+// not perturb each other's streams more than the simulated causality does.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace soda::sim {
+
+/// SplitMix64 — tiny, fast, and statistically adequate for backoff jitter,
+/// loss injection, and victim selection. Not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(next_u64()) /
+               static_cast<double>(std::numeric_limits<std::uint64_t>::max()) <
+           p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace soda::sim

@@ -1,0 +1,86 @@
+// The discrete-event simulator that stands in for the paper's testbed of
+// eight bare PDP-11/23s on a 1 Mbit broadcast bus (§5.1).
+//
+// All components (bus, NICs, SODA kernels, clients) share one Simulator:
+// they read the clock, schedule callbacks, draw randomness, and record
+// traces through it. Running the simulator to quiescence executes the
+// whole distributed system deterministically.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace soda::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+  Trace& trace() { return trace_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now.
+  EventId after(Duration delay, std::function<void()> fn) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute simulated time (must be >= now()).
+  EventId at(Time when, std::function<void()> fn) {
+    if (when < now_) throw std::logic_error("scheduling into the past");
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run events until the queue drains or `deadline` is reached (whichever
+  /// first). Returns the number of events executed.
+  std::size_t run_until(Time deadline) {
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  /// Run until the event queue is empty. Guards against runaway protocols
+  /// with an event-count limit.
+  std::size_t run(std::size_t max_events = 100'000'000) {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      step();
+      if (++n > max_events) throw std::runtime_error("simulation runaway");
+    }
+    return n;
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  void step() {
+    auto [at, fn] = queue_.pop();
+    assert(at >= now_);
+    now_ = at;
+    fn();
+  }
+
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  Trace trace_;
+};
+
+}  // namespace soda::sim

@@ -1,0 +1,27 @@
+#include "sim/trace.h"
+
+namespace soda::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kPacketSent: return "packet_sent";
+    case TraceCategory::kPacketReceived: return "packet_received";
+    case TraceCategory::kPacketDropped: return "packet_dropped";
+    case TraceCategory::kHandlerInvoked: return "handler_invoked";
+    case TraceCategory::kHandlerEnded: return "handler_ended";
+    case TraceCategory::kRequestIssued: return "request_issued";
+    case TraceCategory::kRequestCompleted: return "request_completed";
+    case TraceCategory::kAcceptIssued: return "accept_issued";
+    case TraceCategory::kAcceptCompleted: return "accept_completed";
+    case TraceCategory::kConnectionOpened: return "connection_opened";
+    case TraceCategory::kConnectionClosed: return "connection_closed";
+    case TraceCategory::kCrashDetected: return "crash_detected";
+    case TraceCategory::kRetransmit: return "retransmit";
+    case TraceCategory::kProbe: return "probe";
+    case TraceCategory::kBoot: return "boot";
+    case TraceCategory::kOther: return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace soda::sim

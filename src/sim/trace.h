@@ -1,0 +1,78 @@
+// Structured trace sink for simulator events.
+//
+// Traces serve three purposes: debugging protocol state machines, feeding
+// the Delta-t timeline bench (bench_deltat_timeline reproduces the paper's
+// "Typical Delta-t Situations" figure from trace records), and asserting
+// packet counts in tests without reaching into kernel internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace soda::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kPacketSent,
+  kPacketReceived,
+  kPacketDropped,     // lost or CRC-discarded on the bus
+  kHandlerInvoked,
+  kHandlerEnded,
+  kRequestIssued,
+  kRequestCompleted,
+  kAcceptIssued,
+  kAcceptCompleted,
+  kConnectionOpened,  // Delta-t record created
+  kConnectionClosed,  // Delta-t record timed out
+  kCrashDetected,
+  kRetransmit,
+  kProbe,
+  kBoot,
+  kOther,
+};
+
+const char* to_string(TraceCategory c);
+
+struct TraceEvent {
+  Time at = 0;
+  TraceCategory category = TraceCategory::kOther;
+  int node = -1;        // MID of the node the event happened on, -1 = n/a
+  std::string detail;   // free-form, human-readable
+};
+
+/// Collects trace events. Collection is opt-in per category set so that the
+/// hot path stays cheap when tracing is off.
+class Trace {
+ public:
+  void enable_all() { mask_ = ~0ull; }
+  void enable(TraceCategory c) { mask_ |= bit(c); }
+  void disable_all() { mask_ = 0; }
+  bool enabled(TraceCategory c) const { return (mask_ & bit(c)) != 0; }
+
+  void record(Time at, TraceCategory c, int node, std::string detail) {
+    if (enabled(c)) events_.push_back({at, c, node, std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Count events in a category, optionally filtered by node.
+  std::size_t count(TraceCategory c, int node = -1) const {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.category == c && (node < 0 || e.node == node)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t bit(TraceCategory c) {
+    return 1ull << static_cast<unsigned>(c);
+  }
+  std::uint64_t mask_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace soda::sim

@@ -1,0 +1,221 @@
+// The connector (§4.3.1, load-time interconnection): "a linkage editor
+// which, instead of tightly linking separate modules together, links them
+// loosely by establishing entry points used for intermodule
+// communication" — as in Charlotte and Arachne.
+//
+// The paper's connector patches pattern placeholders in core images. Our
+// core images are registered program names (see DESIGN.md), so the
+// connector delivers the wiring at initialization time instead — the
+// alternative the paper itself offers: "the connector may provide
+// specific signatures at client initialization time by sending REQUESTS
+// containing signatures to the clients."
+//
+// Protocol: every connectable client advertises kConnectorConfigPattern;
+// the connector boots each module on a discovered free machine, then
+// PUTs a directory of <service name, MID, PATTERN> records to each.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sodal/blocking.h"
+#include "sodal/util.h"
+
+namespace soda::sodal {
+
+constexpr Pattern kConnectorConfigPattern = kWellKnownBit | 0xC0DF;
+
+/// Directory wire format: repeated records of
+///   [u32 name_len][name bytes][u32 mid][u64 pattern]
+inline Bytes encode_directory(
+    const std::map<std::string, ServerSignature>& dir) {
+  Bytes out;
+  for (const auto& [name, sig] : dir) {
+    Bytes len = encode_u32(static_cast<std::uint32_t>(name.size()));
+    Bytes nm = to_bytes(name);
+    Bytes mid = encode_u32(static_cast<std::uint32_t>(sig.mid));
+    Bytes pat = encode_u64(sig.pattern);
+    out.insert(out.end(), len.begin(), len.end());
+    out.insert(out.end(), nm.begin(), nm.end());
+    out.insert(out.end(), mid.begin(), mid.end());
+    out.insert(out.end(), pat.begin(), pat.end());
+  }
+  return out;
+}
+
+inline std::map<std::string, ServerSignature> decode_directory(
+    const Bytes& b) {
+  std::map<std::string, ServerSignature> dir;
+  std::size_t at = 0;
+  while (at + 4 <= b.size()) {
+    const std::uint32_t len = decode_u32(b, at);
+    at += 4;
+    if (at + len + 12 > b.size()) break;
+    std::string name = to_string(Bytes(
+        b.begin() + static_cast<std::ptrdiff_t>(at),
+        b.begin() + static_cast<std::ptrdiff_t>(at + len)));
+    at += len;
+    const Mid mid = static_cast<Mid>(decode_u32(b, at));
+    at += 4;
+    const Pattern pat = decode_u64(b, at) & kPatternMask;
+    at += 8;
+    dir[name] = ServerSignature{mid, pat};
+  }
+  return dir;
+}
+
+/// Base class for modules a Connector can wire together. Subclasses
+/// advertise their service pattern in connected_boot() and read peers
+/// from peers() once wired() fires.
+class ConnectedClient : public SodalClient {
+ public:
+  sim::Task on_boot(Mid parent) final {
+    advertise(kConnectorConfigPattern);
+    co_await connected_boot(parent);
+  }
+
+  /// Subclass boot hook.
+  virtual sim::Task connected_boot(Mid) { co_return; }
+
+  sim::Task on_entry(HandlerArgs a) final {
+    if (a.invoked_pattern == kConnectorConfigPattern) {
+      Bytes dir;
+      auto r = co_await accept_current_put(0, &dir, a.put_size);
+      if (r.status == AcceptStatus::kSuccess) {
+        peers_ = decode_directory(dir);
+        wired_ = true;
+        wired_cv_.notify_all();
+      }
+      co_return;
+    }
+    co_await connected_entry(a);
+  }
+
+  /// Subclass handler hook for everything that is not connector traffic.
+  virtual sim::Task connected_entry(HandlerArgs) {
+    co_await reject_current();
+  }
+
+  /// Await the connector's directory.
+  sim::Future<sim::Unit> wired() {
+    if (wired_) {
+      sim::Promise<sim::Unit> p;
+      p.set(sim::Unit{});
+      return p.future();
+    }
+    return wait_on(wired_cv_);
+  }
+
+  bool is_wired() const { return wired_; }
+  const std::map<std::string, ServerSignature>& peers() const {
+    return peers_;
+  }
+  ServerSignature peer(const std::string& name) const {
+    auto it = peers_.find(name);
+    return it == peers_.end() ? ServerSignature{kBroadcastMid, 0}
+                              : it->second;
+  }
+
+ private:
+  std::map<std::string, ServerSignature> peers_;
+  bool wired_ = false;
+  sim::CondVar wired_cv_;
+};
+
+/// The connector process: boots `modules` (program name -> exported
+/// service name/pattern) on free machines, then distributes the complete
+/// directory to every module.
+class Connector : public SodalClient {
+ public:
+  struct Module {
+    std::string program;    // registered core-image name to boot
+    std::string service;    // name the module is published under
+    Pattern pattern;        // pattern the module will advertise
+  };
+
+  explicit Connector(std::vector<Module> modules)
+      : modules_(std::move(modules)) {}
+
+  sim::Task on_task() override {
+    // 1. Find enough free machines.
+    Bytes mids;
+    discover_request(Kernel::kDefaultBootPattern, &mids,
+                     static_cast<std::uint32_t>(4 * modules_.size() + 16));
+    co_await delay(k().config().timing.discover_window +
+                   20 * sim::kMillisecond);
+    std::vector<Mid> free;
+    for (std::size_t i = 0; i + 4 <= mids.size(); i += 4) {
+      free.push_back(static_cast<Mid>(decode_u32(mids, i)));
+    }
+    if (free.size() < modules_.size()) {
+      failed_ = true;
+      done_ = true;
+      done_cv_.notify_all();
+      co_return;
+    }
+
+    // 2. Boot each module via the LOAD protocol (§3.5.2) and record its
+    //    signature in the directory.
+    std::map<std::string, ServerSignature> dir;
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      const Mid target = free[i];
+      Bytes load_b;
+      auto c = co_await b_get(
+          ServerSignature{target, Kernel::kDefaultBootPattern}, 0, &load_b,
+          8);
+      if (!c.ok() || load_b.size() < 8) {
+        failed_ = true;
+        break;
+      }
+      const Pattern load = decode_u64(load_b) & kPatternMask;
+      c = co_await b_put(ServerSignature{target, load}, 0,
+                         to_bytes(modules_[i].program));
+      if (!c.ok()) {
+        failed_ = true;
+        break;
+      }
+      c = co_await b_signal(ServerSignature{target, load}, 0);
+      if (!c.ok()) {
+        failed_ = true;
+        break;
+      }
+      dir[modules_[i].service] =
+          ServerSignature{target, modules_[i].pattern};
+      booted_.push_back(target);
+    }
+
+    // 3. Distribute the directory (modules accept it on the well-known
+    //    config pattern they advertised at boot).
+    if (!failed_) {
+      const Bytes wire = encode_directory(dir);
+      for (Mid m : booted_) {
+        auto c = co_await b_put(
+            ServerSignature{m, kConnectorConfigPattern}, 0, wire);
+        if (!c.ok()) failed_ = true;
+      }
+    }
+    directory_ = std::move(dir);
+    done_ = true;
+    done_cv_.notify_all();
+    co_await park_forever();
+  }
+
+  bool done() const { return done_; }
+  bool failed() const { return failed_; }
+  const std::vector<Mid>& booted() const { return booted_; }
+  const std::map<std::string, ServerSignature>& directory() const {
+    return directory_;
+  }
+  sim::CondVar& done_cv() { return done_cv_; }
+
+ private:
+  std::vector<Module> modules_;
+  std::vector<Mid> booted_;
+  std::map<std::string, ServerSignature> directory_;
+  bool done_ = false;
+  bool failed_ = false;
+  sim::CondVar done_cv_;
+};
+
+}  // namespace soda::sodal

@@ -1,0 +1,233 @@
+// A hierarchical name service (§6.14): SODA deliberately keeps kernel
+// naming to exact fixed-length patterns; "more complex naming strategies
+// (such as name hierarchies or name retrieval within a given environment)
+// can be provided by a name server client." This is that client: a
+// directory tree of "/"-separated paths bound to <MID, PATTERN>
+// signatures, with bind/resolve/list/unbind operations.
+//
+// Wire protocol on the well-known pattern (argument = opcode):
+//   1 BIND    PUT  "path\0" + 12-byte signature
+//   2 RESOLVE PUT  "path"            (stage 1 of lookup)
+//   3 FETCH   GET  12-byte signature (stage 2; REJECTed when unbound)
+//   4 LIST    PUT  "path"            (stage 1 of listing)
+//   5 LISTGET GET  "child1\nchild2\n..." (stage 2)
+//   6 UNBIND  PUT  "path"
+// Two-stage lookups follow the RPC discipline (§4.2.2): SODA cannot
+// inspect the first buffer before sending the second in one ACCEPT.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sodal/blocking.h"
+#include "sodal/util.h"
+
+namespace soda::sodal {
+
+constexpr Pattern kNameServerPattern = kWellKnownBit | 0x4A3E;
+
+class NameServer : public SodalClient {
+ public:
+  explicit NameServer(Pattern pattern = kNameServerPattern)
+      : pattern_(pattern) {}
+
+  sim::Task on_boot(Mid) override {
+    advertise(pattern_);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    if (a.invoked_pattern != pattern_) co_return;
+    switch (a.arg) {
+      case 1: {  // BIND
+        Bytes payload;
+        auto r = co_await accept_current_put(0, &payload, a.put_size);
+        if (r.status != AcceptStatus::kSuccess || payload.size() < 13) break;
+        const std::string path = to_string(
+            Bytes(payload.begin(), payload.end() - 12));
+        Bytes sig(payload.end() - 12, payload.end());
+        bindings_[normalize(path)] = sig;
+        break;
+      }
+      case 2: {  // RESOLVE (stage 1)
+        Bytes path;
+        auto r = co_await accept_current_put(0, &path, a.put_size);
+        if (r.status == AcceptStatus::kSuccess) {
+          staged_[a.asker.mid] = normalize(to_string(path));
+        }
+        break;
+      }
+      case 3: {  // FETCH (stage 2)
+        auto sit = staged_.find(a.asker.mid);
+        if (sit == staged_.end()) {
+          co_await reject_current();
+          break;
+        }
+        auto bit = bindings_.find(sit->second);
+        staged_.erase(sit);
+        if (bit == bindings_.end()) {
+          co_await reject_current();
+          break;
+        }
+        Bytes sig = bit->second;
+        co_await accept_current_get(0, std::move(sig));
+        break;
+      }
+      case 4: {  // LIST (stage 1)
+        Bytes path;
+        auto r = co_await accept_current_put(0, &path, a.put_size);
+        if (r.status == AcceptStatus::kSuccess) {
+          staged_[a.asker.mid] = normalize(to_string(path));
+        }
+        break;
+      }
+      case 5: {  // LISTGET (stage 2)
+        auto sit = staged_.find(a.asker.mid);
+        if (sit == staged_.end()) {
+          co_await reject_current();
+          break;
+        }
+        const std::string prefix =
+            sit->second.empty() ? "" : sit->second + "/";
+        staged_.erase(sit);
+        std::set<std::string> children;
+        for (const auto& [path, sig] : bindings_) {
+          if (path.rfind(prefix, 0) != 0) continue;
+          const std::string rest = path.substr(prefix.size());
+          if (rest.empty()) continue;
+          children.insert(rest.substr(0, rest.find('/')));
+        }
+        std::string listing;
+        for (const auto& c : children) {
+          listing += c;
+          listing += '\n';
+        }
+        co_await accept_current_get(
+            static_cast<std::int32_t>(children.size()),
+            to_bytes(listing));
+        break;
+      }
+      case 6: {  // UNBIND
+        Bytes path;
+        auto r = co_await accept_current_put(0, &path, a.put_size);
+        if (r.status == AcceptStatus::kSuccess) {
+          bindings_.erase(normalize(to_string(path)));
+        }
+        break;
+      }
+      default:
+        co_await reject_current();
+    }
+    co_return;
+  }
+
+  std::size_t bindings() const { return bindings_.size(); }
+
+ private:
+  static std::string normalize(std::string p) {
+    // strip leading/trailing slashes; collapse doubles
+    std::string out;
+    bool slash = true;
+    for (char c : p) {
+      if (c == '/') {
+        if (!slash) out += '/';
+        slash = true;
+      } else {
+        out += c;
+        slash = false;
+      }
+    }
+    if (!out.empty() && out.back() == '/') out.pop_back();
+    return out;
+  }
+
+  Pattern pattern_;
+  std::map<std::string, Bytes> bindings_;
+  std::map<Mid, std::string> staged_;
+};
+
+// ---- client-side helpers ----
+
+inline sim::Future<Completion> ns_bind(SodalClient& c, ServerSignature ns,
+                                       const std::string& path,
+                                       ServerSignature sig) {
+  Bytes payload = to_bytes(path);
+  Bytes m = encode_u32(static_cast<std::uint32_t>(sig.mid));
+  Bytes p = encode_u64(sig.pattern);
+  payload.insert(payload.end(), m.begin(), m.end());
+  payload.insert(payload.end(), p.begin(), p.end());
+  return c.b_put(ns, 1, std::move(payload));
+}
+
+inline sim::Future<Completion> ns_unbind(SodalClient& c, ServerSignature ns,
+                                         const std::string& path) {
+  return c.b_put(ns, 6, to_bytes(path));
+}
+
+namespace detail {
+inline sim::Task ns_resolve_loop(SodalClient& c, ServerSignature ns,
+                                 std::string path,
+                                 sim::Promise<ServerSignature> pr) {
+  Completion done = co_await c.b_put(ns, 2, to_bytes(path));
+  if (!done.ok()) {
+    pr.set(ServerSignature{kBroadcastMid, 0});
+    co_return;
+  }
+  Bytes sig;
+  done = co_await c.b_get(ns, 3, &sig, 12);
+  if (!done.ok() || sig.size() < 12) {
+    pr.set(ServerSignature{kBroadcastMid, 0});
+    co_return;
+  }
+  pr.set(ServerSignature{static_cast<Mid>(decode_u32(sig, 0)),
+                         decode_u64(sig, 4) & kPatternMask});
+}
+
+inline sim::Task ns_list_loop(SodalClient& c, ServerSignature ns,
+                              std::string path,
+                              sim::Promise<std::vector<std::string>> pr) {
+  std::vector<std::string> names;
+  Completion done = co_await c.b_put(ns, 4, to_bytes(path));
+  if (done.ok()) {
+    Bytes listing;
+    done = co_await c.b_get(ns, 5, &listing, 2000);
+    if (done.ok()) {
+      std::string cur;
+      for (auto b : listing) {
+        const char ch = static_cast<char>(std::to_integer<unsigned char>(b));
+        if (ch == '\n') {
+          if (!cur.empty()) names.push_back(cur);
+          cur.clear();
+        } else {
+          cur += ch;
+        }
+      }
+    }
+  }
+  pr.set(std::move(names));
+}
+}  // namespace detail
+
+/// Resolve a path to a signature (mid == kBroadcastMid when unbound).
+inline sim::Future<ServerSignature> ns_resolve(SodalClient& c,
+                                               ServerSignature ns,
+                                               const std::string& path) {
+  sim::Promise<ServerSignature> pr;
+  auto fut = pr.future();
+  fut.set_executor(c.executor_for_current_context());
+  detail::ns_resolve_loop(c, ns, path, pr).detach();
+  return fut;
+}
+
+/// List the immediate children of a directory path.
+inline sim::Future<std::vector<std::string>> ns_list(
+    SodalClient& c, ServerSignature ns, const std::string& path) {
+  sim::Promise<std::vector<std::string>> pr;
+  auto fut = pr.future();
+  fut.set_executor(c.executor_for_current_context());
+  detail::ns_list_loop(c, ns, path, pr).detach();
+  return fut;
+}
+
+}  // namespace soda::sodal

@@ -1,0 +1,40 @@
+// The SODAL bounded QUEUE type (§4.1.4) with the paper's six operations.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace soda::sodal {
+
+template <typename T>
+class Queue {
+ public:
+  explicit Queue(std::size_t capacity) : capacity_(capacity) {}
+
+  void enqueue(T item) {
+    if (is_full()) throw std::overflow_error("sodal::Queue overflow");
+    items_.push_back(std::move(item));
+  }
+
+  T dequeue() {
+    if (is_empty()) throw std::underflow_error("sodal::Queue underflow");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  bool is_empty() const { return items_.empty(); }
+  bool is_full() const { return items_.size() >= capacity_; }
+  bool almost_empty() const { return items_.size() == 1; }
+  bool almost_full() const { return items_.size() + 1 == capacity_; }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace soda::sodal

@@ -1,0 +1,89 @@
+// Remote memory reference (§4.2.3, §6.17.2): PEEK and POKE on another
+// node's memory, built directly on GET and PUT. The server binds one
+// well-known entry point; the REQUEST argument carries the address and
+// the buffer size carries the extent. CLOSE/OPEN around the handler give
+// mutual exclusion for critical sections.
+#pragma once
+
+#include "sodal/blocking.h"
+
+namespace soda::sodal {
+
+class RemoteMemoryServer : public SodalClient {
+ public:
+  RemoteMemoryServer(Pattern entry, std::size_t memory_bytes)
+      : entry_(entry), memory_(memory_bytes) {}
+
+  sim::Task on_boot(Mid) override {
+    advertise(entry_);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    if (a.invoked_pattern != entry_) co_return;
+    const std::size_t addr = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(a.arg));
+    if (a.put_size > 0) {
+      // POKE: install the incoming bytes at `addr`.
+      if (addr + a.put_size > memory_.size()) {
+        co_await reject_current();
+        co_return;
+      }
+      Bytes incoming;
+      auto r = co_await accept_current_put(0, &incoming, a.put_size);
+      if (r.status == AcceptStatus::kSuccess) {
+        std::copy(incoming.begin(), incoming.end(),
+                  memory_.begin() + static_cast<std::ptrdiff_t>(addr));
+        ++pokes_;
+      }
+    } else if (a.get_size > 0) {
+      // PEEK: return `get_size` bytes from `addr`.
+      if (addr + a.get_size > memory_.size()) {
+        co_await reject_current();
+        co_return;
+      }
+      Bytes chunk(memory_.begin() + static_cast<std::ptrdiff_t>(addr),
+                  memory_.begin() +
+                      static_cast<std::ptrdiff_t>(addr + a.get_size));
+      co_await accept_current_get(0, std::move(chunk));
+      ++peeks_;
+    } else {
+      // Bare SIGNAL: treat as a test-and-set on byte 0 (the synchronization
+      // primitive §4.2.3 calls for). Returns the old value in the ACCEPT
+      // argument and sets the byte.
+      const std::int32_t old = std::to_integer<std::int32_t>(memory_[0]);
+      memory_[0] = std::byte{1};
+      co_await accept_current_signal(old);
+    }
+    co_return;
+  }
+
+  Bytes& memory() { return memory_; }
+  std::size_t peeks() const { return peeks_; }
+  std::size_t pokes() const { return pokes_; }
+
+ private:
+  Pattern entry_;
+  Bytes memory_;
+  std::size_t peeks_ = 0;
+  std::size_t pokes_ = 0;
+};
+
+// Requester-side PEEK / POKE / TEST_AND_SET helpers, awaitable from any
+// SodalClient coroutine.
+inline sim::Future<Completion> peek(SodalClient& c, ServerSignature rmr,
+                                    std::uint32_t addr, Bytes* into,
+                                    std::uint32_t size) {
+  return c.b_get(rmr, static_cast<std::int32_t>(addr), into, size);
+}
+inline sim::Future<Completion> poke(SodalClient& c, ServerSignature rmr,
+                                    std::uint32_t addr, Bytes value) {
+  return c.b_put(rmr, static_cast<std::int32_t>(addr), std::move(value));
+}
+/// Returns the previous value of the lock byte via Completion::arg.
+inline sim::Future<Completion> test_and_set(SodalClient& c,
+                                            ServerSignature rmr) {
+  return c.b_signal(rmr, 0);
+}
+
+}  // namespace soda::sodal

@@ -1,0 +1,2 @@
+// The SODAL runtime is header-only; this TU anchors the library target.
+#include "sodal/sodal.h"

@@ -1,0 +1,17 @@
+// Umbrella header for the SODAL runtime library (chapter 4).
+#pragma once
+
+#include "sodal/blocking.h"
+#include "sodal/connector.h"
+#include "sodal/csp.h"
+#include "sodal/links.h"
+#include "sodal/multicast.h"
+#include "sodal/multiprog.h"
+#include "sodal/nameserver.h"
+#include "sodal/port.h"
+#include "sodal/queue.h"
+#include "sodal/rmr.h"
+#include "sodal/rpc.h"
+#include "sodal/switchboard.h"
+#include "sodal/timeserver.h"
+#include "sodal/util.h"

@@ -1,0 +1,62 @@
+// The timeserver utility (§4.3.2, §4.4.3): SODA has no timeouts in its
+// primitives, so an impatient client registers a wakeup REQUEST with a
+// timeserver before starting a slow interaction; when the alarm expires
+// the timeserver ACCEPTs the wakeup, the client's completion handler
+// fires, and the client may CANCEL its other outstanding requests.
+#pragma once
+
+#include <map>
+
+#include "sodal/blocking.h"
+
+namespace soda::sodal {
+
+/// Well-known pattern for the standard time service.
+constexpr Pattern kAlarmClockPattern = kWellKnownBit | 0x7717;
+
+class TimeServer : public SodalClient {
+ public:
+  explicit TimeServer(Pattern pattern = kAlarmClockPattern)
+      : pattern_(pattern) {}
+
+  sim::Task on_boot(Mid) override {
+    advertise(pattern_);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    if (a.invoked_pattern != pattern_) co_return;
+    // The REQUEST argument is the delay in milliseconds.
+    const auto delay_ms = static_cast<sim::Duration>(a.arg < 0 ? 0 : a.arg);
+    const RequesterSignature who = a.asker;
+    ++armed_;
+    sim().after(delay_ms * sim::kMillisecond, [this, who]() {
+      fire(who).detach();
+    });
+    co_return;
+  }
+
+  std::size_t armed() const { return armed_; }
+  std::size_t fired() const { return fired_; }
+
+ private:
+  sim::Task fire(RequesterSignature who) {
+    auto r = co_await accept_signal(who, 0);
+    if (r.status == AcceptStatus::kSuccess) ++fired_;
+    // CANCELLED means the client cancelled its wakeup in time — normal.
+  }
+
+  Pattern pattern_;
+  std::size_t armed_ = 0;
+  std::size_t fired_ = 0;
+};
+
+/// Requester-side helper: arm a wakeup; the returned TID identifies the
+/// alarm's completion in the handler and can be CANCELled if the awaited
+/// event beats the clock.
+inline Tid arm_alarm(SodalClient& c, ServerSignature timeserver,
+                     std::int32_t delay_ms) {
+  return c.signal(timeserver, delay_ms);
+}
+
+}  // namespace soda::sodal

@@ -1,0 +1,65 @@
+// Small byte-buffer helpers shared by SODAL programs, tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace soda::sodal {
+
+inline Bytes to_bytes(const std::string& s) {
+  Bytes b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    b[i] = static_cast<std::byte>(s[i]);
+  }
+  return b;
+}
+
+inline std::string to_string(const Bytes& b) {
+  std::string s(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    s[i] = static_cast<char>(std::to_integer<unsigned char>(b[i]));
+  }
+  return s;
+}
+
+inline Bytes encode_u32(std::uint32_t v) {
+  Bytes b(4);
+  for (int i = 0; i < 4; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+  return b;
+}
+
+inline std::uint32_t decode_u32(const Bytes& b, std::size_t at = 0) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4 && at + i < b.size(); ++i) {
+    v |= std::to_integer<std::uint32_t>(b[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline Bytes encode_u64(std::uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+  return b;
+}
+
+inline std::uint64_t decode_u64(const Bytes& b, std::size_t at = 0) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8 && at + i < b.size(); ++i) {
+    v |= std::to_integer<std::uint64_t>(b[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline Bytes filled(std::size_t n, std::uint8_t value = 0xAB) {
+  return Bytes(n, static_cast<std::byte>(value));
+}
+
+}  // namespace soda::sodal

@@ -1,0 +1,317 @@
+// Integration tests for the programmed examples of §4.4: bounded buffers,
+// four-way buffer, readers-writers, file service.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/network.h"
+
+namespace soda::apps {
+namespace {
+
+using sodal::to_bytes;
+using sodal::to_string;
+
+TEST(BoundedBuffer, SingleProducerAllItemsInOrder) {
+  Network net;
+  std::vector<std::int32_t> seqs;
+  net.spawn<BufferConsumer>(NodeConfig{}, 4, 8, sim::kMillisecond,
+                            [&](std::int32_t s, const Bytes&) {
+                              seqs.push_back(s);
+                            });
+  auto& prod = net.spawn<BufferProducer>(NodeConfig{}, 25, 32);
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(prod.done());
+  ASSERT_EQ(seqs.size(), 25u);
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(seqs[static_cast<size_t>(i)], i);
+}
+
+TEST(BoundedBuffer, BackpressureWithSlowConsumer) {
+  // A consumer 10x slower than the producer: flow control must hold every
+  // item, and the consumer's buffers never overrun (Queue throws if so).
+  Network net;
+  int got = 0;
+  auto& cons = net.spawn<BufferConsumer>(
+      NodeConfig{}, 3, 4, 20 * sim::kMillisecond,
+      [&](std::int32_t, const Bytes&) { ++got; });
+  auto& prod = net.spawn<BufferProducer>(NodeConfig{}, 20, 16,
+                                         sim::kMillisecond);
+  net.run_for(120 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(prod.done());
+  EXPECT_EQ(got, 20);
+  EXPECT_EQ(cons.consumed(), 20);
+}
+
+TEST(BoundedBuffer, TwoProducersNothingLost) {
+  Network net;
+  int got = 0;
+  net.spawn<BufferConsumer>(NodeConfig{}, 4, 8, 2 * sim::kMillisecond,
+                            [&](std::int32_t, const Bytes&) { ++got; });
+  auto& p1 = net.spawn<BufferProducer>(NodeConfig{}, 15, 16);
+  auto& p2 = net.spawn<BufferProducer>(NodeConfig{}, 15, 16);
+  net.run_for(120 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(p1.done());
+  EXPECT_TRUE(p2.done());
+  EXPECT_EQ(got, 30);
+}
+
+TEST(BoundedBuffer, DataIntegrity) {
+  Network net;
+  bool all_match = true;
+  net.spawn<BufferConsumer>(
+      NodeConfig{}, 4, 8, sim::kMillisecond,
+      [&](std::int32_t seq, const Bytes& data) {
+        for (std::size_t b = 0; b < data.size(); ++b) {
+          if (data[b] != static_cast<std::byte>((seq + static_cast<int>(b)) &
+                                                0xFF)) {
+            all_match = false;
+          }
+        }
+      });
+  net.spawn<BufferProducer>(NodeConfig{}, 10, 64);
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(all_match);
+}
+
+TEST(FourWayBuffer, AllBytesRelayedBothWays) {
+  Network net;
+  Device d0;
+  d0.to_produce = 30;
+  Device d1;
+  d1.to_produce = 30;
+  auto& r0 = net.spawn<RelayClient>(NodeConfig{}, 1, d0, 8);
+  auto& r1 = net.spawn<RelayClient>(NodeConfig{}, 0, d1, 8);
+  net.run_for(120 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(r0.relay_finished());
+  EXPECT_TRUE(r1.relay_finished());
+  // Everything one side produced reaches the other side's device output.
+  EXPECT_EQ(r0.device().received.size() + r0.buffered(), 30u);
+  EXPECT_EQ(r1.device().received.size() + r1.buffered(), 30u);
+}
+
+TEST(FourWayBuffer, FlowControlEngagesWithSlowDrain) {
+  Network net;
+  Device fast;
+  fast.to_produce = 40;
+  fast.in_interval = sim::kMillisecond;       // produces fast
+  Device slow;
+  slow.to_produce = 0;
+  slow.out_interval = 30 * sim::kMillisecond;  // drains slowly
+  auto& producer = net.spawn<RelayClient>(NodeConfig{}, 1, fast, 6);
+  auto& drainer = net.spawn<RelayClient>(NodeConfig{}, 0, slow, 6);
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  // The producing device must have been stopped at least once, and the
+  // receiver's queue never exceeded its bound (Queue would have thrown).
+  EXPECT_TRUE(producer.relay_finished());
+  EXPECT_LE(drainer.buffered(), 6u);
+  net.run_for(600 * sim::kSecond);
+  EXPECT_EQ(drainer.device().received.size(), 40u);  // all eventually out
+  (void)producer;
+}
+
+TEST(ReadersWriters, ExclusionInvariantHolds) {
+  Network net;
+  DatabaseProbe db;
+  net.spawn<Moderator>(NodeConfig{});
+  std::vector<ReaderClient*> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.push_back(&net.spawn<ReaderClient>(NodeConfig{}, 0, &db, 10));
+  }
+  std::vector<WriterClient*> writers;
+  for (int i = 0; i < 2; ++i) {
+    writers.push_back(&net.spawn<WriterClient>(NodeConfig{}, 0, &db, 6));
+  }
+  net.run_for(300 * sim::kSecond);
+  net.check_clients();
+  EXPECT_FALSE(db.violation);
+  for (auto* r : readers) EXPECT_TRUE(r->done);
+  for (auto* w : writers) EXPECT_TRUE(w->done);
+  EXPECT_EQ(db.total_reads, 30);
+  EXPECT_EQ(db.total_writes, 12);
+  EXPECT_EQ(db.readers_inside, 0);
+  EXPECT_EQ(db.writers_inside, 0);
+}
+
+TEST(ReadersWriters, ReadersOverlap) {
+  // With several readers and long reads, concurrency must actually occur
+  // (otherwise the moderator would be a mutex, not a readers lock).
+  Network net;
+  DatabaseProbe db;
+  net.spawn<Moderator>(NodeConfig{});
+  for (int i = 0; i < 4; ++i) {
+    net.spawn<ReaderClient>(NodeConfig{}, 0, &db, 8,
+                            40 * sim::kMillisecond);
+  }
+  net.run_for(300 * sim::kSecond);
+  net.check_clients();
+  EXPECT_FALSE(db.violation);
+  EXPECT_GE(db.max_readers_inside, 2);
+}
+
+TEST(ReadersWriters, WritersNotStarved) {
+  Network net;
+  DatabaseProbe db;
+  net.spawn<Moderator>(NodeConfig{});
+  for (int i = 0; i < 3; ++i) {
+    net.spawn<ReaderClient>(NodeConfig{}, 0, &db, 40,
+                            10 * sim::kMillisecond);
+  }
+  auto& w = net.spawn<WriterClient>(NodeConfig{}, 0, &db, 5,
+                                    10 * sim::kMillisecond);
+  net.run_for(300 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(w.done);  // the writer finished despite constant readers
+  EXPECT_FALSE(db.violation);
+}
+
+TEST(FileService, WriteReadBack) {
+  Network net;
+  Disk disk;
+  net.spawn<FileServer>(NodeConfig{}, &disk);
+  class Driver : public sodal::SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto fh = co_await fs_open(*this, 0, "notes.txt");
+      EXPECT_TRUE(fh.valid());
+      auto c = co_await fs_write(*this, fh, to_bytes("hello, disk"));
+      EXPECT_TRUE(c.ok());
+      co_await fs_seek(*this, fh, 0);
+      Bytes back;
+      c = co_await fs_read(*this, fh, &back, 64);
+      EXPECT_TRUE(c.ok());
+      text = to_string(back);
+      co_await fs_close(*this, fh);
+      done = true;
+      co_await park_forever();
+    }
+    std::string text;
+    bool done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.text, "hello, disk");
+  EXPECT_TRUE(disk.exists("notes.txt"));
+}
+
+TEST(FileService, PartialFinalChunk) {
+  // Reading past EOF returns a short chunk, not an error (§4.1.2).
+  Network net;
+  Disk disk;
+  disk.file("short") = to_bytes("abc");
+  net.spawn<FileServer>(NodeConfig{}, &disk);
+  class Driver : public sodal::SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto fh = co_await fs_open(*this, 0, "short");
+      Bytes chunk;
+      auto c = co_await fs_read(*this, fh, &chunk, 100);
+      got = c.get_done;
+      ok = c.ok();
+      done = true;
+      co_await park_forever();
+    }
+    std::uint32_t got = 0;
+    bool ok = false, done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_TRUE(d.ok);
+  EXPECT_EQ(d.got, 3u);
+}
+
+TEST(FileService, IndependentCursorsPerOpen) {
+  Network net;
+  Disk disk;
+  disk.file("shared") = to_bytes("0123456789");
+  net.spawn<FileServer>(NodeConfig{}, &disk);
+  class Driver : public sodal::SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto a = co_await fs_open(*this, 0, "shared");
+      auto b = co_await fs_open(*this, 0, "shared");
+      Bytes ba, bb;
+      co_await fs_read(*this, a, &ba, 4);  // cursor A at 4
+      co_await fs_read(*this, b, &bb, 2);  // cursor B at 2
+      first = to_string(ba);
+      second = to_string(bb);
+      Bytes ba2;
+      co_await fs_read(*this, a, &ba2, 2);
+      third = to_string(ba2);
+      done = true;
+      co_await park_forever();
+    }
+    std::string first, second, third;
+    bool done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.first, "0123");
+  EXPECT_EQ(d.second, "01");
+  EXPECT_EQ(d.third, "45");
+}
+
+TEST(FileService, DiscoverableByWellKnownPattern) {
+  Network net;
+  net.add_node();
+  Disk disk;
+  net.spawn<FileServer>(NodeConfig{}, &disk);  // MID 1
+  class Driver : public sodal::SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto sig = co_await discover(kFileServerPattern);
+      fs_mid = sig.mid;
+      auto fh = co_await fs_open(*this, fs_mid, "found");
+      ok = fh.valid();
+      done = true;
+      co_await park_forever();
+    }
+    Mid fs_mid = kBroadcastMid;
+    bool ok = false, done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.fs_mid, 1);
+  EXPECT_TRUE(d.ok);
+}
+
+TEST(FileService, ClosedDescriptorRejected) {
+  Network net;
+  Disk disk;
+  net.spawn<FileServer>(NodeConfig{}, &disk);
+  class Driver : public sodal::SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto fh = co_await fs_open(*this, 0, "f");
+      co_await fs_close(*this, fh);
+      Bytes b;
+      auto c = co_await fs_read(*this, fh, &b, 4);
+      status = c.status;
+      done = true;
+      co_await park_forever();
+    }
+    CompletionStatus status = CompletionStatus::kCompleted;
+    bool done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // The fd pattern was unadvertised at close: the request fails.
+  EXPECT_EQ(d.status, CompletionStatus::kUnadvertised);
+}
+
+}  // namespace
+}  // namespace soda::apps

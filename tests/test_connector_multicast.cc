@@ -1,0 +1,288 @@
+// The connector (§4.3.1), reliable multicast and bidding (§6.17).
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda::sodal {
+namespace {
+
+constexpr Pattern kSvcA = kWellKnownBit | 0xA10;
+constexpr Pattern kSvcB = kWellKnownBit | 0xA11;
+constexpr Pattern kBid = kWellKnownBit | 0xA12;
+
+/// A connectable module that, once wired, pings its named peer.
+class Module : public ConnectedClient {
+ public:
+  Module(Pattern my_pattern, std::string peer_name)
+      : my_pattern_(my_pattern), peer_name_(std::move(peer_name)) {}
+
+  sim::Task connected_boot(Mid) override {
+    advertise(my_pattern_);
+    co_return;
+  }
+
+  sim::Task connected_entry(HandlerArgs a) override {
+    if (a.invoked_pattern == my_pattern_) {
+      ++pings_received;
+      co_await accept_current_signal(0);
+      co_return;
+    }
+    co_await reject_current();
+  }
+
+  sim::Task on_task() override {
+    co_await wired();
+    if (!peer_name_.empty()) {
+      auto sig = peer(peer_name_);
+      if (sig.mid != kBroadcastMid) {
+        auto c = co_await b_signal(sig, 0);
+        ping_ok = c.ok();
+      }
+    }
+    task_done = true;
+    co_await park_forever();
+  }
+
+  Pattern my_pattern_;
+  std::string peer_name_;
+  int pings_received = 0;
+  bool ping_ok = false;
+  bool task_done = false;
+};
+
+TEST(ConnectorTest, BootsAndWiresModules) {
+  Network net;
+  static Module* mod_a = nullptr;
+  static Module* mod_b = nullptr;
+  mod_a = mod_b = nullptr;
+
+  // Two free machines with registered programs.
+  for (int i = 0; i < 2; ++i) {
+    Node& n = net.add_node();
+    n.register_program("mod_a", [] {
+      auto m = std::make_unique<Module>(kSvcA, "service_b");
+      mod_a = m.get();
+      return m;
+    });
+    n.register_program("mod_b", [] {
+      auto m = std::make_unique<Module>(kSvcB, "service_a");
+      mod_b = m.get();
+      return m;
+    });
+  }
+  auto& conn = net.spawn<Connector>(
+      NodeConfig{},
+      std::vector<Connector::Module>{{"mod_a", "service_a", kSvcA},
+                                     {"mod_b", "service_b", kSvcB}});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+
+  ASSERT_TRUE(conn.done());
+  EXPECT_FALSE(conn.failed());
+  EXPECT_EQ(conn.booted().size(), 2u);
+  ASSERT_NE(mod_a, nullptr);
+  ASSERT_NE(mod_b, nullptr);
+  EXPECT_TRUE(mod_a->is_wired());
+  EXPECT_TRUE(mod_b->is_wired());
+  // Both modules found each other through the directory and pinged.
+  EXPECT_TRUE(mod_a->ping_ok);
+  EXPECT_TRUE(mod_b->ping_ok);
+  EXPECT_EQ(mod_a->pings_received, 1);
+  EXPECT_EQ(mod_b->pings_received, 1);
+}
+
+TEST(ConnectorTest, FailsCleanlyWithoutEnoughMachines) {
+  Network net;
+  net.add_node();  // one free machine, two modules wanted
+  auto& conn = net.spawn<Connector>(
+      NodeConfig{},
+      std::vector<Connector::Module>{{"x", "sx", kSvcA}, {"y", "sy", kSvcB}});
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(conn.done());
+  EXPECT_TRUE(conn.failed());
+}
+
+TEST(DirectoryCodec, RoundTrip) {
+  std::map<std::string, ServerSignature> dir{
+      {"alpha", {3, 0x123}}, {"beta", {7, kWellKnownBit | 0x99}}};
+  auto decoded = decode_directory(encode_directory(dir));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded["alpha"].mid, 3);
+  EXPECT_EQ(decoded["alpha"].pattern, 0x123u);
+  EXPECT_EQ(decoded["beta"].mid, 7);
+}
+
+// ---- multicast ----
+
+class GroupMember : public SodalClient {
+ public:
+  explicit GroupMember(bool rejecting = false) : rejecting_(rejecting) {}
+  sim::Task on_boot(Mid) override {
+    advertise(kSvcA);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs a) override {
+    if (rejecting_) {
+      co_await reject_current();
+      co_return;
+    }
+    Bytes in;
+    auto r = co_await accept_current_put(0, &in, a.put_size);
+    if (r.status == AcceptStatus::kSuccess) {
+      ++received;
+      last = in;
+    }
+  }
+  bool rejecting_;
+  int received = 0;
+  Bytes last;
+};
+
+TEST(Multicast, ReachesEveryMember) {
+  Network net;
+  std::vector<GroupMember*> members;
+  for (int i = 0; i < 4; ++i) {
+    members.push_back(&net.spawn<GroupMember>(NodeConfig{}));
+  }
+  class Sender : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      std::vector<ServerSignature> group;
+      for (Mid m = 0; m < 4; ++m) group.push_back({m, kSvcA});
+      result = co_await multicast(*this, group, 0, to_bytes("fanout"));
+      done = true;
+      co_await park_forever();
+    }
+    MulticastResult result;
+    bool done = false;
+  };
+  auto& s = net.spawn<Sender>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(s.done);
+  EXPECT_TRUE(s.result.all_delivered(4));
+  for (auto* m : members) {
+    EXPECT_EQ(m->received, 1);
+    EXPECT_EQ(to_string(m->last), "fanout");
+  }
+}
+
+TEST(Multicast, ReportsPerMemberOutcomes) {
+  Network net;
+  net.spawn<GroupMember>(NodeConfig{});                      // accepts
+  net.spawn<GroupMember>(NodeConfig{}, /*rejecting=*/true);  // rejects
+  net.add_node();                                            // dead: no client
+  class Sender : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      std::vector<ServerSignature> group{{0, kSvcA}, {1, kSvcA}, {2, kSvcA}};
+      result = co_await multicast(*this, group, 0, to_bytes("x"));
+      done = true;
+      co_await park_forever();
+    }
+    MulticastResult result;
+    bool done = false;
+  };
+  auto& s = net.spawn<Sender>(NodeConfig{});
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(s.done);
+  EXPECT_EQ(s.result.delivered, 1);
+  EXPECT_EQ(s.result.rejected, 1);
+  EXPECT_EQ(s.result.failed, 1);
+  EXPECT_TRUE(s.result.completions[0].ok());
+  EXPECT_TRUE(s.result.completions[1].rejected());
+  EXPECT_FALSE(s.result.completions[2].ok());
+}
+
+TEST(Multicast, EmptyGroupResolvesImmediately) {
+  Network net;
+  class Sender : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      result = co_await multicast(*this, {}, 0, {});
+      done = true;
+      co_await park_forever();
+    }
+    MulticastResult result;
+    bool done = false;
+  };
+  auto& s = net.spawn<Sender>(NodeConfig{});
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(s.done);
+  EXPECT_EQ(s.result.delivered, 0);
+}
+
+// ---- bidding ----
+
+TEST(Bidding, PicksLeastLoadedServer) {
+  Network net;
+  auto& s0 = net.spawn<BiddingServer>(NodeConfig{}, kSvcA, kBid);
+  auto& s1 = net.spawn<BiddingServer>(NodeConfig{}, kSvcA, kBid);
+  auto& s2 = net.spawn<BiddingServer>(NodeConfig{}, kSvcA, kBid);
+  s0.set_load(10);
+  s1.set_load(2);
+  s2.set_load(7);
+  class Chooser : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      choice = co_await pick_least_loaded(*this, kSvcA, kBid);
+      done = true;
+      co_await park_forever();
+    }
+    ServerSignature choice{kBroadcastMid, 0};
+    bool done = false;
+  };
+  auto& c = net.spawn<Chooser>(NodeConfig{});
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_EQ(c.choice.mid, 1);
+  EXPECT_EQ(c.choice.pattern, kSvcA);
+}
+
+TEST(Bidding, NoServersYieldsBroadcastMid) {
+  Network net;
+  class Chooser : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      choice = co_await pick_least_loaded(*this, kSvcA, kBid);
+      done = true;
+      co_await park_forever();
+    }
+    ServerSignature choice{0, 0};
+    bool done = false;
+  };
+  auto& c = net.spawn<Chooser>(NodeConfig{});
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_EQ(c.choice.mid, kBroadcastMid);
+}
+
+TEST(Bidding, LoadGrowsWithService) {
+  Network net;
+  auto& srv = net.spawn<BiddingServer>(NodeConfig{}, kSvcA, kBid);
+  class User : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      for (int i = 0; i < 5; ++i) {
+        co_await b_signal(ServerSignature{0, kSvcA}, 0);
+      }
+      done = true;
+      co_await park_forever();
+    }
+    bool done = false;
+  };
+  auto& u = net.spawn<User>(NodeConfig{});
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(u.done);
+  EXPECT_EQ(srv.load(), 5u);
+}
+
+}  // namespace
+}  // namespace soda::sodal

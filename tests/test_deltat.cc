@@ -1,0 +1,190 @@
+// Delta-t protocol properties (§5.2.2): window arithmetic, the N-1 bound
+// on connection records, sequence-number safety across reboots, and the
+// quarantine discipline.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda {
+namespace {
+
+using sodal::SodalClient;
+
+constexpr Pattern kP = kWellKnownBit | 0x900;
+
+TEST(DeltaT, WindowArithmetic) {
+  TimingModel t;
+  // delta-t = MPL + R + A, per the protocol definition.
+  EXPECT_EQ(t.delta_t(), t.mpl + t.retransmit_span() + t.max_ack_delay());
+  // Record lifetime exceeds the whole retransmission budget: a record
+  // cannot expire while its peer could still legally retransmit.
+  EXPECT_GT(t.record_lifetime(), t.retransmit_span());
+  // The quarantine covers the record lifetime: by the time a rebooted
+  // node speaks, every peer has forgotten its old sequence numbers.
+  EXPECT_GE(t.crash_quarantine() + t.mpl, t.record_lifetime());
+}
+
+class Echo : public SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kP);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs a) override {
+    Bytes in;
+    co_await accept_current_exchange(0, &in, a.put_size, {});
+    ++served;
+  }
+  int served = 0;
+};
+
+class Caller : public SodalClient {
+ public:
+  explicit Caller(std::vector<Mid> servers) : servers_(std::move(servers)) {}
+  sim::Task on_task() override {
+    for (Mid m : servers_) {
+      auto c = co_await b_put(ServerSignature{m, kP}, 0,
+                              Bytes(4, std::byte{1}));
+      if (c.ok()) ++completed;
+    }
+    done = true;
+    co_await park_forever();
+  }
+  std::vector<Mid> servers_;
+  int completed = 0;
+  bool done = false;
+};
+
+TEST(DeltaT, AtMostNMinusOneRecords) {
+  // "the number of connection records a node must allow space for is
+  // N - 1" — talk to every peer and check the bound.
+  Network net;
+  constexpr int kServers = 6;
+  for (int i = 0; i < kServers; ++i) net.spawn<Echo>(NodeConfig{});
+  std::vector<Mid> all;
+  for (Mid m = 0; m < kServers; ++m) all.push_back(m);
+  auto& c = net.spawn<Caller>(NodeConfig{}, all);
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_EQ(c.completed, kServers);
+  EXPECT_LE(net.node(kServers).kernel().transport().open_connections(),
+            static_cast<std::size_t>(net.size() - 1));
+}
+
+TEST(DeltaT, RecordsExpireIndependentlyPerPeer) {
+  Network net;
+  net.spawn<Echo>(NodeConfig{});  // 0
+  net.spawn<Echo>(NodeConfig{});  // 1
+  class Staggered : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      co_await b_put(ServerSignature{0, kP}, 0, Bytes(2, std::byte{1}));
+      co_await delay(150 * sim::kMillisecond);
+      co_await b_put(ServerSignature{1, kP}, 0, Bytes(2, std::byte{1}));
+      done = true;
+      co_await park_forever();
+    }
+    bool done = false;
+  };
+  auto& c = net.spawn<Staggered>(NodeConfig{});
+  auto& tp = net.node(2).kernel().transport();
+  net.run_for(200 * sim::kMillisecond);
+  ASSERT_TRUE(c.done);
+  EXPECT_EQ(tp.open_connections(), 2u);
+  // The record for peer 0 falls silent first and expires first.
+  const auto lifetime =
+      net.node(2).kernel().config().timing.record_lifetime();
+  net.run_for(lifetime - 150 * sim::kMillisecond + 20 * sim::kMillisecond);
+  EXPECT_EQ(tp.open_connections(), 1u);
+  net.run_for(200 * sim::kMillisecond);
+  EXPECT_EQ(tp.open_connections(), 0u);
+}
+
+TEST(DeltaT, StaleAcceptAfterRequesterRebootIsCrashed) {
+  // §5.4: "When an ACCEPT is issued, it is checked to ensure that it lies
+  // between the present value of the counter and the value recorded upon
+  // booting" — an old signature from before the reboot reports CRASHED.
+  Network net;
+  class Holder : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      who = a.asker;
+      have = true;
+      co_return;
+    }
+    RequesterSignature who;
+    bool have = false;
+  };
+  auto& srv = net.spawn<Holder>(NodeConfig{});
+  class Asker : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      signal(ServerSignature{0, kP}, 0);
+      co_await park_forever();
+    }
+  };
+  net.spawn<Asker>(NodeConfig{});
+  net.run_for(100 * sim::kMillisecond);
+  ASSERT_TRUE(srv.have);
+  const auto old_sig = srv.who;
+
+  // Reboot the requester node with a fresh client.
+  net.node(1).crash();
+  net.run_for(net.node(1).kernel().config().timing.crash_quarantine() +
+              sim::kSecond);
+  net.node(1).install_client(std::make_unique<Asker>(), 1);
+  net.run_for(sim::kSecond);
+
+  // The server finally accepts the pre-reboot request.
+  static AcceptStatus status;
+  status = AcceptStatus::kSuccess;
+  auto t = sim::spawn([&srv, old_sig]() -> sim::Task {
+    auto r = co_await srv.accept_signal(old_sig, 0);
+    status = r.status;
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_EQ(status, AcceptStatus::kCrashed);
+}
+
+TEST(DeltaT, NewIncarnationRequestsWorkAfterQuarantine) {
+  Network net;
+  auto& srv = net.spawn<Echo>(NodeConfig{});
+  net.spawn<Echo>(NodeConfig{});  // placeholder client on node 1
+  net.run_for(10 * sim::kMillisecond);
+  net.node(1).crash();
+  const auto quarantine =
+      net.node(1).kernel().config().timing.crash_quarantine();
+  net.run_for(quarantine + sim::kSecond);
+  net.node(1).install_client(
+      std::make_unique<Caller>(std::vector<Mid>{0}), 1);
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_EQ(srv.served, 1);
+}
+
+TEST(DeltaT, TidsMonotoneAcrossReboot) {
+  // The TID counter survives DIE/reboot, which is what makes stale-accept
+  // detection sound (§5.4).
+  Network net;
+  net.spawn<Echo>(NodeConfig{});
+  auto& k = net.node(0).kernel();
+  k.advertise(kP);
+  auto t1 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  net.node(0).crash();
+  net.run_for(k.config().timing.crash_quarantine() + sim::kSecond);
+  net.node(0).install_client(std::make_unique<Echo>(), 0);
+  net.run_for(10 * sim::kMillisecond);
+  auto t2 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_LT(*t1, *t2);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,311 @@
+// DISCOVER (§3.4.4) and the boot/kill protocol (§3.5).
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda {
+namespace {
+
+using sodal::SodalClient;
+using sodal::decode_u64;
+using sodal::to_bytes;
+
+constexpr Pattern kSvc = kWellKnownBit | 0x600;
+
+class Advertiser : public SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kSvc);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs) override {
+    co_await accept_current_signal(0);
+  }
+};
+
+class DiscoverClient : public SodalClient {
+ public:
+  explicit DiscoverClient(Pattern patt, std::uint32_t room = 40)
+      : patt_(patt), room_(room) {}
+  sim::Task on_completion(HandlerArgs a) override {
+    got_bytes = a.get_size;
+    done = true;
+    co_return;
+  }
+  sim::Task on_task() override {
+    discover_request(patt_, &mids, room_);
+    co_await park_forever();
+  }
+  std::vector<Mid> mid_list() const {
+    std::vector<Mid> v;
+    for (std::size_t i = 0; i + 4 <= mids.size(); i += 4) {
+      v.push_back(static_cast<Mid>(sodal::decode_u32(mids, i)));
+    }
+    return v;
+  }
+  Pattern patt_;
+  std::uint32_t room_;
+  Bytes mids;
+  std::uint32_t got_bytes = 0;
+  bool done = false;
+};
+
+TEST(Discover, FindsAllAdvertisers) {
+  Network net;
+  net.spawn<Advertiser>(NodeConfig{});  // 0
+  net.spawn<Advertiser>(NodeConfig{});  // 1
+  net.add_node();                       // 2: empty
+  net.spawn<Advertiser>(NodeConfig{});  // 3
+  auto& d = net.spawn<DiscoverClient>(NodeConfig{}, kSvc);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  auto mids = d.mid_list();
+  std::sort(mids.begin(), mids.end());
+  EXPECT_EQ(mids, (std::vector<Mid>{0, 1, 3}));
+}
+
+TEST(Discover, NoMatchesYieldsEmptyList) {
+  Network net;
+  net.spawn<Advertiser>(NodeConfig{});
+  auto& d = net.spawn<DiscoverClient>(NodeConfig{}, kWellKnownBit | 0x666);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.got_bytes, 0u);
+}
+
+TEST(Discover, RepliesAreStaggeredByMid) {
+  Network net;
+  net.spawn<Advertiser>(NodeConfig{});
+  net.spawn<Advertiser>(NodeConfig{});
+  net.sim().trace().enable(sim::TraceCategory::kPacketSent);
+  auto& d = net.spawn<DiscoverClient>(NodeConfig{}, kSvc);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // Find the two DISC_RE sends and check they are separated by roughly
+  // the stagger interval (§5.3).
+  std::vector<sim::Time> reply_times;
+  for (const auto& e : net.sim().trace().events()) {
+    if (e.detail.find("DISC_RE") != std::string::npos &&
+        e.category == sim::TraceCategory::kPacketSent) {
+      reply_times.push_back(e.at);
+    }
+  }
+  ASSERT_EQ(reply_times.size(), 2u);
+  const auto gap = reply_times[1] - reply_times[0];
+  const auto stagger =
+      net.node(0).kernel().config().timing.discover_stagger;
+  EXPECT_GE(gap, stagger / 2);
+}
+
+TEST(Discover, TruncatesToBuffer) {
+  Network net;
+  for (int i = 0; i < 5; ++i) net.spawn<Advertiser>(NodeConfig{});
+  auto& d = net.spawn<DiscoverClient>(NodeConfig{}, kSvc, /*room=*/8);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.mid_list().size(), 2u);  // 8 bytes = 2 MIDs
+}
+
+TEST(Discover, BootPatternsDiscoverable) {
+  Network net;
+  net.add_node();  // clientless: its kernel advertises the boot pattern
+  auto& d =
+      net.spawn<DiscoverClient>(NodeConfig{}, Kernel::kDefaultBootPattern);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.mid_list(), (std::vector<Mid>{0}));
+}
+
+TEST(Discover, OccupiedNodeNotBootDiscoverable) {
+  Network net;
+  net.spawn<Advertiser>(NodeConfig{});  // occupied
+  auto& d =
+      net.spawn<DiscoverClient>(NodeConfig{}, Kernel::kDefaultBootPattern);
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_TRUE(d.mid_list().empty());
+}
+
+// ---- the full boot protocol (§3.5.2) ----
+
+/// A bootable program that advertises kSvc and counts its births.
+struct BootProbe {
+  int booted = 0;
+  Mid parent = -1;
+};
+
+class Child : public SodalClient {
+ public:
+  explicit Child(BootProbe* probe) : probe_(probe) {}
+  sim::Task on_boot(Mid parent) override {
+    ++probe_->booted;
+    probe_->parent = parent;
+    advertise(kSvc);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs) override {
+    co_await accept_current_signal(0);
+  }
+  BootProbe* probe_;
+};
+
+class Parent : public SodalClient {
+ public:
+  explicit Parent(Mid target) : target_(target) {}
+
+  sim::Task on_task() override {
+    // 1. GET the boot pattern -> LOAD pattern.
+    Bytes load_b;
+    auto c = co_await b_get(
+        ServerSignature{target_, Kernel::kDefaultBootPattern}, 0, &load_b, 8);
+    if (!c.ok() || load_b.size() < 8) {
+      failed = true;
+      co_return;
+    }
+    load_pattern = decode_u64(load_b) & kPatternMask;
+    // 2. PUT the core image (in two chunks, exercising reassembly).
+    const std::string name = "child";
+    co_await b_put(ServerSignature{target_, load_pattern}, 0,
+                   to_bytes(name.substr(0, 2)));
+    co_await b_put(ServerSignature{target_, load_pattern}, 0,
+                   to_bytes(name.substr(2)));
+    // 3. SIGNAL: start the client.
+    co_await b_signal(ServerSignature{target_, load_pattern}, 0);
+    started = true;
+    co_await wait_on(next_step);
+    // 4. Second SIGNAL on the LOAD pattern: kill the child (§3.5.2).
+    co_await b_signal(ServerSignature{target_, load_pattern}, 0);
+    killed = true;
+    co_await park_forever();
+  }
+
+  Mid target_;
+  Pattern load_pattern = 0;
+  bool failed = false;
+  bool started = false;
+  bool killed = false;
+  sim::CondVar next_step;
+};
+
+TEST(Boot, FullLoadStartKillCycle) {
+  Network net;
+  Node& target = net.add_node();  // MID 0: free machine
+  static BootProbe probe;
+  probe = {};
+  target.register_program("child",
+                          [] { return std::make_unique<Child>(&probe); });
+  auto& parent = net.spawn<Parent>(NodeConfig{}, /*target=*/0);
+
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  ASSERT_FALSE(parent.failed);
+  ASSERT_TRUE(parent.started);
+  EXPECT_EQ(probe.booted, 1);
+  EXPECT_EQ(probe.parent, 1);  // the parent's MID
+  EXPECT_TRUE(target.has_client());
+  EXPECT_EQ(target.kernel().boots(), 1u);
+  EXPECT_TRUE(net::is_reserved_pattern(parent.load_pattern));
+
+  // While occupied, the boot pattern must not match.
+  auto& d =
+      net.spawn<DiscoverClient>(NodeConfig{}, Kernel::kDefaultBootPattern);
+  net.run_for(sim::kSecond);
+  EXPECT_TRUE(d.mid_list().empty());
+
+  // Parent kills the child with a second LOAD SIGNAL.
+  parent.next_step.notify_all();
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(parent.killed);
+  EXPECT_FALSE(target.has_client());
+}
+
+TEST(Boot, KillPatternStopsRunawayClient) {
+  Network net;
+  net.spawn<Advertiser>(NodeConfig{});  // the victim, MID 0
+  class Killer : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto c =
+          co_await b_signal(ServerSignature{0, Kernel::kKillPattern}, 0);
+      ok = c.ok();
+      done = true;
+      co_await park_forever();
+    }
+    bool ok = false, done = false;
+  };
+  auto& killer = net.spawn<Killer>(NodeConfig{});
+  EXPECT_TRUE(net.node(0).has_client());
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(killer.done);
+  EXPECT_TRUE(killer.ok);
+  EXPECT_FALSE(net.node(0).has_client());
+}
+
+TEST(Boot, SystemPatternOnlyFromMidZero) {
+  Network net;
+  net.add_node();  // MID 0 placeholder (no client needed to send? needs one)
+  net.spawn<Advertiser>(NodeConfig{});  // MID 1: target
+  // A non-zero machine tries to add a boot pattern: must fail.
+  class Intruder : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto c = co_await b_put(ServerSignature{1, Kernel::kSystemPattern},
+                              Kernel::kSystemAddBoot,
+                              sodal::encode_u64(0x123));
+      status = c.status;
+      done = true;
+      co_await park_forever();
+    }
+    CompletionStatus status = CompletionStatus::kCompleted;
+    bool done = false;
+  };
+  auto& i = net.spawn<Intruder>(NodeConfig{});  // MID 2
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(i.done);
+  EXPECT_EQ(i.status, CompletionStatus::kUnadvertised);
+}
+
+TEST(Boot, MidZeroCanReplaceKillPattern) {
+  Network net;
+  class Admin : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto c = co_await b_put(ServerSignature{1, Kernel::kSystemPattern},
+                              Kernel::kSystemReplaceKill,
+                              sodal::encode_u64(0x77));
+      replaced = c.ok();
+      // Old kill pattern should now be unbound; new one kills.
+      c = co_await b_signal(ServerSignature{1, Kernel::kKillPattern}, 0);
+      old_status = c.status;
+      c = co_await b_signal(
+          ServerSignature{1, (0x77 | kReservedBit) & kPatternMask}, 0);
+      new_ok = c.ok();
+      done = true;
+      co_await park_forever();
+    }
+    bool replaced = false, new_ok = false, done = false;
+    CompletionStatus old_status = CompletionStatus::kCompleted;
+  };
+  auto& admin = net.spawn<Admin>(NodeConfig{});  // MID 0
+  net.spawn<Advertiser>(NodeConfig{});           // MID 1: victim
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(admin.done);
+  EXPECT_TRUE(admin.replaced);
+  EXPECT_EQ(admin.old_status, CompletionStatus::kUnadvertised);
+  EXPECT_TRUE(admin.new_ok);
+  EXPECT_FALSE(net.node(1).has_client());
+}
+
+}  // namespace
+}  // namespace soda

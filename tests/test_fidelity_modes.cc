@@ -1,0 +1,129 @@
+// The 1984-implementation fidelity modes: the §5.4 indexed pattern table
+// (256 slots keyed by the low 8 bits, overwrite on collision) and the
+// §6.15 randomized unique ids.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda {
+namespace {
+
+using sodal::SodalClient;
+
+class Idle : public SodalClient {};
+
+NodeConfig indexed_cfg() {
+  NodeConfig c;
+  c.indexed_pattern_table = true;
+  return c;
+}
+
+TEST(IndexedPatterns, BasicAdvertiseLookup) {
+  Network net;
+  net.spawn<Idle>(indexed_cfg());
+  auto& k = net.node(0).kernel();
+  const Pattern p = kWellKnownBit | 0x1205;
+  EXPECT_TRUE(k.advertise(p));
+  EXPECT_TRUE(k.advertised(p));
+  EXPECT_TRUE(k.unadvertise(p));
+  EXPECT_FALSE(k.advertised(p));
+}
+
+TEST(IndexedPatterns, CollisionOverwritesFirst) {
+  // Two patterns identical in the first eight bits: "the second pattern
+  // overwrites the first" (§5.4).
+  Network net;
+  net.spawn<Idle>(indexed_cfg());
+  auto& k = net.node(0).kernel();
+  const Pattern a = kWellKnownBit | 0x1005;  // low byte 0x05
+  const Pattern b = kWellKnownBit | 0x2005;  // low byte 0x05 too
+  EXPECT_TRUE(k.advertise(a));
+  EXPECT_TRUE(k.advertise(b));
+  EXPECT_FALSE(k.advertised(a));  // clobbered
+  EXPECT_TRUE(k.advertised(b));
+}
+
+TEST(IndexedPatterns, DistinctSlotsCoexist) {
+  Network net;
+  net.spawn<Idle>(indexed_cfg());
+  auto& k = net.node(0).kernel();
+  for (Pattern low = 0; low < 32; ++low) {
+    EXPECT_TRUE(k.advertise(kWellKnownBit | (0x4400 + low)));
+  }
+  for (Pattern low = 0; low < 32; ++low) {
+    EXPECT_TRUE(k.advertised(kWellKnownBit | (0x4400 + low)));
+  }
+}
+
+TEST(IndexedPatterns, EndToEndRequestsWork) {
+  Network net;
+  class Srv : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kWellKnownBit | 0x77);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs) override {
+      co_await accept_current_signal(11);
+    }
+  };
+  net.spawn<Srv>(indexed_cfg());
+  class Cli : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto c = co_await b_signal(
+          ServerSignature{0, kWellKnownBit | 0x77}, 0);
+      ok = c.ok() && c.arg == 11;
+      done = true;
+      co_await park_forever();
+    }
+    bool ok = false, done = false;
+  };
+  auto& c = net.spawn<Cli>(indexed_cfg());
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_TRUE(c.ok);
+}
+
+TEST(RandomizedUids, StillUniqueAndWellFormed) {
+  NodeConfig cfg;
+  cfg.randomized_unique_ids = true;
+  Network net;
+  net.spawn<Idle>(cfg);
+  net.spawn<Idle>(cfg);
+  auto& k0 = net.node(0).kernel();
+  auto& k1 = net.node(1).kernel();
+  std::set<Pattern> seen;
+  bool any_high_bits = false;
+  for (int i = 0; i < 300; ++i) {
+    for (Kernel* k : {&k0, &k1}) {
+      Pattern p = k->get_unique_id();
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate unique id";
+      EXPECT_EQ(p & kReservedBit, 0u);
+      EXPECT_EQ(p & kWellKnownBit, 0u);
+      if (p >> 40) any_high_bits = true;
+    }
+  }
+  EXPECT_TRUE(any_high_bits) << "randomization never added entropy";
+}
+
+TEST(RandomizedUids, DeterministicPerSeed) {
+  NodeConfig cfg;
+  cfg.randomized_unique_ids = true;
+  std::vector<Pattern> a, b;
+  for (int run = 0; run < 2; ++run) {
+    Network net({42});
+    net.spawn<Idle>(cfg);
+    auto& k = net.node(0).kernel();
+    auto& out = run == 0 ? a : b;
+    for (int i = 0; i < 20; ++i) out.push_back(k.get_unique_id());
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace soda

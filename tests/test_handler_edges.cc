@@ -1,0 +1,251 @@
+// Handler and completion-queue edge cases from §3.3.4 / §3.7.5, plus
+// addressing of machines that do not exist.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda {
+namespace {
+
+using sodal::SodalClient;
+
+constexpr Pattern kP = kWellKnownBit | 0xF00;
+
+TEST(HandlerEdges, AcceptToClosedRequesterDoesNotDelayServer) {
+  // §3.3.2: "the server is not delayed by issuing an ACCEPT to a BUSY or
+  // CLOSED requester" — the completion interrupt is queued by the
+  // requester's kernel instead.
+  Network net;
+  class Server : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      const auto t0 = sim().now();
+      auto r = co_await accept_current_signal(5);
+      accept_time = sim().now() - t0;
+      ok = r.status == AcceptStatus::kSuccess;
+      (void)a;
+    }
+    sim::Duration accept_time = 0;
+    bool ok = false;
+  };
+  auto& srv = net.spawn<Server>(NodeConfig{});
+
+  class ClosedRequester : public SodalClient {
+   public:
+    sim::Task on_completion(HandlerArgs a) override {
+      completion_at = sim().now();
+      arg = a.arg;
+      co_return;
+    }
+    sim::Task on_task() override {
+      close();  // handler unavailable for the whole exchange
+      signal(ServerSignature{0, kP}, 0);
+      co_await delay(300 * sim::kMillisecond);
+      open();  // queued completion should fire now
+      co_await park_forever();
+    }
+    sim::Time completion_at = 0;
+    std::int32_t arg = 0;
+  };
+  auto& req = net.spawn<ClosedRequester>(NodeConfig{});
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(srv.ok);
+  // The server's blocking ACCEPT returned promptly (well under the 300 ms
+  // the requester kept its handler closed).
+  EXPECT_LT(srv.accept_time, 100 * sim::kMillisecond);
+  // The completion was queued and only delivered after OPEN.
+  EXPECT_GE(req.completion_at, 300 * sim::kMillisecond);
+  EXPECT_EQ(req.arg, 5);
+}
+
+TEST(HandlerEdges, QueuedCompletionsDeliveredInOrder) {
+  Network net;
+  class MultiServer : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      co_await accept_current_signal(a.arg);  // echo the request arg back
+    }
+  };
+  net.spawn<MultiServer>(NodeConfig{});
+  class Burst : public SodalClient {
+   public:
+    sim::Task on_completion(HandlerArgs a) override {
+      order.push_back(a.arg);
+      co_return;
+    }
+    sim::Task on_task() override {
+      close();
+      for (int i = 0; i < 3; ++i) signal(ServerSignature{0, kP}, i);
+      co_await delay(400 * sim::kMillisecond);
+      open();  // three queued completions drain back-to-back
+      co_await park_forever();
+    }
+    std::vector<std::int32_t> order;
+  };
+  auto& b = net.spawn<Burst>(NodeConfig{});
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  EXPECT_EQ(b.order, (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(HandlerEdges, HandlerMayIssueAcceptForOlderRequest) {
+  // "The client may execute any SODA primitive, including ACCEPT, within
+  // the handler" — accept request A from within the handler invocation
+  // for request B.
+  Network net;
+  class DeferServer : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      if (!held) {
+        held = a.asker;  // park the first request
+        co_return;
+      }
+      // Second arrival: accept the *old* one first, then the current.
+      auto r1 = co_await accept_signal(*held, 1);
+      auto r2 = co_await accept_current_signal(2);
+      ok = r1.status == AcceptStatus::kSuccess &&
+           r2.status == AcceptStatus::kSuccess;
+    }
+    std::optional<RequesterSignature> held;
+    bool ok = false;
+  };
+  auto& srv = net.spawn<DeferServer>(NodeConfig{});
+  class TwoShots : public SodalClient {
+   public:
+    sim::Task on_completion(HandlerArgs a) override {
+      args.push_back(a.arg);
+      co_return;
+    }
+    sim::Task on_task() override {
+      signal(ServerSignature{0, kP}, 0);
+      co_await delay(50 * sim::kMillisecond);
+      signal(ServerSignature{0, kP}, 0);
+      co_await park_forever();
+    }
+    std::vector<std::int32_t> args;
+  };
+  auto& c = net.spawn<TwoShots>(NodeConfig{});
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(srv.ok);
+  EXPECT_EQ(c.args, (std::vector<std::int32_t>{1, 2}));
+}
+
+TEST(HandlerEdges, RequestToNonexistentStationFails) {
+  // MID 7 has no node at all: retransmissions run out and the request
+  // fails with CRASHED (indistinguishable from a dead machine).
+  Network net;
+  class Asker : public SodalClient {
+   public:
+    sim::Task on_completion(HandlerArgs a) override {
+      status = a.status;
+      got = true;
+      co_return;
+    }
+    sim::Task on_task() override {
+      signal(ServerSignature{7, kP}, 0);
+      co_await park_forever();
+    }
+    CompletionStatus status = CompletionStatus::kCompleted;
+    bool got = false;
+  };
+  auto& a = net.spawn<Asker>(NodeConfig{});
+  net.run_for(120 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(a.got);
+  EXPECT_EQ(a.status, CompletionStatus::kCrashed);
+}
+
+TEST(HandlerEdges, ZeroLengthBuffersInhibitTransfer) {
+  // §3.3.2: "Zero-length buffers may be specified to inhibit data
+  // transfer in one or both directions."
+  Network net;
+  class Server : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      // Requester offered put data but we take none, and it asked for
+      // get data but we send none.
+      auto r = co_await accept_current_signal(0);
+      took = r.put_received;
+      gave = r.get_sent;
+      (void)a;
+    }
+    std::uint32_t took = 99, gave = 99;
+  };
+  auto& srv = net.spawn<Server>(NodeConfig{});
+  class Asker : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      Bytes in;
+      auto c = co_await b_exchange(ServerSignature{0, kP}, 0,
+                                   Bytes(50, std::byte{1}), &in, 50);
+      put_done = c.put_done;
+      get_done = c.get_done;
+      ok = c.ok();
+      co_await park_forever();
+    }
+    std::uint32_t put_done = 99, get_done = 99;
+    bool ok = false;
+  };
+  auto& a = net.spawn<Asker>(NodeConfig{});
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(srv.took, 0u);
+  EXPECT_EQ(srv.gave, 0u);
+  EXPECT_EQ(a.put_done, 0u);
+  EXPECT_EQ(a.get_done, 0u);
+}
+
+TEST(HandlerEdges, ArgumentCarriesShortMessage) {
+  // §6.11: the one-word argument can carry a whole (tiny) message — e.g.
+  // a terminal character — with no buffers at all.
+  Network net;
+  class TtyServer : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs a) override {
+      text.push_back(static_cast<char>(a.arg));
+      co_await accept_current_signal(0);
+    }
+    std::string text;
+  };
+  auto& tty = net.spawn<TtyServer>(NodeConfig{});
+  class Typist : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      for (char ch : std::string("soda")) {
+        co_await b_signal(ServerSignature{0, kP}, ch);
+      }
+      co_await park_forever();
+    }
+  };
+  net.spawn<Typist>(NodeConfig{});
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  EXPECT_EQ(tty.text, "soda");
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,244 @@
+// Virtual circuits and link moving (§4.2.4): connect, traffic, moving an
+// end transparently, destruction, traffic during a move.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/links.h"
+#include "sodal/util.h"
+
+namespace soda::sodal {
+namespace {
+
+/// A LinkClient that echoes application requests and records them.
+class Echo : public LinkClient {
+ public:
+  sim::Task on_link_request(LinkId link, HandlerArgs a) override {
+    received.emplace_back(link, a.arg);
+    Bytes in;
+    co_await accept_current_exchange(a.arg + 1000, &in, a.put_size,
+                                     Bytes(a.get_size, std::byte{0xE0}));
+    if (!in.empty()) last_data = in;
+  }
+  std::vector<std::pair<LinkId, std::int32_t>> received;
+  Bytes last_data;
+};
+
+/// Driver with a scripted task body supplied by the test.
+class Driver : public Echo {
+ public:
+  using Script = std::function<sim::Task(Driver&)>;
+  explicit Driver(Script s) : script_(std::move(s)) {}
+  sim::Task on_task() override {
+    co_await script_(*this);
+    done = true;
+    co_await park_forever();
+  }
+  Script script_;
+  bool done = false;
+};
+
+TEST(Links, ConnectAndExchange) {
+  Network net;
+  auto& peer = net.spawn<Echo>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    LinkId id = co_await self.connect_link(0);
+    EXPECT_NE(id, kNoLink);
+    if (id == kNoLink) co_return;
+    Bytes in;
+    auto c = co_await self.link_exchange(id, 5, to_bytes("hi"), &in, 4);
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(c.arg, 1005);
+    EXPECT_EQ(in.size(), 4u);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  ASSERT_EQ(peer.received.size(), 1u);
+  EXPECT_EQ(peer.received[0].second, 5);
+  EXPECT_EQ(to_string(peer.last_data), "hi");
+  EXPECT_EQ(peer.live_links(), 1u);
+  // Initiator is MASTER, acceptor SLAVE.
+  EXPECT_EQ(d.link(0)->state, LinkClient::EndState::kMaster);
+  EXPECT_EQ(peer.link(0)->state, LinkClient::EndState::kSlave);
+}
+
+TEST(Links, DestroyMakesFarEndDead) {
+  Network net;
+  auto& peer = net.spawn<Echo>(NodeConfig{});
+  (void)peer;
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    LinkId id = co_await self.connect_link(0);
+    EXPECT_NE(id, kNoLink);
+    if (id == kNoLink) co_return;
+    co_await self.link_put(id, 1, to_bytes("x"));
+    self.destroy_link(id);
+    co_return;
+  });
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // The peer's next send on its (now half-dead) link fails and marks it.
+  auto t = sim::spawn([&]() -> sim::Task {
+    auto c = co_await peer.link_put(0, 2, to_bytes("y"));
+    EXPECT_NE(c.status, CompletionStatus::kCompleted);
+  });
+  net.run_for(5 * sim::kSecond);
+  EXPECT_FALSE(peer.link_alive(0));
+}
+
+TEST(Links, MasterMovesEndTransparently) {
+  Network net;
+  auto& a = net.spawn<Echo>(NodeConfig{});        // MID 0: far end
+  auto& c_host = net.spawn<Echo>(NodeConfig{});   // MID 1: new home
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    LinkId id = co_await self.connect_link(0);  // we are MASTER
+    EXPECT_NE(id, kNoLink);
+    if (id == kNoLink) co_return;
+    co_await self.link_put(id, 1, to_bytes("before"));
+    bool moved = co_await self.move_link(id, 1);
+    EXPECT_TRUE(moved);
+    EXPECT_EQ(self.live_links(), 0u);  // we gave the end away
+    co_return;
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // The far end (a) now points at c_host; traffic flows both ways.
+  ASSERT_EQ(a.live_links(), 1u);
+  EXPECT_EQ(a.link(0)->peer_mid, 1);
+  ASSERT_EQ(c_host.live_links(), 1u);
+  EXPECT_EQ(c_host.link(0)->peer_mid, 0);
+  EXPECT_TRUE(c_host.link(0)->installed);
+  EXPECT_EQ(c_host.link(0)->state, LinkClient::EndState::kMaster);
+
+  // Far end sends over the moved link and the new host receives it.
+  auto t = sim::spawn([&]() -> sim::Task {
+    auto c = co_await a.link_put(0, 7, to_bytes("after"));
+    EXPECT_TRUE(c.ok());
+  });
+  net.run_for(5 * sim::kSecond);
+  ASSERT_EQ(c_host.received.size(), 1u);
+  EXPECT_EQ(c_host.received[0].second, 7);
+}
+
+TEST(Links, SlaveBecomesMasterToMove) {
+  Network net;
+  auto& a = net.spawn<Echo>(NodeConfig{});       // far end, MASTER initially
+  auto& c_host = net.spawn<Echo>(NodeConfig{});  // new home
+  // The mover starts as the SLAVE (acceptor side of connect).
+  class Mover : public Echo {
+   public:
+    sim::Task on_task() override {
+      while (live_links() == 0) co_await delay(10 * sim::kMillisecond);
+      const LinkId id = 0;
+      EXPECT_EQ(link(id)->state, LinkClient::EndState::kSlave);
+      bool moved = co_await move_link(id, 1);
+      EXPECT_TRUE(moved);
+      done = true;
+      co_await park_forever();
+    }
+    bool done = false;
+  };
+  auto& mover = net.spawn<Mover>(NodeConfig{});
+  // a initiates the link to mover, becoming MASTER.
+  auto t = sim::spawn([&]() -> sim::Task {
+    LinkId id = co_await a.connect_link(2);
+    EXPECT_NE(id, kNoLink);
+  });
+  net.run_for(15 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(mover.done);
+  ASSERT_EQ(a.live_links(), 1u);
+  EXPECT_EQ(a.link(0)->peer_mid, 1);
+  EXPECT_EQ(a.link(0)->state, LinkClient::EndState::kSlave);
+  EXPECT_EQ(c_host.live_links(), 1u);
+}
+
+TEST(Links, TrafficDuringMoveIsRejectedThenRetried) {
+  Network net;
+  auto& a = net.spawn<Echo>(NodeConfig{});       // far end
+  auto& c_host = net.spawn<Echo>(NodeConfig{});  // new home
+  class SlowMover : public Echo {
+   public:
+    sim::Task on_task() override {
+      while (live_links() == 0) co_await delay(10 * sim::kMillisecond);
+      co_await delay(50 * sim::kMillisecond);
+      bool ok = co_await move_link(0, 1);
+      EXPECT_TRUE(ok);
+      moved = true;
+      co_await park_forever();
+    }
+    bool moved = false;
+  };
+  auto& mover = net.spawn<SlowMover>(NodeConfig{});
+  int completed = 0;
+  // The far end hammers the link while the move happens; every put must
+  // eventually complete (REJECTED ones are transparently reissued).
+  auto t = sim::spawn([&]() -> sim::Task {
+    LinkId id = co_await a.connect_link(2);
+    EXPECT_NE(id, kNoLink);
+    if (id == kNoLink) co_return;
+    for (int i = 0; i < 10; ++i) {
+      auto c = co_await a.link_put(id, i, to_bytes("m"));
+      if (c.ok()) ++completed;
+      co_await a.delay(20 * sim::kMillisecond);
+    }
+  });
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(mover.moved);
+  EXPECT_EQ(completed, 10);
+  // Messages landed at the old or new host, nothing lost.
+  EXPECT_EQ(mover.received.size() + c_host.received.size(), 10u);
+  EXPECT_GT(c_host.received.size(), 0u);  // some arrived after the move
+}
+
+TEST(Links, IntroduceCreatesThirdPartyLink) {
+  // §4.2.4: C holds links to A and B; after INTRODUCE, A and B hold a
+  // link between themselves.
+  Network net;
+  auto& a = net.spawn<Echo>(NodeConfig{});  // MID 0
+  auto& b = net.spawn<Echo>(NodeConfig{});  // MID 1
+  class Broker : public Echo {
+   public:
+    sim::Task on_task() override {
+      LinkId to_a = co_await connect_link(0);
+      LinkId to_b = co_await connect_link(1);
+      EXPECT_NE(to_a, kNoLink);
+      EXPECT_NE(to_b, kNoLink);
+      ok = co_await introduce(to_a, to_b);
+      done = true;
+      co_await park_forever();
+    }
+    bool ok = false, done = false;
+  };
+  auto& c = net.spawn<Broker>(NodeConfig{});  // MID 2
+  net.run_for(20 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_TRUE(c.ok);
+  // A now holds two links: one to the broker and one to B (and vice
+  // versa). Find A's link to B and push traffic over it.
+  ASSERT_EQ(a.live_links(), 2u);
+  ASSERT_EQ(b.live_links(), 2u);
+  LinkId a_to_b = kNoLink;
+  for (LinkId id = 0; id < 2; ++id) {
+    if (a.link(id) && a.link(id)->peer_mid == 1) a_to_b = id;
+  }
+  ASSERT_NE(a_to_b, kNoLink);
+  bool sent = false;
+  auto t = sim::spawn([&]() -> sim::Task {
+    auto comp = co_await a.link_put(a_to_b, 5, to_bytes("introduced"));
+    sent = comp.ok();
+  });
+  net.run_for(5 * sim::kSecond);
+  EXPECT_TRUE(sent);
+  bool b_got_it = false;
+  for (const auto& [link, arg] : b.received) {
+    if (arg == 5) b_got_it = true;
+  }
+  EXPECT_TRUE(b_got_it);
+}
+
+}  // namespace
+}  // namespace soda::sodal

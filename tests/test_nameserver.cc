@@ -1,0 +1,152 @@
+// The hierarchical name service (§6.14): bind/resolve/list/unbind over a
+// directory tree, layered entirely on SODA primitives.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/nameserver.h"
+#include "sodal/util.h"
+
+namespace soda::sodal {
+namespace {
+
+class Driver : public SodalClient {
+ public:
+  using Script = std::function<sim::Task(Driver&)>;
+  explicit Driver(Script s) : script_(std::move(s)) {}
+  sim::Task on_task() override {
+    co_await script_(*this);
+    done = true;
+    co_await park_forever();
+  }
+  Script script_;
+  bool done = false;
+};
+
+ServerSignature ns_sig() { return ServerSignature{0, kNameServerPattern}; }
+
+TEST(NameService, BindThenResolve) {
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await ns_bind(self, ns_sig(), "/services/print/laser",
+                     ServerSignature{7, 0x1234});
+    auto sig = co_await ns_resolve(self, ns_sig(), "/services/print/laser");
+    EXPECT_EQ(sig.mid, 7);
+    EXPECT_EQ(sig.pattern, 0x1234u);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, UnboundPathResolvesToNobody) {
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    auto sig = co_await ns_resolve(self, ns_sig(), "/nope");
+    EXPECT_EQ(sig.mid, kBroadcastMid);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, ListsImmediateChildrenOnly) {
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await ns_bind(self, ns_sig(), "/svc/a", ServerSignature{1, 1});
+    co_await ns_bind(self, ns_sig(), "/svc/b", ServerSignature{2, 2});
+    co_await ns_bind(self, ns_sig(), "/svc/b/deep", ServerSignature{3, 3});
+    co_await ns_bind(self, ns_sig(), "/other/c", ServerSignature{4, 4});
+    auto names = co_await ns_list(self, ns_sig(), "/svc");
+    EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+    auto root = co_await ns_list(self, ns_sig(), "/");
+    EXPECT_EQ(root, (std::vector<std::string>{"other", "svc"}));
+  });
+  net.run_for(20 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, UnbindRemovesBinding) {
+  Network net;
+  auto& ns = net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await ns_bind(self, ns_sig(), "/x", ServerSignature{1, 1});
+    co_await ns_unbind(self, ns_sig(), "/x");
+    auto sig = co_await ns_resolve(self, ns_sig(), "/x");
+    EXPECT_EQ(sig.mid, kBroadcastMid);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+  EXPECT_EQ(ns.bindings(), 0u);
+}
+
+TEST(NameService, RebindReplaces) {
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await ns_bind(self, ns_sig(), "/x", ServerSignature{1, 1});
+    co_await ns_bind(self, ns_sig(), "/x", ServerSignature{2, 9});
+    auto sig = co_await ns_resolve(self, ns_sig(), "x");  // normalization
+    EXPECT_EQ(sig.mid, 2);
+    EXPECT_EQ(sig.pattern, 9u);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, PathNormalization) {
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await ns_bind(self, ns_sig(), "//a///b/", ServerSignature{5, 5});
+    auto sig = co_await ns_resolve(self, ns_sig(), "a/b");
+    EXPECT_EQ(sig.mid, 5);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, EndToEndServiceLookupAndCall) {
+  // A service binds itself under a path; a client resolves and calls it.
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  class Service : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      const Pattern p = unique_id();
+      advertise(p);
+      co_await ns_bind(*this, ns_sig(), "/services/echo",
+                       ServerSignature{my_mid(), p});
+      co_await park_forever();
+    }
+    sim::Task on_entry(HandlerArgs) override {
+      co_await accept_current_signal(1234);
+    }
+  };
+  net.spawn<Service>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    ServerSignature sig{kBroadcastMid, 0};
+    for (int i = 0; i < 20 && sig.mid == kBroadcastMid; ++i) {
+      sig = co_await ns_resolve(self, ns_sig(), "/services/echo");
+      if (sig.mid == kBroadcastMid) {
+        co_await self.delay(20 * sim::kMillisecond);
+      }
+    }
+    EXPECT_NE(sig.mid, kBroadcastMid);
+    auto c = co_await self.b_signal(sig, 0);
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(c.arg, 1234);
+  });
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+}  // namespace
+}  // namespace soda::sodal

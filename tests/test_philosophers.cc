@@ -1,0 +1,113 @@
+// Dining philosophers with deadlock detection (§4.4.3): progress under
+// greed (detector breaks real deadlocks), no false positives under normal
+// operation, fairness of the victim rotation.
+#include <gtest/gtest.h>
+
+#include "apps/philosophers.h"
+#include "core/network.h"
+#include "sodal/timeserver.h"
+
+namespace soda::apps {
+namespace {
+
+struct Table {
+  Network net;
+  std::vector<Philosopher*> phils;
+  DeadlockDetector* detector = nullptr;
+  sodal::TimeServer* timeserver = nullptr;
+
+  /// Nodes: 0..n-1 philosophers, n timeserver, n+1 detector.
+  Table(int n, sim::Duration think, sim::Duration eat, bool greedy) {
+    for (int i = 0; i < n; ++i) {
+      const Mid left = (i + n - 1) % n;
+      phils.push_back(
+          &net.spawn<Philosopher>(NodeConfig{}, left, think, eat, greedy));
+    }
+    timeserver = &net.spawn<sodal::TimeServer>(NodeConfig{});
+    std::vector<Mid> mids;
+    for (int i = 0; i < n; ++i) mids.push_back(i);
+    detector = &net.spawn<DeadlockDetector>(
+        NodeConfig{}, mids,
+        ServerSignature{static_cast<Mid>(n), sodal::kAlarmClockPattern},
+        /*interval_ms=*/40);
+  }
+
+  int total_meals() const {
+    int m = 0;
+    for (auto* p : phils) m += p->meals();
+    return m;
+  }
+  int min_meals() const {
+    int m = INT32_MAX;
+    for (auto* p : phils) m = std::min(m, p->meals());
+    return m;
+  }
+};
+
+TEST(Philosophers, GreedyTableDeadlocksAndIsBroken) {
+  // Greedy philosophers (no thinking) all grab their left fork: classic
+  // deadlock. The detector must find and break it, repeatedly.
+  Table t(5, 0, 5 * sim::kMillisecond, /*greedy=*/true);
+  t.net.run_for(120 * sim::kSecond);
+  t.net.check_clients();
+  EXPECT_GT(t.detector->breaks(), 0);
+  EXPECT_GT(t.total_meals(), 10);
+  EXPECT_GT(t.min_meals(), 0) << "someone starved";
+}
+
+TEST(Philosophers, RelaxedTableRarelyNeedsDetector) {
+  // With long thinks and short meals, deadlock is unlikely: everyone eats
+  // and the detector stays mostly idle (and never reports falsely in a
+  // way that stops progress).
+  Table t(5, 60 * sim::kMillisecond, 3 * sim::kMillisecond, false);
+  t.net.run_for(120 * sim::kSecond);
+  t.net.check_clients();
+  EXPECT_GT(t.min_meals(), 3);
+  EXPECT_GT(t.detector->scans(), 10);
+}
+
+TEST(Philosophers, VictimRotationIsFair) {
+  // A deadlock rarely recurs end-to-end (the RETURN_FORK re-grant keeps
+  // forks circulating after the first break), so test the fairness
+  // mechanism directly: the LIST_OF_NICE_PHILOS rotation must cycle
+  // through every philosopher before repeating one (§4.4.3 policy).
+  class Probe : public DeadlockDetector {
+   public:
+    using DeadlockDetector::DeadlockDetector;
+    using DeadlockDetector::pick_victim;
+  };
+  Probe p({0, 1, 2, 3, 4}, ServerSignature{5, sodal::kAlarmClockPattern});
+  std::vector<int> first_round, second_round;
+  // The constructor already consumed one pick as the initial victim; walk
+  // two full rotations and check coverage within each window of 5.
+  std::vector<int> picks;
+  for (int i = 0; i < 10; ++i) picks.push_back(p.pick_victim());
+  for (int start : {0, 5}) {
+    std::set<int> window(picks.begin() + start, picks.begin() + start + 5);
+    EXPECT_EQ(window.size(), 5u)
+        << "a philosopher was victimised twice before others once";
+  }
+}
+
+TEST(Philosophers, GreedyTableKeepsEatingAfterBreak) {
+  // After the detector breaks the first deadlock, progress must continue
+  // indefinitely — the give-back re-grant must not wedge the ring.
+  Table t(5, 0, 5 * sim::kMillisecond, /*greedy=*/true);
+  t.net.run_for(60 * sim::kSecond);
+  const int meals_mid = t.total_meals();
+  t.net.run_for(60 * sim::kSecond);
+  t.net.check_clients();
+  EXPECT_GT(t.total_meals(), meals_mid + 5);
+}
+
+TEST(Philosophers, ThreeAndSevenSeatTables) {
+  for (int n : {3, 7}) {
+    Table t(n, 5 * sim::kMillisecond, 5 * sim::kMillisecond, true);
+    t.net.run_for(120 * sim::kSecond);
+    t.net.check_clients();
+    EXPECT_GT(t.min_meals(), 0) << n << "-seat table starved someone";
+  }
+}
+
+}  // namespace
+}  // namespace soda::apps

@@ -1,0 +1,129 @@
+// The replicated key-value store: write fan-out, read fail-over, crash
+// tolerance — the library's substrates composed into a real service.
+#include <gtest/gtest.h>
+
+#include "apps/replicated_store.h"
+#include "core/network.h"
+
+namespace soda::apps {
+namespace {
+
+using sodal::SodalClient;
+using sodal::to_bytes;
+using sodal::to_string;
+
+class Coordinator : public SodalClient {
+ public:
+  using Script = std::function<sim::Task(Coordinator&)>;
+  explicit Coordinator(Script s) : script_(std::move(s)) {}
+  sim::Task on_task() override {
+    group = co_await store_find_replicas(*this);
+    co_await script_(*this);
+    done = true;
+    co_await park_forever();
+  }
+  Script script_;
+  std::vector<ServerSignature> group;
+  bool done = false;
+};
+
+TEST(ReplicatedStore, WriteReachesAllReplicas) {
+  Network net;
+  std::vector<StoreReplica*> reps;
+  for (int i = 0; i < 3; ++i) reps.push_back(&net.spawn<StoreReplica>(NodeConfig{}));
+  auto& coord = net.spawn<Coordinator>(
+      NodeConfig{}, [](Coordinator& self) -> sim::Task {
+        EXPECT_EQ(self.group.size(), 3u);
+        auto w = co_await store_set(self, self.group, "alpha",
+                                    to_bytes("one"));
+        EXPECT_EQ(w.replicas_written, 3);
+        EXPECT_TRUE(w.quorum(self.group.size()));
+      });
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(coord.done);
+  for (auto* r : reps) {
+    ASSERT_EQ(r->keys(), 1u);
+    ASSERT_NE(r->value("alpha"), nullptr);
+    EXPECT_EQ(to_string(*r->value("alpha")), "one");
+  }
+}
+
+TEST(ReplicatedStore, ReadBackAndAbsentKey) {
+  Network net;
+  for (int i = 0; i < 3; ++i) net.spawn<StoreReplica>(NodeConfig{});
+  auto& coord = net.spawn<Coordinator>(
+      NodeConfig{}, [](Coordinator& self) -> sim::Task {
+        co_await store_set(self, self.group, "k", to_bytes("v1"));
+        auto v = co_await store_get(self, self.group, "k");
+        EXPECT_TRUE(v.has_value());
+        EXPECT_EQ(to_string(*v), "v1");
+        auto missing = co_await store_get(self, self.group, "nope");
+        EXPECT_FALSE(missing.has_value());
+        // overwrite
+        co_await store_set(self, self.group, "k", to_bytes("v2"));
+        v = co_await store_get(self, self.group, "k");
+        EXPECT_TRUE(v.has_value());
+        EXPECT_EQ(to_string(*v), "v2");
+      });
+  net.run_for(60 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(coord.done);
+}
+
+TEST(ReplicatedStore, SurvivesReplicaCrash) {
+  Network net;
+  for (int i = 0; i < 3; ++i) net.spawn<StoreReplica>(NodeConfig{});
+  static bool crashed;
+  crashed = false;
+  auto& coord = net.spawn<Coordinator>(
+      NodeConfig{}, [&net](Coordinator& self) -> sim::Task {
+        co_await store_set(self, self.group, "k", to_bytes("pre-crash"));
+        net.node(0).crash();  // replica 0 dies
+        crashed = true;
+        auto w = co_await store_set(self, self.group, "k2",
+                                    to_bytes("post-crash"));
+        EXPECT_EQ(w.replicas_written, 2);
+        EXPECT_EQ(w.replicas_failed, 1);
+        EXPECT_TRUE(w.quorum(self.group.size()));
+        // Reads fail over: replica 0 (first in the group) is dead, so the
+        // value comes from a survivor.
+        auto v = co_await store_get(self, self.group, "k2");
+        EXPECT_TRUE(v.has_value());
+        EXPECT_EQ(to_string(*v), "post-crash");
+      });
+  net.run_for(120 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(coord.done);
+  EXPECT_TRUE(crashed);
+}
+
+TEST(ReplicatedStore, ManyKeysManyClients) {
+  Network net;
+  std::vector<StoreReplica*> reps;
+  for (int i = 0; i < 2; ++i) reps.push_back(&net.spawn<StoreReplica>(NodeConfig{}));
+  auto mk = [](int base) {
+    return [base](Coordinator& self) -> sim::Task {
+      for (int i = 0; i < 5; ++i) {
+        const std::string key = "key-" + std::to_string(base + i);
+        co_await store_set(self, self.group, key,
+                           to_bytes("val-" + std::to_string(base + i)));
+      }
+      for (int i = 0; i < 5; ++i) {
+        const std::string key = "key-" + std::to_string(base + i);
+        auto v = co_await store_get(self, self.group, key);
+        EXPECT_TRUE(v.has_value()) << key;
+      }
+    };
+  };
+  auto& c1 = net.spawn<Coordinator>(NodeConfig{}, mk(0));
+  auto& c2 = net.spawn<Coordinator>(NodeConfig{}, mk(100));
+  net.run_for(300 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(c1.done);
+  EXPECT_TRUE(c2.done);
+  for (auto* r : reps) EXPECT_EQ(r->keys(), 10u);
+}
+
+}  // namespace
+}  // namespace soda::apps

@@ -1,0 +1,252 @@
+// Unit tests for the discrete-event substrate: event queue, RNG,
+// simulator clock, and the coroutine toolkit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/coro.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace soda::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSuppressesEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule(10, [&] { ++fired; });
+  q.schedule(20, [&] { ++fired; });
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop) {
+  EventQueue q;
+  auto id = q.schedule(1, [] {});
+  q.pop().second();
+  q.cancel(id);  // must not throw or corrupt
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto id = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next_u64();
+    if (va != b.next_u64()) all_equal = false;
+    if (va != c.next_u64()) differs_from_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(99);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  Time seen = -1;
+  s.after(150, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 150);
+  EXPECT_EQ(s.now(), 150);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.after(10, [&] { ++fired; });
+  s.after(100, [&] { ++fired; });
+  s.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50);
+  s.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator s;
+  s.after(10, [&] {
+    EXPECT_THROW(s.at(5, [] {}), std::logic_error);
+  });
+  s.run();
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator s;
+  std::vector<Time> times;
+  s.after(10, [&] {
+    times.push_back(s.now());
+    s.after(10, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 20}));
+}
+
+// ---- coroutines ----
+
+Task trivial(int* out) {
+  *out = 7;
+  co_return;
+}
+
+TEST(Coro, EagerStart) {
+  int x = 0;
+  Task t = trivial(&x);
+  EXPECT_EQ(x, 7);
+  EXPECT_TRUE(t.done());
+}
+
+Task waits_on(Future<int> f, int* out) {
+  *out = co_await f;
+}
+
+TEST(Coro, FuturePromiseRoundTrip) {
+  Promise<int> p;
+  int got = 0;
+  Task t = waits_on(p.future(), &got);
+  EXPECT_FALSE(t.done());
+  p.set(41);
+  EXPECT_EQ(got, 41);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(Coro, FutureAlreadyFulfilled) {
+  Promise<int> p;
+  p.set(5);
+  int got = 0;
+  Task t = waits_on(p.future(), &got);
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Coro, ExecutorInterceptsResumption) {
+  Promise<int> p;
+  auto f = p.future();
+  std::coroutine_handle<> captured{};
+  f.set_executor([&](std::coroutine_handle<> h) { captured = h; });
+  int got = 0;
+  Task t = waits_on(std::move(f), &got);
+  p.set(9);
+  EXPECT_EQ(got, 0);  // deferred
+  ASSERT_TRUE(captured);
+  captured.resume();
+  EXPECT_EQ(got, 9);
+  EXPECT_TRUE(t.done());
+}
+
+Task chain_inner(Future<int> f, int* out) { *out = co_await f; }
+Task chain_outer(Future<int> f, int* out, bool* after) {
+  co_await chain_inner(std::move(f), out);
+  *after = true;
+}
+
+TEST(Coro, AwaitingChildTask) {
+  Promise<int> p;
+  int got = 0;
+  bool after = false;
+  Task t = chain_outer(p.future(), &got, &after);
+  EXPECT_FALSE(after);
+  p.set(3);
+  EXPECT_EQ(got, 3);
+  EXPECT_TRUE(after);
+  EXPECT_TRUE(t.done());
+}
+
+Task thrower() {
+  throw std::runtime_error("boom");
+  co_return;
+}
+
+TEST(Coro, ExceptionCapturedAndRethrown) {
+  Task t = thrower();
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.rethrow_if_failed(), std::runtime_error);
+}
+
+TEST(Coro, DetachedTaskSelfDestroys) {
+  Promise<int> p;
+  int got = 0;
+  {
+    Task t = waits_on(p.future(), &got);
+    t.detach();
+  }
+  p.set(11);  // must not crash; coroutine resumes and frees itself
+  EXPECT_EQ(got, 11);
+}
+
+TEST(Coro, CondVarReleasesAllWaiters) {
+  CondVar cv;
+  int done = 0;
+  auto waiter = [&]() -> Task {
+    co_await cv.wait();
+    ++done;
+  };
+  Task a = waiter();
+  Task b = waiter();
+  EXPECT_EQ(cv.waiting(), 2u);
+  cv.notify_all();
+  EXPECT_EQ(done, 2);
+  EXPECT_TRUE(a.done() && b.done());
+}
+
+TEST(Coro, CondVarNotifyWithoutWaitersIsNoop) {
+  CondVar cv;
+  cv.notify_all();
+  EXPECT_EQ(cv.waiting(), 0u);
+}
+
+}  // namespace
+}  // namespace soda::sim

@@ -1,0 +1,178 @@
+// End-to-end smoke tests: a PUT, a GET, an EXCHANGE and a SIGNAL between
+// two freshly built nodes, exercising the whole stack (client coroutines,
+// kernel, transport, bus) before the finer-grained suites dig in.
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+
+namespace soda {
+namespace {
+
+constexpr Pattern kEcho = kWellKnownBit | 0x100;
+
+Bytes to_bytes(const std::string& s) {
+  Bytes b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    b[i] = static_cast<std::byte>(s[i]);
+  }
+  return b;
+}
+
+std::string to_string(const Bytes& b) {
+  std::string s(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    s[i] = static_cast<char>(std::to_integer<unsigned char>(b[i]));
+  }
+  return s;
+}
+
+/// Accepts every request on kEcho: takes the put data, replies with it
+/// uppercased (an EXCHANGE echo). Pure handler-driven server.
+class EchoServer : public Client {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kEcho);
+    co_return;
+  }
+  sim::Task on_handler(HandlerArgs a) override {
+    if (a.reason != HandlerReason::kRequestArrival) co_return;
+    ++arrivals;
+    Bytes in;
+    auto r = co_await accept_exchange(a.asker, 42, &in, a.put_size,
+                                      to_bytes(reply_text));
+    last_status = r.status;
+    last_in = to_string(in);
+    co_return;
+  }
+  int arrivals = 0;
+  AcceptStatus last_status = AcceptStatus::kSuccess;
+  std::string last_in;
+  std::string reply_text = "PONG";
+};
+
+class ExchangeClient : public Client {
+ public:
+  sim::Task on_handler(HandlerArgs a) override {
+    if (a.reason == HandlerReason::kRequestCompletion) {
+      completion = a;
+      done.notify_all();
+    }
+    co_return;
+  }
+  sim::Task on_task() override {
+    Bytes in;
+    tid = exchange(ServerSignature{1, kEcho}, 7, to_bytes("ping"), &in, 64);
+    EXPECT_NE(tid, kNoTid);
+    co_await wait_on(done);
+    reply = to_string(in);
+    finished = true;
+    // Linger so the final ACK drains before the implicit DIE; dying
+    // immediately makes the server's ACCEPT report CRASHED (§3.6.1),
+    // which the crash-semantics suite covers on purpose.
+    co_await delay(50 * sim::kMillisecond);
+    co_return;
+  }
+  Tid tid = kNoTid;
+  HandlerArgs completion;
+  sim::CondVar done;
+  std::string reply;
+  bool finished = false;
+};
+
+TEST(Smoke, ExchangeBetweenTwoNodes) {
+  Network net;
+  net.add_node();  // MID 0: idle manager slot
+  auto& server = net.spawn<EchoServer>(NodeConfig{});   // MID 1
+  auto& client = net.spawn<ExchangeClient>(NodeConfig{});  // MID 2
+
+  net.run_for(sim::kSecond);
+  net.check_clients();
+
+  EXPECT_TRUE(client.finished);
+  EXPECT_EQ(server.arrivals, 1);
+  EXPECT_EQ(server.last_in, "ping");
+  EXPECT_EQ(server.last_status, AcceptStatus::kSuccess);
+  EXPECT_EQ(client.reply, "PONG");
+  EXPECT_EQ(client.completion.status, CompletionStatus::kCompleted);
+  EXPECT_EQ(client.completion.arg, 42);
+  EXPECT_EQ(client.completion.put_size, 4u);
+  EXPECT_EQ(client.completion.get_size, 4u);
+}
+
+/// A pure SIGNAL (no data either way) completes and reports zero sizes.
+class SignalClient : public Client {
+ public:
+  sim::Task on_handler(HandlerArgs a) override {
+    if (a.reason == HandlerReason::kRequestCompletion) {
+      status = a.status;
+      got = true;
+      done.notify_all();
+    }
+    co_return;
+  }
+  sim::Task on_task() override {
+    signal(ServerSignature{1, kEcho}, 3);
+    co_await wait_on(done);
+    co_return;
+  }
+  bool got = false;
+  CompletionStatus status = CompletionStatus::kCrashed;
+  sim::CondVar done;
+};
+
+TEST(Smoke, SignalCompletes) {
+  Network net;
+  net.add_node();
+  net.spawn<EchoServer>(NodeConfig{});
+  auto& c = net.spawn<SignalClient>(NodeConfig{});
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(c.got);
+  EXPECT_EQ(c.status, CompletionStatus::kCompleted);
+}
+
+/// REQUEST to a pattern nobody advertised fails with UNADVERTISED.
+TEST(Smoke, UnadvertisedPatternFails) {
+  Network net;
+  net.add_node();
+  net.spawn<EchoServer>(NodeConfig{});
+  auto& c = net.spawn<SignalClient>(NodeConfig{});
+  (void)c;
+
+  class Probe : public Client {
+   public:
+    sim::Task on_handler(HandlerArgs a) override {
+      if (a.reason == HandlerReason::kRequestCompletion) {
+        status = a.status;
+        got = true;
+      }
+      co_return;
+    }
+    sim::Task on_task() override {
+      signal(ServerSignature{1, kWellKnownBit | 0x999}, 0);
+      co_return;  // die after issuing? no: dying clears the request.
+    }
+    bool got = false;
+    CompletionStatus status = CompletionStatus::kCompleted;
+  };
+
+  // Keep the probe's task alive long enough to see the completion: use a
+  // version that waits.
+  class WaitingProbe : public Probe {
+   public:
+    sim::Task on_task() override {
+      signal(ServerSignature{1, kWellKnownBit | 0x999}, 0);
+      co_await delay(500 * sim::kMillisecond);
+      co_return;
+    }
+  };
+
+  auto& p = net.spawn<WaitingProbe>(NodeConfig{});
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(p.got);
+  EXPECT_EQ(p.status, CompletionStatus::kUnadvertised);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,266 @@
+// SODAL runtime tests: blocking primitives (§4.1.1), the Queue type
+// (§4.1.4), the discover helper (§4.1.3), and timeouts via the
+// timeserver (§4.3.2).
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace soda::sodal {
+namespace {
+
+constexpr Pattern kP = kWellKnownBit | 0x700;
+
+TEST(Queue, PaperOperations) {
+  Queue<int> q(3);
+  EXPECT_TRUE(q.is_empty());
+  EXPECT_FALSE(q.is_full());
+  q.enqueue(1);
+  EXPECT_TRUE(q.almost_empty());
+  q.enqueue(2);
+  EXPECT_TRUE(q.almost_full());
+  q.enqueue(3);
+  EXPECT_TRUE(q.is_full());
+  EXPECT_EQ(q.dequeue(), 1);
+  EXPECT_EQ(q.dequeue(), 2);
+  EXPECT_EQ(q.dequeue(), 3);
+  EXPECT_TRUE(q.is_empty());
+}
+
+TEST(Queue, OverflowAndUnderflowThrow) {
+  Queue<int> q(1);
+  q.enqueue(1);
+  EXPECT_THROW(q.enqueue(2), std::overflow_error);
+  q.dequeue();
+  EXPECT_THROW(q.dequeue(), std::underflow_error);
+}
+
+class EchoServer : public SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kP);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs a) override {
+    Bytes in;
+    co_await accept_current_exchange(a.arg * 2, &in, a.put_size,
+                                     Bytes(a.get_size, std::byte{0xEE}));
+    ++served;
+    co_return;
+  }
+  int served = 0;
+};
+
+TEST(Blocking, AllFourFormsComplete) {
+  Network net;
+  auto& srv = net.spawn<EchoServer>(NodeConfig{});
+  class Driver : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      ServerSignature s{0, kP};
+      Completion c = co_await b_signal(s, 1);
+      ok &= c.ok() && c.arg == 2;
+      c = co_await b_put(s, 2, Bytes(10, std::byte{1}));
+      ok &= c.ok() && c.put_done == 10;
+      Bytes in;
+      c = co_await b_get(s, 3, &in, 6);
+      ok &= c.ok() && c.get_done == 6 && in.size() == 6;
+      Bytes in2;
+      c = co_await b_exchange(s, 4, Bytes(4, std::byte{2}), &in2, 4);
+      ok &= c.ok() && c.put_done == 4 && c.get_done == 4;
+      done = true;
+      co_await park_forever();
+    }
+    bool ok = true, done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_TRUE(d.ok);
+  EXPECT_EQ(srv.served, 4);
+}
+
+TEST(Blocking, MaxRequestsOverflowPostponedNotLost) {
+  // Issue more blocking requests than MAXREQUESTS concurrently: the SODAL
+  // layer postpones the surplus until slots free (§4.1.2).
+  Network net;
+  auto& srv = net.spawn<EchoServer>(NodeConfig{});
+  class Driver : public SodalClient {
+   public:
+    sim::Task one(int i) {
+      auto c = co_await b_signal(ServerSignature{0, kP}, i);
+      if (c.ok()) ++completed;
+    }
+    sim::Task on_task() override {
+      for (int i = 0; i < 8; ++i) strands.push_back(one(i));
+      while (completed < 8) co_await delay(10 * sim::kMillisecond);
+      done = true;
+      co_await park_forever();
+    }
+    std::vector<sim::Task> strands;
+    int completed = 0;
+    bool done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.completed, 8);
+  EXPECT_EQ(srv.served, 8);
+}
+
+TEST(Blocking, DiscoverHelperFindsServer) {
+  Network net;
+  net.add_node();
+  net.spawn<EchoServer>(NodeConfig{});  // MID 1
+  class Driver : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto sig = co_await discover(kP);
+      found = sig.mid;
+      auto c = co_await b_signal(sig, 21);
+      ok = c.ok() && c.arg == 42;
+      done = true;
+      co_await park_forever();
+    }
+    Mid found = kBroadcastMid;
+    bool ok = false, done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.found, 1);
+  EXPECT_TRUE(d.ok);
+}
+
+TEST(Blocking, DiscoverRetriesUntilServerAppears) {
+  Network net;
+  Node& later = net.add_node();  // MID 0, empty for now
+  class Driver : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto sig = co_await discover(kP);
+      found = sig.mid;
+      done = true;
+      co_await park_forever();
+    }
+    Mid found = kBroadcastMid;
+    bool done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(200 * sim::kMillisecond);
+  EXPECT_FALSE(d.done);  // nothing to find yet
+  later.install_client(std::make_unique<EchoServer>(), 0);
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_EQ(d.found, 0);
+}
+
+TEST(TimeServerTest, AlarmsFireAfterRequestedDelay) {
+  Network net;
+  auto& ts = net.spawn<TimeServer>(NodeConfig{});
+  class Sleeper : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      const auto t0 = sim().now();
+      auto c = co_await b_signal(ServerSignature{0, kAlarmClockPattern}, 50);
+      ok = c.ok();
+      elapsed = sim().now() - t0;
+      done = true;
+      co_await park_forever();
+    }
+    bool ok = false, done = false;
+    sim::Duration elapsed = 0;
+  };
+  auto& s = net.spawn<Sleeper>(NodeConfig{});
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(s.done);
+  EXPECT_TRUE(s.ok);
+  EXPECT_GE(s.elapsed, 50 * sim::kMillisecond);
+  EXPECT_LE(s.elapsed, 120 * sim::kMillisecond);
+  EXPECT_EQ(ts.fired(), 1u);
+}
+
+TEST(TimeServerTest, TimeoutPatternCancelsSlowRequest) {
+  // The §4.3.2 scenario: arm a wakeup, issue a request to a server that
+  // never answers, and on alarm completion CANCEL the slow request.
+  Network net;
+  net.spawn<TimeServer>(NodeConfig{});  // MID 0
+  class Mute : public SodalClient {     // MID 1: holds requests forever
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs) override { co_return; }
+  };
+  net.spawn<Mute>(NodeConfig{});
+  class Impatient : public SodalClient {
+   public:
+    sim::Task on_completion(HandlerArgs a) override {
+      if (a.asker.tid == alarm_tid) {
+        timed_out = true;
+        auto r = co_await cancel(slow_tid);
+        cancel_ok = (r == CancelStatus::kSuccess);
+        finished.notify_all();
+      } else if (a.asker.tid == slow_tid) {
+        slow_completed = true;
+      }
+      co_return;
+    }
+    sim::Task on_task() override {
+      alarm_tid = arm_alarm(*this, ServerSignature{0, kAlarmClockPattern},
+                            /*delay_ms=*/60);
+      slow_tid = signal(ServerSignature{1, kP}, 0);
+      co_await wait_on(finished);
+      done = true;
+      co_await park_forever();
+    }
+    Tid alarm_tid = kNoTid, slow_tid = kNoTid;
+    bool timed_out = false, cancel_ok = false, slow_completed = false;
+    bool done = false;
+    sim::CondVar finished;
+  };
+  auto& c = net.spawn<Impatient>(NodeConfig{});
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(c.done);
+  EXPECT_TRUE(c.timed_out);
+  EXPECT_TRUE(c.cancel_ok);
+  EXPECT_FALSE(c.slow_completed);
+}
+
+TEST(Blocking, RejectedSeenByBlockingCall) {
+  Network net;
+  class Rejecter : public SodalClient {
+   public:
+    sim::Task on_boot(Mid) override {
+      advertise(kP);
+      co_return;
+    }
+    sim::Task on_entry(HandlerArgs) override { co_await reject_current(); }
+  };
+  net.spawn<Rejecter>(NodeConfig{});
+  class Driver : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      auto c = co_await b_signal(ServerSignature{0, kP}, 0);
+      rejected = c.rejected();
+      done = true;
+      co_await park_forever();
+    }
+    bool rejected = false, done = false;
+  };
+  auto& d = net.spawn<Driver>(NodeConfig{});
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_TRUE(d.rejected);
+}
+
+}  // namespace
+}  // namespace soda::sodal

@@ -1,0 +1,37 @@
+#include <cstdio>
+#include "core/network.h"
+using namespace soda;
+constexpr Pattern kEcho = kWellKnownBit | 0x100;
+struct Server : Client {
+  sim::Task on_boot(Mid) override { advertise(kEcho); printf("[boot server]\n"); co_return; }
+  sim::Task on_handler(HandlerArgs a) override {
+    printf("[server handler reason=%d]\n", (int)a.reason);
+    if (a.reason != HandlerReason::kRequestArrival) co_return;
+    Bytes in;
+    auto r = co_await accept_exchange(a.asker, 42, &in, a.put_size, Bytes(4));
+    printf("[server accept done status=%d]\n", (int)r.status);
+  }
+};
+struct Cli : Client {
+  sim::Task on_handler(HandlerArgs a) override {
+    printf("[client handler reason=%d status=%d]\n", (int)a.reason, (int)a.status);
+    co_return;
+  }
+  sim::Task on_task() override {
+    Bytes in;
+    Tid t = exchange(ServerSignature{1, kEcho}, 7, Bytes(4, std::byte{1}), &in, 64);
+    printf("[client issued tid=%lld]\n", (long long)t);
+    co_await delay(900 * sim::kMillisecond);
+  }
+};
+int main() {
+  Network net;
+  net.sim().trace().enable_all();
+  net.add_node();
+  net.spawn<Server>(NodeConfig{});
+  net.spawn<Cli>(NodeConfig{});
+  net.run_for(sim::kSecond);
+  for (auto& e : net.sim().trace().events()) {
+    printf("%8.3fms n%d %-18s %s\n", sim::to_ms(e.at), e.node, sim::to_string(e.category), e.detail.c_str());
+  }
+}

@@ -1,0 +1,184 @@
+// soda_shell — a scriptable console for poking at a SODA network.
+//
+// Reads commands from stdin (interactive or piped), drives a simulated
+// network, and prints what the kernels do. Useful for exploring the
+// primitives without writing a program.
+//
+//   node                       create a node with a console client
+//   free                       create a clientless node (bootable)
+//   advertise <mid> <hexpat>   advertise a pattern on a node
+//   signal <from> <to> <hexpat> <arg>
+//   put <from> <to> <hexpat> <arg> <text>
+//   get <from> <to> <hexpat> <arg> <nbytes>
+//   discover <from> <hexpat>
+//   crash <mid>                hard-fail a node
+//   run <ms>                   advance simulated time
+//   trace on|off               packet tracing for subsequent runs
+//   stats                      bus statistics
+//   help / quit
+//
+// Example session:
+//   $ printf 'node\nnode\nadvertise 0 42\nput 1 0 42 7 hello\nrun 50\nquit\n' |
+//     ./tools/soda_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/network.h"
+#include "sodal/sodal.h"
+
+namespace {
+
+using namespace soda;
+using namespace soda::sodal;
+
+/// The console client: prints every handler event; auto-accepts arrivals
+/// as an exchange echoing "ok:<arg>".
+class ConsoleClient : public SodalClient {
+ public:
+  sim::Task on_entry(HandlerArgs a) override {
+    std::printf("  [n%d %.1fms] REQUEST arrival: pattern=%#llx arg=%d "
+                "put=%u get=%u from n%d\n",
+                my_mid(), sim::to_ms(sim().now()),
+                static_cast<unsigned long long>(a.invoked_pattern), a.arg,
+                a.put_size, a.get_size, a.asker.mid);
+    Bytes in;
+    auto r = co_await accept_current_exchange(
+        a.arg, &in, a.put_size, to_bytes("ok:" + std::to_string(a.arg)));
+    if (r.status == AcceptStatus::kSuccess && !in.empty()) {
+      std::printf("  [n%d] took %zu bytes: \"%s\"\n", my_mid(), in.size(),
+                  to_string(in).c_str());
+    }
+  }
+  sim::Task on_completion(HandlerArgs a) override {
+    std::printf("  [n%d %.1fms] completion tid=%lld: %s arg=%d put=%u "
+                "get=%u\n",
+                my_mid(), sim::to_ms(sim().now()),
+                static_cast<long long>(a.asker.tid), to_string(a.status),
+                a.arg, a.put_size, a.get_size);
+    co_return;
+  }
+};
+
+Pattern parse_pattern(const std::string& s) {
+  return (std::stoull(s, nullptr, 16) | kWellKnownBit) & kPatternMask;
+}
+
+}  // namespace
+
+int main() {
+  Network net;
+  std::vector<Bytes> get_buffers;  // keep GET targets alive
+  get_buffers.reserve(1024);
+  bool tracing = false;
+  std::size_t trace_cursor = 0;
+
+  std::printf("soda_shell — type 'help' for commands\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        std::printf("node free advertise signal put get discover crash run "
+                    "trace stats quit\n");
+      } else if (cmd == "node") {
+        net.spawn<ConsoleClient>(NodeConfig{});
+        std::printf("node %zu created (console client)\n", net.size() - 1);
+      } else if (cmd == "free") {
+        net.add_node();
+        std::printf("node %zu created (clientless, bootable)\n",
+                    net.size() - 1);
+      } else if (cmd == "advertise") {
+        int mid;
+        std::string pat;
+        in >> mid >> pat;
+        const bool ok = net.node(mid).kernel().advertise(parse_pattern(pat));
+        std::printf("advertise -> %s\n", ok ? "ok" : "refused");
+      } else if (cmd == "signal" || cmd == "put" || cmd == "get") {
+        int from, to, arg;
+        std::string pat;
+        in >> from >> to >> pat >> arg;
+        Kernel::RequestParams rp;
+        rp.server = ServerSignature{to, parse_pattern(pat)};
+        rp.arg = arg;
+        if (cmd == "put") {
+          std::string text;
+          std::getline(in, text);
+          if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+          rp.put_data = to_bytes(text);
+        } else if (cmd == "get") {
+          unsigned n = 0;
+          in >> n;
+          get_buffers.emplace_back();
+          rp.get_size = n;
+          rp.get_into = &get_buffers.back();
+        }
+        auto tid = net.node(from).kernel().request(rp);
+        if (tid) {
+          std::printf("%s issued, tid=%lld\n", cmd.c_str(),
+                      static_cast<long long>(*tid));
+        } else {
+          std::printf("%s refused (MAXREQUESTS?)\n", cmd.c_str());
+        }
+      } else if (cmd == "discover") {
+        int from;
+        std::string pat;
+        in >> from >> pat;
+        get_buffers.emplace_back();
+        Kernel::RequestParams rp;
+        rp.server = ServerSignature{kBroadcastMid, parse_pattern(pat)};
+        rp.get_size = 64;
+        rp.get_into = &get_buffers.back();
+        net.node(from).kernel().request(rp);
+        std::printf("discover broadcast issued\n");
+      } else if (cmd == "crash") {
+        int mid;
+        in >> mid;
+        net.node(mid).crash();
+        std::printf("node %d crashed\n", mid);
+      } else if (cmd == "run") {
+        long ms = 0;
+        in >> ms;
+        net.run_for(ms * sim::kMillisecond);
+        net.check_clients();
+        if (tracing) {
+          const auto& ev = net.sim().trace().events();
+          for (; trace_cursor < ev.size(); ++trace_cursor) {
+            const auto& e = ev[trace_cursor];
+            std::printf("  %9.2f ms n%d %-16s %s\n", sim::to_ms(e.at),
+                        e.node, sim::to_string(e.category),
+                        e.detail.c_str());
+          }
+        }
+        std::printf("t=%.1f ms\n", sim::to_ms(net.sim().now()));
+      } else if (cmd == "trace") {
+        std::string mode;
+        in >> mode;
+        tracing = (mode == "on");
+        if (tracing) {
+          net.sim().trace().enable_all();
+          trace_cursor = net.sim().trace().events().size();
+        } else {
+          net.sim().trace().disable_all();
+        }
+        std::printf("trace %s\n", tracing ? "on" : "off");
+      } else if (cmd == "stats") {
+        std::printf("frames=%zu bytes=%zu lost=%zu corrupted=%zu nodes=%zu "
+                    "t=%.1fms\n",
+                    net.bus().frames_sent(), net.bus().bytes_sent(),
+                    net.bus().frames_lost(), net.bus().frames_corrupted(),
+                    net.size(), sim::to_ms(net.sim().now()));
+      } else {
+        std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

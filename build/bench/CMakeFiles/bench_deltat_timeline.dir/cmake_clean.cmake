@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deltat_timeline.dir/bench_deltat_timeline.cc.o"
+  "CMakeFiles/bench_deltat_timeline.dir/bench_deltat_timeline.cc.o.d"
+  "bench_deltat_timeline"
+  "bench_deltat_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deltat_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mod_comparison.dir/bench_mod_comparison.cc.o"
+  "CMakeFiles/bench_mod_comparison.dir/bench_mod_comparison.cc.o.d"
+  "bench_mod_comparison"
+  "bench_mod_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mod_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

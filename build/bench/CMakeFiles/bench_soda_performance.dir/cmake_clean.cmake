@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soda_performance.dir/bench_soda_performance.cc.o"
+  "CMakeFiles/bench_soda_performance.dir/bench_soda_performance.cc.o.d"
+  "bench_soda_performance"
+  "bench_soda_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soda_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

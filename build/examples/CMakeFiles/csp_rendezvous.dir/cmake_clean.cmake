@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_rendezvous.dir/csp_rendezvous.cpp.o"
+  "CMakeFiles/csp_rendezvous.dir/csp_rendezvous.cpp.o.d"
+  "csp_rendezvous"
+  "csp_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

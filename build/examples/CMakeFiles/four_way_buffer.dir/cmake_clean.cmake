@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_way_buffer.dir/four_way_buffer.cpp.o"
+  "CMakeFiles/four_way_buffer.dir/four_way_buffer.cpp.o.d"
+  "four_way_buffer"
+  "four_way_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_way_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_migration.dir/link_migration.cpp.o"
+  "CMakeFiles/link_migration.dir/link_migration.cpp.o.d"
+  "link_migration"
+  "link_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

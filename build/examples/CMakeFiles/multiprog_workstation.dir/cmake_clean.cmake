@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_workstation.dir/multiprog_workstation.cpp.o"
+  "CMakeFiles/multiprog_workstation.dir/multiprog_workstation.cpp.o.d"
+  "multiprog_workstation"
+  "multiprog_workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_boot.dir/network_boot.cpp.o"
+  "CMakeFiles/network_boot.dir/network_boot.cpp.o.d"
+  "network_boot"
+  "network_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

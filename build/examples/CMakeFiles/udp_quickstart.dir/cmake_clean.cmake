@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_quickstart.dir/udp_quickstart.cpp.o"
+  "CMakeFiles/udp_quickstart.dir/udp_quickstart.cpp.o.d"
+  "udp_quickstart"
+  "udp_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

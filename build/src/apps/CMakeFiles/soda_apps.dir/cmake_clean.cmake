@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_apps.dir/apps.cc.o"
+  "CMakeFiles/soda_apps.dir/apps.cc.o.d"
+  "libsoda_apps.a"
+  "libsoda_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_baseline.dir/starmod.cc.o"
+  "CMakeFiles/soda_baseline.dir/starmod.cc.o.d"
+  "libsoda_baseline.a"
+  "libsoda_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_benchsupport.dir/stream.cc.o"
+  "CMakeFiles/soda_benchsupport.dir/stream.cc.o.d"
+  "libsoda_benchsupport.a"
+  "libsoda_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_core.dir/client.cc.o"
+  "CMakeFiles/soda_core.dir/client.cc.o.d"
+  "CMakeFiles/soda_core.dir/kernel.cc.o"
+  "CMakeFiles/soda_core.dir/kernel.cc.o.d"
+  "CMakeFiles/soda_core.dir/types.cc.o"
+  "CMakeFiles/soda_core.dir/types.cc.o.d"
+  "libsoda_core.a"
+  "libsoda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_net.dir/packet.cc.o"
+  "CMakeFiles/soda_net.dir/packet.cc.o.d"
+  "CMakeFiles/soda_net.dir/wire.cc.o"
+  "CMakeFiles/soda_net.dir/wire.cc.o.d"
+  "libsoda_net.a"
+  "libsoda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

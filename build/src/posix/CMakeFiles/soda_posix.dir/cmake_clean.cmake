@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_posix.dir/udp_bus.cc.o"
+  "CMakeFiles/soda_posix.dir/udp_bus.cc.o.d"
+  "libsoda_posix.a"
+  "libsoda_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_proto.dir/timing.cc.o"
+  "CMakeFiles/soda_proto.dir/timing.cc.o.d"
+  "CMakeFiles/soda_proto.dir/transport.cc.o"
+  "CMakeFiles/soda_proto.dir/transport.cc.o.d"
+  "libsoda_proto.a"
+  "libsoda_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_sim.dir/trace.cc.o"
+  "CMakeFiles/soda_sim.dir/trace.cc.o.d"
+  "libsoda_sim.a"
+  "libsoda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_sodal.dir/sodal.cc.o"
+  "CMakeFiles/soda_sodal.dir/sodal.cc.o.d"
+  "libsoda_sodal.a"
+  "libsoda_sodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_sodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

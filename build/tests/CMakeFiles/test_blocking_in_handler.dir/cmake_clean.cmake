@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking_in_handler.dir/test_blocking_in_handler.cc.o"
+  "CMakeFiles/test_blocking_in_handler.dir/test_blocking_in_handler.cc.o.d"
+  "test_blocking_in_handler"
+  "test_blocking_in_handler.pdb"
+  "test_blocking_in_handler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking_in_handler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connector_multicast.dir/test_connector_multicast.cc.o"
+  "CMakeFiles/test_connector_multicast.dir/test_connector_multicast.cc.o.d"
+  "test_connector_multicast"
+  "test_connector_multicast.pdb"
+  "test_connector_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connector_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

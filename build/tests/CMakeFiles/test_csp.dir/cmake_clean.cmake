@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csp.dir/test_csp.cc.o"
+  "CMakeFiles/test_csp.dir/test_csp.cc.o.d"
+  "test_csp"
+  "test_csp.pdb"
+  "test_csp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

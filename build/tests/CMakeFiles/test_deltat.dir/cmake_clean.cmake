@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deltat.dir/test_deltat.cc.o"
+  "CMakeFiles/test_deltat.dir/test_deltat.cc.o.d"
+  "test_deltat"
+  "test_deltat.pdb"
+  "test_deltat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deltat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

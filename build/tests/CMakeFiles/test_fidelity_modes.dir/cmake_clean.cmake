@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fidelity_modes.dir/test_fidelity_modes.cc.o"
+  "CMakeFiles/test_fidelity_modes.dir/test_fidelity_modes.cc.o.d"
+  "test_fidelity_modes"
+  "test_fidelity_modes.pdb"
+  "test_fidelity_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fidelity_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handler_edges.dir/test_handler_edges.cc.o"
+  "CMakeFiles/test_handler_edges.dir/test_handler_edges.cc.o.d"
+  "test_handler_edges"
+  "test_handler_edges.pdb"
+  "test_handler_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handler_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_links.dir/test_links.cc.o"
+  "CMakeFiles/test_links.dir/test_links.cc.o.d"
+  "test_links"
+  "test_links.pdb"
+  "test_links[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

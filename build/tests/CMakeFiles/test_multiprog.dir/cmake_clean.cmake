@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprog.dir/test_multiprog.cc.o"
+  "CMakeFiles/test_multiprog.dir/test_multiprog.cc.o.d"
+  "test_multiprog"
+  "test_multiprog.pdb"
+  "test_multiprog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

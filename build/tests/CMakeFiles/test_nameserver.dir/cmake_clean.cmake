@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nameserver.dir/test_nameserver.cc.o"
+  "CMakeFiles/test_nameserver.dir/test_nameserver.cc.o.d"
+  "test_nameserver"
+  "test_nameserver.pdb"
+  "test_nameserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nameserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

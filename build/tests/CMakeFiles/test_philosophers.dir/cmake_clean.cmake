@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_philosophers.dir/test_philosophers.cc.o"
+  "CMakeFiles/test_philosophers.dir/test_philosophers.cc.o.d"
+  "test_philosophers"
+  "test_philosophers.pdb"
+  "test_philosophers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

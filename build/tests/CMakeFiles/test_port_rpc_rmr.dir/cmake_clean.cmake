@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_rpc_rmr.dir/test_port_rpc_rmr.cc.o"
+  "CMakeFiles/test_port_rpc_rmr.dir/test_port_rpc_rmr.cc.o.d"
+  "test_port_rpc_rmr"
+  "test_port_rpc_rmr.pdb"
+  "test_port_rpc_rmr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_rpc_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sodal.dir/test_sodal.cc.o"
+  "CMakeFiles/test_sodal.dir/test_sodal.cc.o.d"
+  "test_sodal"
+  "test_sodal.pdb"
+  "test_sodal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

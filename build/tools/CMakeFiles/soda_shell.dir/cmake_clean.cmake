@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_shell.dir/soda_shell.cc.o"
+  "CMakeFiles/soda_shell.dir/soda_shell.cc.o.d"
+  "soda_shell"
+  "soda_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,7 @@
 // produced the same results"), and behaviour under bus loss.
 #include <cstdio>
 
+#include "benchsupport/report.h"
 #include "benchsupport/stream.h"
 #include "core/network.h"
 #include "sodal/sodal.h"
@@ -31,6 +32,20 @@ StreamResult run(OpKind kind, std::uint32_t words, bool pipelined,
 }  // namespace
 
 int main() {
+  JsonlReport report("ablation");
+  auto emit = [&report](const char* study, const char* config, OpKind kind,
+                        const StreamResult& r) {
+    report.row(stats::JsonObject()
+                   .set("kind", "ablation")
+                   .set("study", study)
+                   .set("config", config)
+                   .set("op", to_string(kind))
+                   .set("ms_per_op", r.ms_per_op)
+                   .set("packets_per_op", r.packets_per_op)
+                   .set("finished", r.finished)
+                   .set("retransmits", r.retransmits)
+                   .set("busy_nacks", r.busy_nacks));
+  };
   std::printf("Ablation studies\n================\n");
 
   // --- 1. Acknowledgement piggybacking ---
@@ -44,6 +59,8 @@ int main() {
     without.ack_delay_window = 0;
     auto a = run(kind, 100, false, with);
     auto b = run(kind, 100, false, without);
+    emit("piggybacking", "piggybacked", kind, a);
+    emit("piggybacking", "eager_acks", kind, b);
     std::printf("    %-8s piggybacked        %8.1f %10.2f\n",
                 to_string(kind), a.ms_per_op, a.packets_per_op);
     std::printf("    %-8s eager ACKs         %8.1f %10.2f\n",
@@ -60,6 +77,7 @@ int main() {
     TimingModel t{};
     t.busy_retry_interval = pace;
     auto r = run(OpKind::kGet, 100, false, t);
+    emit("busy_retry_pace", std::to_string(pace).c_str(), OpKind::kGet, r);
     std::printf("    %10.1f ms %8.1f %10.2f\n", sim::to_ms(pace),
                 r.ms_per_op, r.packets_per_op);
   }
@@ -72,10 +90,12 @@ int main() {
   {
     TimingModel t{};
     auto blocking = run(OpKind::kPut, 100, false, t, 1, 0.0, true);
+    emit("max_requests", "1_blocking", OpKind::kPut, blocking);
     std::printf("    %-12d %8.1f   (blocking form)\n", 1,
                 blocking.ms_per_op);
     for (int mr : {2, 3, 5, 8}) {
       auto r = run(OpKind::kPut, 100, false, t, mr);
+      emit("max_requests", std::to_string(mr).c_str(), OpKind::kPut, r);
       std::printf("    %-12d %8.1f\n", mr, r.ms_per_op);
     }
   }
@@ -94,6 +114,7 @@ int main() {
     o.loss = loss;
     o.seed = 5;
     auto r = run_stream(o);
+    emit("loss", std::to_string(loss).c_str(), OpKind::kExchange, r);
     std::printf("    %5.0f%%  %9.1f %10.2f %9s\n", loss * 100, r.ms_per_op,
                 r.packets_per_op, r.finished ? "yes" : "NO");
   }
@@ -197,6 +218,8 @@ int main() {
     TimingModel t{};
     auto np = run(kind, 100, false, t);
     auto pip = run(kind, 100, true, t);
+    emit("pipelining", "non_pipelined", kind, np);
+    emit("pipelining", "pipelined", kind, pip);
     std::printf("    %-10s %8.1f (%3.1f) %8.1f (%3.1f)\n", to_string(kind),
                 np.ms_per_op, np.packets_per_op, pip.ms_per_op,
                 pip.packets_per_op);

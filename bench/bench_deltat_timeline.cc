@@ -5,7 +5,9 @@
 // (delta-t = MPL + R + A) printed from the same TimingModel the kernel
 // runs on.
 #include <cstdio>
+#include <string>
 
+#include "benchsupport/report.h"
 #include "core/network.h"
 #include "sodal/sodal.h"
 
@@ -41,15 +43,13 @@ class Pinger : public SodalClient {
   int pings = 0;
 };
 
-void dump_trace(Network& net, const char* filter = nullptr) {
+void dump_trace(Network& net, bench::JsonlReport& report,
+                const char* filter = nullptr) {
   for (const auto& e : net.sim().trace().events()) {
-    if (filter && e.detail.find(filter) == std::string::npos &&
-        std::string(sim::to_string(e.category)).find(filter) ==
-            std::string::npos) {
-      continue;
-    }
-    std::printf("  %9.1f ms  n%d  %-18s %s\n", sim::to_ms(e.at), e.node,
-                sim::to_string(e.category), e.detail.c_str());
+    const std::string line = sim::describe(e);
+    if (filter && line.find(filter) == std::string::npos) continue;
+    std::printf("  %9.1f ms  %s\n", sim::to_ms(e.at), line.c_str());
+    report.raw(sim::to_json(e));
   }
   net.sim().trace().clear();
 }
@@ -57,6 +57,7 @@ void dump_trace(Network& net, const char* filter = nullptr) {
 }  // namespace
 
 int main() {
+  soda::bench::JsonlReport report("deltat_timeline");
   TimingModel t;
   std::printf("Delta-t window arithmetic (from the kernel's TimingModel)\n");
   std::printf("=========================================================\n");
@@ -85,7 +86,8 @@ int main() {
     std::printf("Scenario 1: one exchange, then silence -> records expire\n");
     p.go.notify_all();
     net.run_for(sim::kSecond);
-    dump_trace(net);
+    dump_trace(net, report);
+    report.metrics(net.sim().metrics(), "scenario1_expiry");
     std::printf("  (both records gone %.0f ms after the last packet)\n\n",
                 sim::to_ms(t.record_lifetime()));
   }
@@ -105,7 +107,8 @@ int main() {
       p.go.notify_all();
       net.run_for(5 * sim::kSecond);
     }
-    dump_trace(net);
+    dump_trace(net, report);
+    report.metrics(net.sim().metrics(), "scenario2_loss");
     std::printf("  pings completed: %d of 3 (each exactly once)\n\n",
                 p.pings);
   }
@@ -130,7 +133,8 @@ int main() {
     net.node(0).install_client(std::make_unique<Echo>(), 0);
     p.go.notify_all();  // and this one succeeds against the new incarnation
     net.run_for(5 * sim::kSecond);
-    dump_trace(net);
+    dump_trace(net, report);
+    report.metrics(net.sim().metrics(), "scenario3_crash");
     std::printf("  pings completed end-to-end: %d (1 before crash, 1 after "
                 "recovery)\n",
                 p.pings);

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "baseline/starmod.h"
+#include "benchsupport/report.h"
 #include "benchsupport/stream.h"
 #include "net/bus.h"
 #include "sim/simulator.h"
@@ -81,6 +82,18 @@ int main() {
 
   std::printf("\nShape check: SODA beats the layered *MOD runtime by ~2x on "
               "both forms, as in §5.5.\n");
+
+  soda::bench::JsonlReport report("mod_comparison");
+  report.row(soda::stats::JsonObject()
+                 .set("kind", "comparison")
+                 .set("soda_sync_ms", soda_sync)
+                 .set("mod_sync_ms", mod_sync)
+                 .set("soda_async_ms", soda_async)
+                 .set("mod_async_ms", mod_async)
+                 .set("paper_soda_sync_ms", 10.0)
+                 .set("paper_mod_sync_ms", 20.7)
+                 .set("paper_soda_async_ms", 5.8)
+                 .set("paper_mod_async_ms", 11.1));
   return (soda_sync > 0 && mod_sync > 0 && soda_async > 0 && mod_async > 0)
              ? 0
              : 1;

@@ -4,12 +4,14 @@
 // over both nodes), plus measured wire time.
 #include <cstdio>
 
+#include "benchsupport/report.h"
 #include "benchsupport/stream.h"
 
 int main() {
   using namespace soda;
   using namespace soda::bench;
 
+  JsonlReport report("overhead_breakdown");
   StreamOptions o;
   o.kind = OpKind::kSignal;
   o.ops = 120;
@@ -49,6 +51,21 @@ int main() {
                 row.paper_ms);
   }
   std::printf("%-22s %9.2f  %9.1f\n", "Total Time", total, 7.1);
+  {
+    stats::JsonObject row;
+    row.set("kind", "breakdown").set("op", "SIGNAL");
+    for (const auto& r2 : rows) {
+      const double ms = r2.cat == CostCategory::kTransmission
+                            ? r.wire_ms_per_op
+                            : r.cost_ms[static_cast<int>(r2.cat)];
+      row.set(to_string(r2.cat), ms);
+    }
+    row.set("total_ms", total)
+        .set("ms_per_op", r.ms_per_op)
+        .set("packets_per_op", r.packets_per_op);
+    report.row(row);
+    report.block(r.metrics_jsonl);
+  }
   std::printf("\nWall-clock per SIGNAL: %.2f ms (CPU/wire overlap makes it "
               "less than the charged total;\nthe paper's single "
               "multiplexed PDP-11 could not overlap, giving 7.1).\n",

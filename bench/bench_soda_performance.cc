@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "benchsupport/report.h"
 #include "benchsupport/stream.h"
 
 namespace {
@@ -42,6 +43,29 @@ const std::map<std::pair<OpKind, bool>, int> kPaperPackets = {
     {{OpKind::kExchange, false}, 6}, {{OpKind::kExchange, true}, 2},
 };
 
+soda::bench::JsonlReport& report() {
+  static soda::bench::JsonlReport r("soda_performance");
+  return r;
+}
+
+void emit_row(const StreamOptions& o, const soda::bench::StreamResult& r,
+              const char* variant) {
+  report().row(soda::stats::JsonObject()
+                   .set("kind", "stream")
+                   .set("variant", variant)
+                   .set("op", to_string(o.kind))
+                   .set("words", static_cast<std::uint64_t>(o.words))
+                   .set("pipelined", o.pipelined)
+                   .set("blocking", o.blocking)
+                   .set("queued_accept", o.queued_accept)
+                   .set("finished", r.finished)
+                   .set("ms_per_op", r.ms_per_op)
+                   .set("packets_per_op", r.packets_per_op)
+                   .set("bytes_per_op", r.bytes_per_op)
+                   .set("retransmits", r.retransmits)
+                   .set("busy_nacks", r.busy_nacks));
+}
+
 void run_table(OpKind kind, bool pipelined) {
   std::printf("\nMilliseconds Per %s (%s)  [paper: %d packets per op]\n",
               to_string(kind), pipelined ? "pipelined" : "non-pipelined",
@@ -57,6 +81,7 @@ void run_table(OpKind kind, bool pipelined) {
     o.words = w;
     o.pipelined = pipelined;
     auto r = run_stream(o);
+    emit_row(o, r, "table");
     std::printf("%7.1f", r.finished ? r.ms_per_op : -1.0);
     total_pkts += r.packets_per_op;
     ++cells;
@@ -100,6 +125,7 @@ int main() {
     o.blocking = row.blocking;
     o.queued_accept = row.queued;
     auto r = run_stream(o);
+    emit_row(o, r, "signal_forms");
     std::printf("  %-40s %6.1f ms/op   (paper ~%4.1f incl. client)\n",
                 row.name, r.ms_per_op, row.paper_ms);
   }

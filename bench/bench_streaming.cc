@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/file_server.h"
+#include "benchsupport/report.h"
 #include "core/network.h"
 
 using namespace soda;
@@ -48,6 +49,7 @@ class StreamReader : public sodal::SodalClient {
 }  // namespace
 
 int main() {
+  bench::JsonlReport report("streaming");
   constexpr std::size_t kFileSize = 100 * 1024;
   std::printf("Streaming a %zu KB file from the §4.4.5 file server\n",
               kFileSize / 1024);
@@ -71,6 +73,18 @@ int main() {
     const double kbs = (kFileSize / 1024.0) / r.seconds();
     std::printf("%12u %12.1f %12.1f %13.0f%%\n", chunk, r.seconds(), kbs,
                 100.0 * kbs / 125.0);
+    report.row(stats::JsonObject()
+                   .set("kind", "streaming")
+                   .set("chunk_bytes", static_cast<std::uint64_t>(chunk))
+                   .set("file_bytes", static_cast<std::uint64_t>(kFileSize))
+                   .set("sim_seconds", r.seconds())
+                   .set("kb_per_s", kbs)
+                   .set("frames_sent", static_cast<std::uint64_t>(
+                                           net.sim().metrics().total(
+                                               stats::Counter::kFramesSent)))
+                   .set("retransmits", static_cast<std::uint64_t>(
+                                           net.sim().metrics().total(
+                                               stats::Counter::kRetransmits))));
   }
   std::printf("\nShape: throughput grows with chunk size and saturates "
               "well below the wire limit\n(per-chunk kernel cost ~6 ms), "

@@ -194,7 +194,9 @@ bench/CMakeFiles/bench_sim_engine.dir/bench_sim_engine.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/time.h /root/repo/src/sim/random.h \
- /root/repo/src/sim/trace.h /root/repo/src/core/network.h \
+ /root/repo/src/sim/trace.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/stats/metrics.h /root/repo/src/core/network.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -225,16 +227,16 @@ bench/CMakeFiles/bench_sim_engine.dir/bench_sim_engine.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/core/node.h \
  /root/repo/src/core/client.h /root/repo/src/core/kernel.h \
- /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/config.h \
  /root/repo/src/net/packet.h /root/repo/src/core/types.h \
  /root/repo/src/proto/transport.h /root/repo/src/net/bus.h \
  /root/repo/src/sim/coro.h /usr/include/c++/12/coroutine \
  /root/repo/src/sodal/sodal.h /root/repo/src/sodal/blocking.h \
- /root/repo/src/sodal/connector.h /root/repo/src/sodal/util.h \
- /root/repo/src/sodal/csp.h /root/repo/src/sodal/links.h \
- /root/repo/src/sodal/multicast.h /root/repo/src/sodal/multiprog.h \
- /root/repo/src/sodal/nameserver.h /root/repo/src/sodal/port.h \
- /root/repo/src/sodal/queue.h /root/repo/src/sodal/rmr.h \
- /root/repo/src/sodal/rpc.h /root/repo/src/sodal/switchboard.h \
- /root/repo/src/sodal/timeserver.h
+ /root/repo/src/sodal/status.h /root/repo/src/sodal/connector.h \
+ /root/repo/src/sodal/util.h /root/repo/src/sodal/csp.h \
+ /root/repo/src/sodal/links.h /root/repo/src/sodal/multicast.h \
+ /root/repo/src/sodal/multiprog.h /root/repo/src/sodal/nameserver.h \
+ /root/repo/src/sodal/port.h /root/repo/src/sodal/queue.h \
+ /root/repo/src/sodal/rmr.h /root/repo/src/sodal/rpc.h \
+ /root/repo/src/sodal/switchboard.h /root/repo/src/sodal/timeserver.h

@@ -220,15 +220,17 @@ examples/CMakeFiles/network_boot.dir/network_boot.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/config.h \
  /root/repo/src/net/packet.h /usr/include/c++/12/cstddef \
- /root/repo/src/sim/time.h /root/repo/src/proto/timing.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/limits \
- /root/repo/src/sim/trace.h /root/repo/src/core/types.h \
- /root/repo/src/proto/transport.h /root/repo/src/net/bus.h \
- /root/repo/src/sim/coro.h /usr/include/c++/12/coroutine \
- /root/repo/src/sodal/sodal.h /root/repo/src/sodal/blocking.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/proto/timing.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/limits /root/repo/src/stats/metrics.h \
+ /root/repo/src/core/types.h /root/repo/src/proto/transport.h \
+ /root/repo/src/net/bus.h /root/repo/src/sim/coro.h \
+ /usr/include/c++/12/coroutine /root/repo/src/sodal/sodal.h \
+ /root/repo/src/sodal/blocking.h /root/repo/src/sodal/status.h \
  /root/repo/src/sodal/connector.h /root/repo/src/sodal/util.h \
  /root/repo/src/sodal/csp.h /root/repo/src/sodal/links.h \
  /root/repo/src/sodal/multicast.h /root/repo/src/sodal/multiprog.h \

@@ -221,25 +221,27 @@ examples/CMakeFiles/udp_quickstart.dir/udp_quickstart.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/config.h \
  /root/repo/src/net/packet.h /usr/include/c++/12/cstddef \
- /root/repo/src/sim/time.h /root/repo/src/proto/timing.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/limits \
- /root/repo/src/sim/trace.h /root/repo/src/core/types.h \
- /root/repo/src/proto/transport.h /root/repo/src/net/bus.h \
- /root/repo/src/sim/coro.h /usr/include/c++/12/coroutine \
- /root/repo/src/posix/udp_bus.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/proto/timing.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/limits /root/repo/src/stats/metrics.h \
+ /root/repo/src/core/types.h /root/repo/src/proto/transport.h \
+ /root/repo/src/net/bus.h /root/repo/src/sim/coro.h \
+ /usr/include/c++/12/coroutine /root/repo/src/posix/udp_bus.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/wire.h \
  /root/repo/src/sodal/sodal.h /root/repo/src/sodal/blocking.h \
- /root/repo/src/core/network.h /root/repo/src/sodal/connector.h \
- /root/repo/src/sodal/util.h /root/repo/src/sodal/csp.h \
- /root/repo/src/sodal/links.h /root/repo/src/sodal/multicast.h \
- /root/repo/src/sodal/multiprog.h /root/repo/src/sodal/nameserver.h \
- /root/repo/src/sodal/port.h /root/repo/src/sodal/queue.h \
- /root/repo/src/sodal/rmr.h /root/repo/src/sodal/rpc.h \
- /root/repo/src/sodal/switchboard.h /root/repo/src/sodal/timeserver.h
+ /root/repo/src/core/network.h /root/repo/src/sodal/status.h \
+ /root/repo/src/sodal/connector.h /root/repo/src/sodal/util.h \
+ /root/repo/src/sodal/csp.h /root/repo/src/sodal/links.h \
+ /root/repo/src/sodal/multicast.h /root/repo/src/sodal/multiprog.h \
+ /root/repo/src/sodal/nameserver.h /root/repo/src/sodal/port.h \
+ /root/repo/src/sodal/queue.h /root/repo/src/sodal/rmr.h \
+ /root/repo/src/sodal/rpc.h /root/repo/src/sodal/switchboard.h \
+ /root/repo/src/sodal/timeserver.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsupport/report.cc" "src/benchsupport/CMakeFiles/soda_benchsupport.dir/report.cc.o" "gcc" "src/benchsupport/CMakeFiles/soda_benchsupport.dir/report.cc.o.d"
   "/root/repo/src/benchsupport/stream.cc" "src/benchsupport/CMakeFiles/soda_benchsupport.dir/stream.cc.o" "gcc" "src/benchsupport/CMakeFiles/soda_benchsupport.dir/stream.cc.o.d"
   )
 
@@ -19,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/proto/CMakeFiles/soda_proto.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/soda_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

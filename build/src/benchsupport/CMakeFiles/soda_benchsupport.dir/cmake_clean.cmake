@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/soda_benchsupport.dir/report.cc.o"
+  "CMakeFiles/soda_benchsupport.dir/report.cc.o.d"
   "CMakeFiles/soda_benchsupport.dir/stream.cc.o"
   "CMakeFiles/soda_benchsupport.dir/stream.cc.o.d"
   "libsoda_benchsupport.a"

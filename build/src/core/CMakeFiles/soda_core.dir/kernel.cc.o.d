@@ -151,15 +151,16 @@ src/core/CMakeFiles/soda_core.dir/kernel.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/time.h \
- /root/repo/src/proto/timing.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/random.h /usr/include/c++/12/limits \
- /root/repo/src/sim/trace.h /root/repo/src/core/types.h \
- /root/repo/src/proto/transport.h /root/repo/src/net/bus.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/sim/trace.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/proto/timing.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
+ /usr/include/c++/12/limits /root/repo/src/stats/metrics.h \
+ /root/repo/src/core/types.h /root/repo/src/proto/transport.h \
+ /root/repo/src/net/bus.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

@@ -218,14 +218,15 @@ src/posix/CMakeFiles/soda_posix.dir/udp_bus.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/packet.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/packet.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/variant /root/repo/src/sim/simulator.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/random.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/random.h /root/repo/src/stats/metrics.h \
  /root/repo/src/net/wire.h /usr/include/arpa/inet.h \
  /usr/include/netinet/in.h /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/soda_stats.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

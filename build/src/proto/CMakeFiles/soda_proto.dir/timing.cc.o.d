@@ -146,4 +146,9 @@ src/proto/CMakeFiles/soda_proto.dir/timing.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.h \
  /root/repo/src/sim/random.h /usr/include/c++/12/limits \
- /root/repo/src/sim/trace.h
+ /root/repo/src/sim/trace.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/stats/metrics.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h

@@ -211,11 +211,14 @@ src/proto/CMakeFiles/soda_proto.dir/transport.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/packet.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
- /usr/include/c++/12/limits /root/repo/src/sim/trace.h \
- /root/repo/src/proto/timing.h
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/packet.h \
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/random.h /usr/include/c++/12/limits \
+ /root/repo/src/stats/metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/proto/timing.h

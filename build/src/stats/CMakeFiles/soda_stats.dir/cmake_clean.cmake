@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_stats.dir/json.cc.o"
+  "CMakeFiles/soda_stats.dir/json.cc.o.d"
+  "CMakeFiles/soda_stats.dir/metrics.cc.o"
+  "CMakeFiles/soda_stats.dir/metrics.cc.o.d"
+  "libsoda_stats.a"
+  "libsoda_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

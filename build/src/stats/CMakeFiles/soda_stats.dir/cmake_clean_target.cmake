@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoda_stats.a"
+)

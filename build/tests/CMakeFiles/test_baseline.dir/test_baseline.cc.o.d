@@ -296,9 +296,9 @@ tests/CMakeFiles/test_baseline.dir/test_baseline.cc.o: \
  /root/repo/src/baseline/starmod.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/bus.h /root/repo/src/net/packet.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
- /root/repo/src/sim/trace.h /root/repo/src/proto/timing.h \
- /root/repo/src/sim/coro.h /usr/include/c++/12/coroutine \
- /root/repo/src/benchsupport/stream.h
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/random.h /root/repo/src/stats/metrics.h \
+ /root/repo/src/proto/timing.h /root/repo/src/sim/coro.h \
+ /usr/include/c++/12/coroutine /root/repo/src/benchsupport/stream.h

@@ -298,4 +298,4 @@ tests/CMakeFiles/test_costs.dir/test_costs.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/time.h /root/repo/src/sim/random.h \
- /root/repo/src/sim/trace.h
+ /root/repo/src/sim/trace.h /root/repo/src/stats/metrics.h

@@ -299,11 +299,12 @@ tests/CMakeFiles/test_links.dir/test_links.cc.o: \
  /root/repo/src/core/kernel.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/config.h \
  /root/repo/src/net/packet.h /root/repo/src/sim/time.h \
- /root/repo/src/proto/timing.h /root/repo/src/sim/simulator.h \
- /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
- /root/repo/src/sim/trace.h /root/repo/src/core/types.h \
- /root/repo/src/proto/transport.h /root/repo/src/net/bus.h \
- /root/repo/src/sim/coro.h /usr/include/c++/12/coroutine \
- /root/repo/src/sodal/links.h /root/repo/src/sodal/blocking.h \
+ /root/repo/src/sim/trace.h /root/repo/src/proto/timing.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/random.h /root/repo/src/stats/metrics.h \
+ /root/repo/src/core/types.h /root/repo/src/proto/transport.h \
+ /root/repo/src/net/bus.h /root/repo/src/sim/coro.h \
+ /usr/include/c++/12/coroutine /root/repo/src/sodal/links.h \
+ /root/repo/src/sodal/blocking.h /root/repo/src/sodal/status.h \
  /root/repo/src/sodal/util.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/test_stats.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/soda_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sodal/CMakeFiles/soda_sodal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/soda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/soda_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchsupport/CMakeFiles/soda_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/soda_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/soda_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/soda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/soda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/soda_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -298,4 +298,5 @@ tests/CMakeFiles/test_timing.dir/test_timing.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/random.h /root/repo/src/sim/trace.h
+ /root/repo/src/sim/random.h /root/repo/src/sim/trace.h \
+ /root/repo/src/stats/metrics.h

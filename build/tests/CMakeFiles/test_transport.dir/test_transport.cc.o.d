@@ -294,9 +294,9 @@ tests/CMakeFiles/test_transport.dir/test_transport.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h /root/repo/src/net/bus.h \
  /root/repo/src/net/packet.h /root/repo/src/sim/time.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/event_queue.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/random.h \
- /root/repo/src/sim/trace.h /root/repo/src/proto/transport.h \
- /root/repo/src/proto/timing.h
+ /root/repo/src/sim/trace.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/event_queue.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/random.h /root/repo/src/stats/metrics.h \
+ /root/repo/src/proto/transport.h /root/repo/src/proto/timing.h

@@ -294,4 +294,5 @@ tests/CMakeFiles/test_wire.dir/test_wire.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/net/wire.h /root/repo/src/net/packet.h \
- /root/repo/src/sim/time.h /root/repo/src/sim/random.h
+ /root/repo/src/sim/time.h /root/repo/src/sim/trace.h \
+ /root/repo/src/sim/random.h

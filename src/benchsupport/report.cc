@@ -1,0 +1,35 @@
+#include "benchsupport/report.h"
+
+#include <cstdlib>
+
+namespace soda::bench {
+
+JsonlReport::JsonlReport(const std::string& name) {
+  const char* toggle = std::getenv("SODA_BENCH_JSONL");
+  if (toggle && std::string(toggle) == "0") return;
+  const char* dir = std::getenv("SODA_BENCH_JSONL_DIR");
+  path_ = dir && *dir ? std::string(dir) + "/" : std::string();
+  path_ += "BENCH_" + name + ".jsonl";
+  out_.open(path_, std::ios::trunc);
+}
+
+void JsonlReport::row(const stats::JsonObject& obj) {
+  if (out_.is_open()) out_ << obj.str() << '\n';
+}
+
+void JsonlReport::raw(const std::string& json_line) {
+  if (out_.is_open()) out_ << json_line << '\n';
+}
+
+void JsonlReport::block(const std::string& jsonl) {
+  if (!out_.is_open() || jsonl.empty()) return;
+  out_ << jsonl;
+  if (jsonl.back() != '\n') out_ << '\n';
+}
+
+void JsonlReport::metrics(const stats::MetricsHub& hub,
+                          const std::string& label) {
+  if (out_.is_open()) stats::dump_json(out_, hub, label);
+}
+
+}  // namespace soda::bench

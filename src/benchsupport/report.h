@@ -1,0 +1,40 @@
+// Machine-readable bench output: every bench_* binary appends JSONL rows
+// to BENCH_<name>.jsonl alongside its human-readable tables, so plots and
+// regression checks can consume runs without scraping stdout.
+//
+// Environment knobs:
+//   SODA_BENCH_JSONL=0        disable writing entirely
+//   SODA_BENCH_JSONL_DIR=dir  write the file under `dir` (default: cwd)
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "stats/json.h"
+#include "stats/metrics.h"
+
+namespace soda::bench {
+
+class JsonlReport {
+ public:
+  /// Opens (truncates) BENCH_<name>.jsonl unless disabled by environment.
+  explicit JsonlReport(const std::string& name);
+
+  bool enabled() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  /// Append one row; "kind" should identify the row type for consumers.
+  void row(const stats::JsonObject& obj);
+  /// Append a pre-serialized JSON line (must be one object, no newline).
+  void raw(const std::string& json_line);
+  /// Append the per-node + aggregate metrics rows for a finished run.
+  void metrics(const stats::MetricsHub& hub, const std::string& label);
+  /// Append pre-formatted JSONL rows (e.g. StreamResult::metrics_jsonl).
+  void block(const std::string& jsonl);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace soda::bench

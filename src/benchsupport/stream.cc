@@ -1,9 +1,11 @@
 #include "benchsupport/stream.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/network.h"
 #include "sodal/sodal.h"
+#include "stats/metrics.h"
 
 namespace soda::bench {
 
@@ -247,6 +249,14 @@ StreamResult run_stream(const StreamOptions& options) {
   StreamResult r;
   r.completed = probe.completed;
   r.finished = probe.finished;
+  r.retransmits = net.sim().metrics().total(stats::Counter::kRetransmits);
+  r.busy_nacks = net.sim().metrics().total(stats::Counter::kBusyNacks);
+  {
+    std::ostringstream os;
+    stats::dump_json(os, net.sim().metrics(),
+                     std::string("stream_") + to_string(options.kind));
+    r.metrics_jsonl = os.str();
+  }
   if (!probe.finished || options.ops <= options.warmup) return r;
 
   const double n = options.ops - options.warmup;

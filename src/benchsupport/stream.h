@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "proto/timing.h"
 
@@ -40,6 +41,12 @@ struct StreamResult {
   // indexed by CostCategory.
   double cost_ms[static_cast<int>(CostCategory::kCount)] = {};
   double wire_ms_per_op = 0.0;  // serialization time on the bus
+  // Whole-run protocol counters from the metrics registry (not windowed
+  // to the post-warmup span) and the full per-node metrics dump as JSONL
+  // rows, ready to append to a bench report.
+  std::uint64_t retransmits = 0;
+  std::uint64_t busy_nacks = 0;
+  std::string metrics_jsonl;
 };
 
 /// Run one streaming experiment to completion and report.

@@ -71,51 +71,59 @@ class Client {
   // ---- REQUEST variants (§4.1.1): non-blocking, return kNoTid when the
   // kernel ignored the request (MAXREQUESTS exceeded). ----
   Tid signal(ServerSignature s, std::int32_t arg = 0) {
-    return k().request({s, arg, {}, 0, nullptr}).value_or(kNoTid);
+    return k().request(Kernel::RequestParams::signal(s, arg)).value_or(kNoTid);
   }
   Tid put(ServerSignature s, std::int32_t arg, Bytes data) {
-    return k().request({s, arg, std::move(data), 0, nullptr}).value_or(kNoTid);
+    return k()
+        .request(Kernel::RequestParams::put(s, std::move(data), arg))
+        .value_or(kNoTid);
   }
   Tid get(ServerSignature s, std::int32_t arg, Bytes* into,
           std::uint32_t get_size) {
-    return k().request({s, arg, {}, get_size, into}).value_or(kNoTid);
+    return k()
+        .request(Kernel::RequestParams::get(s, get_size, into, arg))
+        .value_or(kNoTid);
   }
   Tid exchange(ServerSignature s, std::int32_t arg, Bytes out, Bytes* in,
                std::uint32_t get_size) {
     return k()
-        .request({s, arg, std::move(out), get_size, in})
+        .request(
+            Kernel::RequestParams::exchange(s, std::move(out), get_size, in,
+                                            arg))
         .value_or(kNoTid);
   }
   /// Broadcast DISCOVER; matching MIDs land in `into` (4 bytes each).
   Tid discover_request(Pattern pattern, Bytes* into, std::uint32_t get_size) {
     return k()
-        .request({ServerSignature{kBroadcastMid, pattern}, 0, {}, get_size,
-                  into})
+        .request(Kernel::RequestParams::discover(pattern, get_size, into))
         .value_or(kNoTid);
   }
 
   // ---- ACCEPT variants (§4.1.1): blocking (bounded). ----
   sim::Future<AcceptResult> accept_signal(RequesterSignature rs,
                                           std::int32_t arg = 0) {
-    return gated(k().accept({rs, arg, nullptr, 0, {}}));
+    return gated(k().accept(Kernel::AcceptParams::signal(rs, arg)));
   }
   sim::Future<AcceptResult> accept_put(RequesterSignature rs, std::int32_t arg,
                                        Bytes* take, std::uint32_t max_take) {
-    return gated(k().accept({rs, arg, take, max_take, {}}));
+    return gated(k().accept(Kernel::AcceptParams::take(rs, take, max_take,
+                                                       arg)));
   }
   sim::Future<AcceptResult> accept_get(RequesterSignature rs, std::int32_t arg,
                                        Bytes reply) {
-    return gated(k().accept({rs, arg, nullptr, 0, std::move(reply)}));
+    return gated(
+        k().accept(Kernel::AcceptParams::reply(rs, std::move(reply), arg)));
   }
   sim::Future<AcceptResult> accept_exchange(RequesterSignature rs,
                                             std::int32_t arg, Bytes* take,
                                             std::uint32_t max_take,
                                             Bytes reply) {
-    return gated(k().accept({rs, arg, take, max_take, std::move(reply)}));
+    return gated(k().accept(Kernel::AcceptParams::exchange(
+        rs, take, max_take, std::move(reply), arg)));
   }
   /// REJECT (§4.1.2): an ACCEPT with NIL buffers and argument -1.
   sim::Future<AcceptResult> reject(RequesterSignature rs) {
-    return gated(k().accept({rs, kRejectArg, nullptr, 0, {}}));
+    return gated(k().accept(Kernel::AcceptParams::reject(rs)));
   }
   static constexpr std::int32_t kRejectArg = -1;
 

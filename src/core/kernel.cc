@@ -38,6 +38,7 @@ Kernel::Kernel(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
       uids_(uids),
       cpu_(cpu),
       host_(host),
+      metrics_(sim.metrics().node(mid)),
       transport_(
           sim, bus, mid, config_.timing, cpu,
           proto::TransportCallbacks{
@@ -132,9 +133,13 @@ std::optional<Tid> Kernel::request(RequestParams params) {
   p.put_data = std::move(params.put_data);
   p.get_size = params.get_size;
   p.get_into = params.get_into;
+  p.issued_at = sim_.now();
 
+  metrics_.add(stats::Counter::kRequestsIssued);
   sim_.trace().record(sim_.now(), TraceCategory::kRequestIssued, mid_,
-                      "tid=" + std::to_string(tid));
+                      sim::TracePayload{}
+                          .with_peer(params.server.mid)
+                          .with_tid(static_cast<std::int32_t>(tid)));
 
   if (params.server.mid == kBroadcastMid) {
     // DISCOVER (§3.4.4): broadcast the query, collect staggered replies
@@ -213,8 +218,11 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
   cpu_.charge(config_.timing.client_trap, CostCategory::kClientOverhead);
   sim::Promise<AcceptResult> pr;
   const RequesterSignature rs = params.requester;
+  metrics_.add(stats::Counter::kAcceptsIssued);
   sim_.trace().record(sim_.now(), TraceCategory::kAcceptIssued, mid_,
-                      "tid=" + std::to_string(rs.tid));
+                      sim::TracePayload{}
+                          .with_peer(rs.mid)
+                          .with_tid(static_cast<std::int32_t>(rs.tid)));
 
   if (rs.mid == mid_ || rs.mid == kBroadcastMid || rs.tid == kNoTid) {
     pr.set(AcceptResult{AcceptStatus::kCancelled, 0, 0});
@@ -237,6 +245,7 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
     OngoingAccept oa;
     oa.promise = pr;
     oa.requester = rs;
+    oa.issued_at = sim_.now();
     accepts_.emplace(key, std::move(oa));
     transport_.send_sequenced(rs.mid, std::move(af));
     return pr.future();
@@ -271,8 +280,13 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
     transport_.send_control(rs.mid, std::move(af), /*store_as_response=*/true);
     delivered_.erase(dit);
     note_completed(key);
+    metrics_.add(stats::Counter::kAcceptsCompleted);
+    metrics_.observe(stats::Latency::kAcceptWait, 0);
     sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
-                        "tid=" + std::to_string(rs.tid) + " (piggybacked)");
+                        sim::TracePayload{}
+                            .with_peer(rs.mid)
+                            .with_tid(static_cast<std::int32_t>(rs.tid))
+                            .with_status(sim::TraceStatus::kPiggybacked));
     pr.set(result);
     return pr.future();
   }
@@ -295,6 +309,7 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
   oa.max_take = params.max_take;
   oa.waiting_put_data = needs_put;
   oa.result = result;
+  oa.issued_at = sim_.now();
   dr.accepting = true;
   accepts_.emplace(key, std::move(oa));
   transport_.send_sequenced(rs.mid, std::move(af));
@@ -303,8 +318,12 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
 
 void Kernel::finish_accept(ServerKey key, OngoingAccept& oa) {
   if (!oa.frame_acked || oa.waiting_put_data) return;
+  metrics_.add(stats::Counter::kAcceptsCompleted);
+  metrics_.observe(stats::Latency::kAcceptWait, sim_.now() - oa.issued_at);
   sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
-                      "tid=" + std::to_string(key.second));
+                      sim::TracePayload{}
+                          .with_peer(key.first)
+                          .with_tid(static_cast<std::int32_t>(key.second)));
   AcceptResult result = oa.result;
   auto promise = std::move(oa.promise);
   auto kernel_done = std::move(oa.kernel_done);
@@ -399,7 +418,7 @@ void Kernel::close() {
 
 void Kernel::endhandler() {
   handler_busy_ = false;
-  sim_.trace().record(sim_.now(), TraceCategory::kHandlerEnded, mid_, "");
+  sim_.trace().record(sim_.now(), TraceCategory::kHandlerEnded, mid_);
   if (open_change_pending_) {
     handler_open_ = pending_open_value_;
     open_change_pending_ = false;
@@ -449,8 +468,11 @@ void Kernel::try_dispatch() {
                handler_busy_ = false;
                return;
              }
-             sim_.trace().record(sim_.now(), TraceCategory::kHandlerInvoked,
-                                 mid_, "completion");
+             metrics_.add(stats::Counter::kHandlerInvocations);
+             sim_.trace().record(
+                 sim_.now(), TraceCategory::kHandlerInvoked, mid_,
+                 sim::TracePayload{}.with_status(
+                     sim::TraceStatus::kCompletion));
              host_.invoke_handler(args);
            });
 }
@@ -494,6 +516,7 @@ void Kernel::client_booted(Mid parent) {
                handler_busy_ = false;
                return;
              }
+             metrics_.add(stats::Counter::kHandlerInvocations);
              host_.invoke_handler(args);
            });
 }
@@ -507,7 +530,9 @@ void Kernel::crash() { reset_for_death(/*client_initiated=*/false); }
 
 void Kernel::reset_for_death(bool client_initiated) {
   sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
-                      client_initiated ? "die" : "killed/crashed");
+                      sim::TracePayload{}.with_status(
+                          client_initiated ? sim::TraceStatus::kDie
+                                           : sim::TraceStatus::kKilled));
   host_.kill_client();
   client_patterns_.clear();
   indexed_used_.fill(false);
@@ -633,9 +658,14 @@ void Kernel::deliver(const net::Frame& f) {
       Frame rf;
       rf.probe = net::ProbeSection{pb.tid, true, known};
       transport_.send_control(f.src, std::move(rf));
+      metrics_.add(stats::Counter::kProbeRepliesSent);
       sim_.trace().record(sim_.now(), TraceCategory::kProbe, mid_,
-                          "reply tid=" + std::to_string(pb.tid) +
-                              (known ? " known" : " unknown"));
+                          sim::TracePayload{}
+                              .with_peer(f.src)
+                              .with_tid(static_cast<std::int32_t>(pb.tid))
+                              .with_status(known
+                                               ? sim::TraceStatus::kReplyKnown
+                                               : sim::TraceStatus::kReplyUnknown));
     } else {
       auto it = pending_.find(pb.tid);
       if (it != pending_.end()) {
@@ -645,6 +675,7 @@ void Kernel::deliver(const net::Frame& f) {
         if (!pb.known) {
           // The server rebooted and lost the request: it cannot escape
           // detection (§3.6.2).
+          metrics_.add(stats::Counter::kCrashesDetected);
           fail_request(p, CompletionStatus::kCrashed);
         }
       }
@@ -821,8 +852,11 @@ void Kernel::send_late_data(PendingRequest& p) {
       fail_request(pr, CompletionStatus::kCrashed);
       return;
     }
+    metrics_.add(stats::Counter::kRetransmits);
     sim_.trace().record(sim_.now(), TraceCategory::kRetransmit, mid_,
-                        "late data tid=" + std::to_string(tid));
+                        sim::TracePayload{}
+                            .with_tid(static_cast<std::int32_t>(tid))
+                            .with_status(sim::TraceStatus::kLateData));
     send_late_data(pr);
   });
 }
@@ -864,9 +898,17 @@ void Kernel::complete_request(PendingRequest& p, CompletionStatus status,
   args.status = status;
   args.put_size = put_done;
   args.get_size = get_done;
+  metrics_.add(stats::Counter::kRequestsCompleted);
+  metrics_.observe(stats::Latency::kRequestLatency, sim_.now() - p.issued_at);
+  sim::TraceStatus ts = sim::TraceStatus::kCompleted;
+  if (status == CompletionStatus::kCrashed) ts = sim::TraceStatus::kCrashed;
+  if (status == CompletionStatus::kUnadvertised)
+    ts = sim::TraceStatus::kUnadvertised;
   sim_.trace().record(sim_.now(), TraceCategory::kRequestCompleted, mid_,
-                      "tid=" + std::to_string(p.tid) + " " +
-                          to_string(status));
+                      sim::TracePayload{}
+                          .with_peer(p.server.mid)
+                          .with_tid(static_cast<std::int32_t>(p.tid))
+                          .with_status(ts));
   pending_.erase(p.tid);
   post_completion(args);
 }
@@ -909,6 +951,7 @@ void Kernel::probe_tick(Tid tid) {
   if (p.awaiting_probe_reply && !p.probe_reply_seen) {
     if (++p.probe_misses >= config_.timing.max_probe_misses) {
       // "If several successive probes fail, a crash is reported" (§3.6.2).
+      metrics_.add(stats::Counter::kCrashesDetected);
       fail_request(p, CompletionStatus::kCrashed);
       return;
     }
@@ -916,8 +959,12 @@ void Kernel::probe_tick(Tid tid) {
   Frame f;
   f.probe = net::ProbeSection{tid, false, false};
   transport_.send_control(p.server.mid, std::move(f));
+  metrics_.add(stats::Counter::kProbesSent);
   sim_.trace().record(sim_.now(), TraceCategory::kProbe, mid_,
-                      "tid=" + std::to_string(tid));
+                      sim::TracePayload{}
+                          .with_peer(p.server.mid)
+                          .with_tid(static_cast<std::int32_t>(tid))
+                          .with_status(sim::TraceStatus::kQuery));
   p.awaiting_probe_reply = true;
   p.probe_reply_seen = false;
   p.probe_armed = true;
@@ -967,8 +1014,10 @@ void Kernel::dispatch_arrival(const net::Frame& f) {
                handler_busy_ = false;
                return;
              }
-             sim_.trace().record(sim_.now(), TraceCategory::kHandlerInvoked,
-                                 mid_, "arrival");
+             metrics_.add(stats::Counter::kHandlerInvocations);
+             sim_.trace().record(
+                 sim_.now(), TraceCategory::kHandlerInvoked, mid_,
+                 sim::TracePayload{}.with_status(sim::TraceStatus::kArrival));
              host_.invoke_handler(args);
            });
 }
@@ -1019,8 +1068,9 @@ void Kernel::serve_reserved(const net::Frame& f) {
                     ~kWellKnownBit & kPatternMask;
     core_image_.clear();
     sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
-                        "load pattern allocated for parent " +
-                            std::to_string(f.src));
+                        sim::TracePayload{}
+                            .with_peer(f.src)
+                            .with_status(sim::TraceStatus::kLoadAllocated));
     respond_kernel_accept(f, 0, pattern_to_bytes(load_pattern_));
     return;
   }
@@ -1038,6 +1088,7 @@ void Kernel::serve_reserved(const net::Frame& f) {
         OngoingAccept oa;
         oa.requester = RequesterSignature{f.src, rq.tid};
         oa.waiting_put_data = true;
+        oa.issued_at = sim_.now();
         oa.kernel_on_data = [this](const Bytes& d) {
           core_image_.insert(core_image_.end(), d.begin(), d.end());
         };
@@ -1051,8 +1102,11 @@ void Kernel::serve_reserved(const net::Frame& f) {
     respond_kernel_accept(f, 0, {});
     if (!host_.has_client()) {
       ++boots_;
+      metrics_.add(stats::Counter::kBoots);
       sim_.trace().record(sim_.now(), TraceCategory::kBoot, mid_,
-                          "booting client, parent " + std::to_string(f.src));
+                          sim::TracePayload{}
+                              .with_peer(f.src)
+                              .with_status(sim::TraceStatus::kBooting));
       Bytes image = core_image_;
       const Mid parent = f.src;
       sim_.after(0, [this, image, parent, epoch = death_epoch_]() {

@@ -76,6 +76,36 @@ class Kernel {
     Bytes put_data{};            // requester -> server payload
     std::uint32_t get_size = 0;  // bytes wanted back
     Bytes* get_into = nullptr;   // client buffer for the reply data
+
+    // Fluent builders mirroring the paper's SIGNAL/PUT/GET/EXCHANGE
+    // taxonomy (§4.1.1). Prefer these over brace-initialization — field
+    // order stops mattering and call sites read like the primitives.
+    static RequestParams signal(ServerSignature s, std::int32_t arg = 0) {
+      return {s, arg, {}, 0, nullptr};
+    }
+    static RequestParams put(ServerSignature s, Bytes data,
+                             std::int32_t arg = 0) {
+      return {s, arg, std::move(data), 0, nullptr};
+    }
+    static RequestParams get(ServerSignature s, std::uint32_t get_size,
+                             Bytes* into, std::int32_t arg = 0) {
+      return {s, arg, {}, get_size, into};
+    }
+    static RequestParams exchange(ServerSignature s, Bytes out,
+                                  std::uint32_t get_size, Bytes* in,
+                                  std::int32_t arg = 0) {
+      return {s, arg, std::move(out), get_size, in};
+    }
+    /// Broadcast DISCOVER (§3.4.4): matching MIDs land in `into`.
+    static RequestParams discover(Pattern pattern, std::uint32_t get_size,
+                                  Bytes* into) {
+      return {ServerSignature{net::kBroadcastMid, pattern}, 0, {}, get_size,
+              into};
+    }
+    RequestParams& with_arg(std::int32_t a) {
+      arg = a;
+      return *this;
+    }
   };
   std::optional<Tid> request(RequestParams params);
 
@@ -87,6 +117,28 @@ class Kernel {
     Bytes* take_into = nullptr;      // server buffer for requester's data
     std::uint32_t max_take = 0;      // capacity of that buffer
     Bytes reply_data{};              // server -> requester payload
+
+    // Fluent builders matching the ACCEPT variants (§4.1.1).
+    static AcceptParams signal(RequesterSignature rs, std::int32_t arg = 0) {
+      return {rs, arg, nullptr, 0, {}};
+    }
+    static AcceptParams take(RequesterSignature rs, Bytes* into,
+                             std::uint32_t max_take, std::int32_t arg = 0) {
+      return {rs, arg, into, max_take, {}};
+    }
+    static AcceptParams reply(RequesterSignature rs, Bytes data,
+                              std::int32_t arg = 0) {
+      return {rs, arg, nullptr, 0, std::move(data)};
+    }
+    static AcceptParams exchange(RequesterSignature rs, Bytes* into,
+                                 std::uint32_t max_take, Bytes data,
+                                 std::int32_t arg = 0) {
+      return {rs, arg, into, max_take, std::move(data)};
+    }
+    /// REJECT (§4.1.2): NIL buffers, argument -1.
+    static AcceptParams reject(RequesterSignature rs) {
+      return {rs, -1, nullptr, 0, {}};
+    }
   };
   sim::Future<AcceptResult> accept(AcceptParams params);
 
@@ -139,6 +191,8 @@ class Kernel {
     enum class Phase { kInTransport, kDelivered, kDone } phase =
         Phase::kInTransport;
 
+    sim::Time issued_at = 0;  // feeds the request-latency histogram
+
     // completion assembly
     std::optional<net::AcceptSection> accept_info;
     bool late_put_sent = false;
@@ -187,6 +241,7 @@ class Kernel {
     bool frame_acked = false;
     bool waiting_put_data = false;
     AcceptResult result;
+    sim::Time issued_at = 0;  // feeds the accept-wait histogram
   };
 
   using ServerKey = std::pair<Mid, Tid>;
@@ -238,6 +293,7 @@ class Kernel {
   UniqueIdSource& uids_;
   NodeCpu& cpu_;
   KernelHost& host_;
+  stats::MetricsRegistry& metrics_;  // this node's registry
   proto::Transport transport_;
 
   // naming

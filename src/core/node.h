@@ -23,7 +23,9 @@ class Node final : public KernelHost {
        UniqueIdSource& uids)
       : sim_(sim),
         cpu_(sim, ledger_),
-        kernel_(sim, bus, mid, std::move(config), uids, cpu_, *this) {}
+        kernel_(sim, bus, mid, std::move(config), uids, cpu_, *this) {
+    cpu_.bind_metrics(&sim.metrics().node(mid));
+  }
 
   Mid mid() const { return kernel_.mid(); }
   Kernel& kernel() { return kernel_; }
@@ -58,7 +60,8 @@ class Node final : public KernelHost {
     auto it = programs_.find(name);
     if (it == programs_.end()) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kBoot, mid(),
-                          "unknown core image '" + name + "'");
+                          sim::TracePayload{}.with_status(
+                              sim::TraceStatus::kUnknownImage));
       return;
     }
     install_client(it->second(), parent);

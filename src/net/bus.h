@@ -4,17 +4,20 @@
 //
 // Fault injection: uniform frame-loss probability and CRC-corruption
 // probability exercise the retransmission and Delta-t machinery the same
-// way collisions and line noise did on the real bus.
+// way collisions and line noise did on the real bus. For deterministic
+// tests, set_loss_filter() replaces the random draw with a predicate.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "stats/metrics.h"
 
 namespace soda::net {
 
@@ -38,6 +41,10 @@ struct BusConfig {
 /// Receiver callback installed by a NIC.
 using FrameSink = std::function<void(const Frame&)>;
 
+/// Deterministic loss predicate: return true to drop this (frame, receiver)
+/// delivery. When installed it replaces the random loss draw entirely.
+using LossFilter = std::function<bool(const Frame&, Mid dst)>;
+
 class Bus {
  public:
   Bus(sim::Simulator& sim, BusConfig config) : sim_(sim), config_(config) {}
@@ -47,8 +54,11 @@ class Bus {
   Bus& operator=(const Bus&) = delete;
 
   /// Attach a station. Frames addressed to `mid` or to kBroadcastMid are
-  /// delivered to `sink` after serialization + propagation delay.
-  void attach(Mid mid, FrameSink sink) { stations_[mid] = std::move(sink); }
+  /// delivered to `sink` after serialization + propagation delay. The
+  /// station's per-node MetricsRegistry is bound here.
+  void attach(Mid mid, FrameSink sink) {
+    stations_[mid] = Station{std::move(sink), &sim_.metrics().node(mid)};
+  }
 
   void detach(Mid mid) { stations_.erase(mid); }
 
@@ -58,19 +68,29 @@ class Bus {
   /// Virtual so alternative media (the posix/ UDP backend) can carry the
   /// same kernels over real sockets.
   virtual void send(Frame frame) {
+    const std::size_t size = frame.wire_size();
     const sim::Duration wire =
         config_.propagation +
-        static_cast<sim::Duration>(frame.wire_size()) * config_.us_per_byte;
-    sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketSent, frame.src,
-                        frame.describe());
+        static_cast<sim::Duration>(size) * config_.us_per_byte;
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketSent,
+                        frame.src, trace_payload(frame));
     ++frames_sent_;
-    bytes_sent_ += frame.wire_size();
+    bytes_sent_ += size;
+    if (auto* m = metrics_for(frame.src)) {
+      m->add(stats::Counter::kFramesSent);
+      m->add(stats::Counter::kBytesSent, size);
+    }
 
     auto deliver_to = [&](Mid mid) {
-      if (sim_.rng().chance(config_.loss_probability)) {
-        sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketDropped,
-                            mid, "lost: " + frame.describe());
+      const bool dropped = loss_filter_
+                               ? loss_filter_(frame, mid)
+                               : sim_.rng().chance(config_.loss_probability);
+      if (dropped) {
+        sim_.trace().record(
+            sim_.now(), sim::TraceCategory::kPacketDropped, mid,
+            trace_payload(frame).with_status(sim::TraceStatus::kLost));
         ++frames_lost_;
+        if (auto* m = metrics_for(mid)) m->add(stats::Counter::kFramesDropped);
         return;
       }
       Frame copy = frame;
@@ -85,19 +105,26 @@ class Bus {
         auto it = stations_.find(mid);
         if (it == stations_.end()) return;  // station powered off
         if (f.corrupted) {
-          sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketDropped,
-                              mid, "crc: " + f.describe());
+          sim_.trace().record(
+              sim_.now(), sim::TraceCategory::kPacketDropped, mid,
+              trace_payload(f).with_status(sim::TraceStatus::kCrcDropped));
           ++frames_corrupted_;
+          if (auto* m = it->second.metrics) {
+            m->add(stats::Counter::kFramesDropped);
+            m->add(stats::Counter::kFramesCorrupted);
+          }
           return;
         }
         sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
-                            mid, f.describe());
-        it->second(f);
+                            mid, trace_payload(f));
+        if (auto* m = it->second.metrics)
+          m->add(stats::Counter::kFramesReceived);
+        it->second.sink(f);
       });
     };
 
     if (frame.dst == kBroadcastMid) {
-      for (const auto& [mid, sink] : stations_) {
+      for (const auto& [mid, station] : stations_) {
         if (mid != frame.src) deliver_to(mid);
       }
     } else {
@@ -120,17 +147,20 @@ class Bus {
     config_.corruption_probability = p;
   }
 
+  /// Install (or clear, with nullptr) a deterministic loss predicate.
+  void set_loss_filter(LossFilter filter) { loss_filter_ = std::move(filter); }
+
  protected:
   /// For subclasses delivering frames that arrived from elsewhere.
   void deliver_to_station(const Frame& f) {
-    auto it = stations_.find(f.dst);
     if (f.dst == kBroadcastMid) {
-      for (const auto& [mid, sink] : stations_) {
-        if (mid != f.src) sink(f);
+      for (const auto& [mid, station] : stations_) {
+        if (mid != f.src) station.sink(f);
       }
       return;
     }
-    if (it != stations_.end()) it->second(f);
+    auto it = stations_.find(f.dst);
+    if (it != stations_.end()) it->second.sink(f);
   }
 
   /// Deliver a frame to one specific station's sink, leaving the frame's
@@ -138,7 +168,7 @@ class Bus {
   /// broadcast address so kernels can recognise DISCOVER queries).
   void deliver_to_one(Mid station, const Frame& f) {
     auto it = stations_.find(station);
-    if (it != stations_.end()) it->second(f);
+    if (it != stations_.end()) it->second.sink(f);
   }
 
   bool station_attached(Mid mid) const { return stations_.count(mid) > 0; }
@@ -148,10 +178,23 @@ class Bus {
     bytes_sent_ += bytes;
   }
 
+  /// Registry for an attached station, nullptr when not attached (e.g. a
+  /// sender that was just powered off, or broadcast destination).
+  stats::MetricsRegistry* metrics_for(Mid mid) {
+    auto it = stations_.find(mid);
+    return it == stations_.end() ? nullptr : it->second.metrics;
+  }
+
  private:
+  struct Station {
+    FrameSink sink;
+    stats::MetricsRegistry* metrics = nullptr;
+  };
+
   sim::Simulator& sim_;
   BusConfig config_;
-  std::unordered_map<Mid, FrameSink> stations_;
+  std::unordered_map<Mid, Station> stations_;
+  LossFilter loss_filter_;
   std::size_t frames_sent_ = 0;
   std::size_t bytes_sent_ = 0;
   std::size_t frames_lost_ = 0;

@@ -55,4 +55,40 @@ std::string Frame::describe() const {
   return os.str();
 }
 
+sim::TracePayload trace_payload(const Frame& f) {
+  namespace fs = sim::frame_section;
+  sim::TracePayload p;
+  p.peer = f.dst;
+  p.size = static_cast<std::int32_t>(f.wire_size());
+  if (f.conn_open) p.sections |= fs::kConnOpen;
+  if (f.seq) p.sections |= fs::kSeq;
+  if (f.ack) p.sections |= fs::kAck;
+  if (f.nack) p.sections |= fs::kNack;
+  if (f.request) {
+    p.sections |= fs::kRequest;
+    p.tid = static_cast<std::int32_t>(f.request->tid);
+    p.pattern = static_cast<std::int32_t>(f.request->pattern &
+                                          0x7fffffff);  // low bits for traces
+  }
+  if (f.accept) {
+    p.sections |= fs::kAccept;
+    if (p.tid < 0) p.tid = static_cast<std::int32_t>(f.accept->tid);
+  }
+  if (f.probe) {
+    p.sections |= fs::kProbe;
+    if (p.tid < 0) p.tid = static_cast<std::int32_t>(f.probe->tid);
+  }
+  if (f.discover) {
+    p.sections |= f.discover->is_reply ? fs::kDiscoverReply : fs::kDiscover;
+    if (p.tid < 0) p.tid = static_cast<std::int32_t>(f.discover->tid);
+  }
+  if (f.cancel) {
+    p.sections |= fs::kCancel;
+    if (p.tid < 0) p.tid = static_cast<std::int32_t>(f.cancel->tid);
+  }
+  if (f.data_tag != DataTag::kNone) p.sections |= fs::kData;
+  if (f.data_ack != kNoTid) p.sections |= fs::kDataAck;
+  return p;
+}
+
 }  // namespace soda::net

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "sim/trace.h"
 
 namespace soda::net {
 
@@ -192,5 +193,10 @@ struct Frame {
   static constexpr std::size_t kRequestHeaderBytes = 22;
   static constexpr std::size_t kAcceptHeaderBytes = 18;
 };
+
+/// Typed trace payload for a frame: section bitmask, peer, tid, size. Used
+/// by the bus (and UDP backend) so packet traces carry structure instead of
+/// describe() strings — no allocation on the send path.
+sim::TracePayload trace_payload(const Frame& f);
 
 }  // namespace soda::net

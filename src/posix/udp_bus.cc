@@ -97,7 +97,7 @@ int UdpBus::pump() {
       if (frame->dst != mid && frame->dst != net::kBroadcastMid) continue;
       simulator().trace().record(simulator().now(),
                                  sim::TraceCategory::kPacketReceived, mid,
-                                 frame->describe());
+                                 net::trace_payload(*frame));
       deliver_to_one(mid, *frame);
       ++delivered;
     }

@@ -28,6 +28,7 @@
 
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "stats/metrics.h"
 
 namespace soda {
 
@@ -124,9 +125,13 @@ class NodeCpu {
   NodeCpu(sim::Simulator& sim, CostLedger& ledger)
       : sim_(&sim), ledger_(&ledger) {}
 
+  /// Mirror busy time into a node's MetricsRegistry (kCpuBusyMicros).
+  /// Optional; a detached CPU only feeds the CostLedger.
+  void bind_metrics(stats::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Occupy the CPU for `d` microseconds of `cat` work, then run `fn`.
   void run(sim::Duration d, CostCategory cat, std::function<void()> fn) {
-    ledger_->charge(cat, d);
+    account(d, cat);
     const sim::Time start = std::max(sim_->now(), free_at_);
     free_at_ = start + d;
     sim_->at(free_at_, std::move(fn));
@@ -135,7 +140,7 @@ class NodeCpu {
   /// Charge CPU time with no completion action (bookkeeping overhead that
   /// delays whatever is scheduled next on this CPU).
   void charge(sim::Duration d, CostCategory cat) {
-    ledger_->charge(cat, d);
+    account(d, cat);
     const sim::Time start = std::max(sim_->now(), free_at_);
     free_at_ = start + d;
   }
@@ -144,8 +149,17 @@ class NodeCpu {
   CostLedger& ledger() { return *ledger_; }
 
  private:
+  void account(sim::Duration d, CostCategory cat) {
+    ledger_->charge(cat, d);
+    if (metrics_ != nullptr && d > 0) {
+      metrics_->add(stats::Counter::kCpuBusyMicros,
+                    static_cast<std::uint64_t>(d));
+    }
+  }
+
   sim::Simulator* sim_;
   CostLedger* ledger_;
+  stats::MetricsRegistry* metrics_ = nullptr;
   sim::Time free_at_ = 0;
 };
 

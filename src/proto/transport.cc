@@ -17,6 +17,7 @@ Transport::Transport(sim::Simulator& sim, net::Bus& bus, net::Mid mid,
       mid_(mid),
       timing_(timing),
       cpu_(cpu),
+      metrics_(&sim.metrics().node(mid)),
       cb_(std::move(callbacks)) {
   bus_.attach(mid_, [this](const Frame& f) { on_bus_frame(f); });
 }
@@ -28,8 +29,10 @@ bool Transport::quarantined() const { return sim_.now() < rejoin_at_; }
 Transport::Record& Transport::record(Mid peer) {
   auto [it, inserted] = records_.try_emplace(peer);
   if (inserted) {
+    it->second.opened_at = sim_.now();
+    metrics_->add(stats::Counter::kRecordsOpened);
     sim_.trace().record(sim_.now(), TraceCategory::kConnectionOpened, mid_,
-                        "record for peer " + std::to_string(peer));
+                        sim::TracePayload{}.with_peer(peer));
   }
   return it->second;
 }
@@ -63,8 +66,13 @@ void Transport::drop_record(Mid peer) {
   if (r.retransmit_armed) sim_.cancel(r.retransmit_timer);
   if (r.ack_timer_armed) sim_.cancel(r.ack_timer);
   if (r.expiry_armed) sim_.cancel(r.expiry_timer);
+  metrics_->add(stats::Counter::kRecordsExpired);
+  metrics_->observe(stats::Latency::kRecordLifetime, sim_.now() - r.opened_at);
   sim_.trace().record(sim_.now(), TraceCategory::kConnectionClosed, mid_,
-                      "record for peer " + std::to_string(peer) + " expired");
+                      sim::TracePayload{}
+                          .with_peer(peer)
+                          .with_status(sim::TraceStatus::kExpired)
+                          .with_detail(sim_.now() - r.opened_at));
   records_.erase(it);
 }
 
@@ -143,8 +151,14 @@ void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
   Frame f = *r.outstanding;  // copy: the stored frame may be stripped below
   if (is_retransmit) {
     ++retransmits_;
+    metrics_->add(stats::Counter::kRetransmits);
+    metrics_->observe(stats::Latency::kRetransmitBackoff, r.pending_backoff);
     sim_.trace().record(sim_.now(), TraceCategory::kRetransmit, mid_,
-                        f.describe());
+                        net::trace_payload(f)
+                            .with_status(r.busy_attempts > 0
+                                             ? sim::TraceStatus::kBusyRetry
+                                             : sim::TraceStatus::kTimeout)
+                            .with_detail(r.pending_backoff));
     if (r.outstanding_opts.strip_data_on_retransmit && !r.retransmitted_once) {
       // "A REQUEST is only sent with data one time" (§5.2.3): later copies
       // go out bare and the server asks for the data after ACCEPTing.
@@ -171,6 +185,7 @@ void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
 
 void Transport::arm_retransmit(Mid peer, Record& r, sim::Duration delay) {
   disarm_retransmit(r);
+  r.pending_backoff = delay;
   r.retransmit_armed = true;
   const auto epoch = epoch_;
   r.retransmit_timer = sim_.after(delay, [this, peer, epoch]() {
@@ -188,8 +203,11 @@ void Transport::arm_retransmit(Mid peer, Record& r, sim::Duration delay) {
       Frame dead = std::move(*rec.outstanding);
       rec.outstanding.reset();
       clear_outstanding_and_advance(peer, rec);
+      metrics_->add(stats::Counter::kCrashesDetected);
       sim_.trace().record(sim_.now(), TraceCategory::kCrashDetected, mid_,
-                          "peer " + std::to_string(peer) + " silent");
+                          sim::TracePayload{}
+                              .with_peer(peer)
+                              .with_status(sim::TraceStatus::kSilent));
       cb_.on_failed(peer, dead, net::NackReason::kCrashed);
       return;
     }
@@ -336,7 +354,10 @@ void Transport::process_ack(Mid peer, Record& r, const Frame& f) {
 void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
   if (!r.outstanding) return;
   if (f.nack->seq != *r.outstanding->seq) return;
-  ++busy_nacks_;
+  ++busy_nacks_;  // legacy counter: every NACK aimed at our frame
+  metrics_->add(f.nack->reason == net::NackReason::kBusy
+                    ? stats::Counter::kBusyNacks
+                    : stats::Counter::kErrorNacks);
   if (f.nack->reason == net::NackReason::kBusy) {
     // The peer is alive but its handler is unavailable: retry at the
     // slower busy pace (§5.2.2: "the rate of REQUEST retransmission

@@ -28,6 +28,7 @@
 #include "net/packet.h"
 #include "proto/timing.h"
 #include "sim/simulator.h"
+#include "stats/metrics.h"
 
 namespace soda::proto {
 
@@ -157,6 +158,8 @@ class Transport {
     // Delta-t record lifetime
     sim::EventId expiry_timer = 0;
     bool expiry_armed = false;
+    sim::Time opened_at = 0;           // for the record-lifetime histogram
+    sim::Duration pending_backoff = 0;  // delay armed before a retransmit
   };
 
   Record& record(net::Mid peer);
@@ -185,6 +188,7 @@ class Transport {
   net::Mid mid_;
   const TimingModel& timing_;
   NodeCpu& cpu_;
+  stats::MetricsRegistry* metrics_;  // this node's registry, never null
   TransportCallbacks cb_;
   std::unordered_map<net::Mid, Record> records_;
   sim::Time rejoin_at_ = 0;

@@ -16,6 +16,7 @@
 #include "sim/random.h"
 #include "sim/time.h"
 #include "sim/trace.h"
+#include "stats/metrics.h"
 
 namespace soda::sim {
 
@@ -29,6 +30,8 @@ class Simulator {
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
   Trace& trace() { return trace_; }
+  stats::MetricsHub& metrics() { return metrics_; }
+  const stats::MetricsHub& metrics() const { return metrics_; }
 
   /// Schedule `fn` to run `delay` microseconds from now.
   EventId after(Duration delay, std::function<void()> fn) {
@@ -81,6 +84,7 @@ class Simulator {
   EventQueue queue_;
   Rng rng_;
   Trace trace_;
+  stats::MetricsHub metrics_;
 };
 
 }  // namespace soda::sim

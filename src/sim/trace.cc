@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "stats/json.h"
+
 namespace soda::sim {
 
 const char* to_string(TraceCategory c) {
@@ -22,6 +24,185 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kOther: return "other";
   }
   return "unknown";
+}
+
+std::optional<TraceCategory> trace_category_from_string(std::string_view s) {
+  for (std::size_t i = 0; i < kNumTraceCategories; ++i) {
+    const auto c = static_cast<TraceCategory>(i);
+    if (s == to_string(c)) return c;
+  }
+  return std::nullopt;
+}
+
+const char* to_string(TraceStatus s) {
+  switch (s) {
+    case TraceStatus::kNone: return "none";
+    case TraceStatus::kLost: return "lost";
+    case TraceStatus::kCrcDropped: return "crc_dropped";
+    case TraceStatus::kExpired: return "expired";
+    case TraceStatus::kSilent: return "silent";
+    case TraceStatus::kArrival: return "arrival";
+    case TraceStatus::kCompletion: return "completion";
+    case TraceStatus::kPiggybacked: return "piggybacked";
+    case TraceStatus::kQuery: return "query";
+    case TraceStatus::kReplyKnown: return "reply_known";
+    case TraceStatus::kReplyUnknown: return "reply_unknown";
+    case TraceStatus::kDie: return "die";
+    case TraceStatus::kKilled: return "killed";
+    case TraceStatus::kBooting: return "booting";
+    case TraceStatus::kLoadAllocated: return "load_allocated";
+    case TraceStatus::kUnknownImage: return "unknown_image";
+    case TraceStatus::kCompleted: return "completed";
+    case TraceStatus::kCrashed: return "crashed";
+    case TraceStatus::kUnadvertised: return "unadvertised";
+    case TraceStatus::kLateData: return "late_data";
+    case TraceStatus::kBusyRetry: return "busy_retry";
+    case TraceStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::optional<TraceStatus> trace_status_from_string(std::string_view s) {
+  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kTimeout);
+  for (std::size_t i = 0; i <= kLast; ++i) {
+    const auto st = static_cast<TraceStatus>(i);
+    if (s == to_string(st)) return st;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void append_sections(std::string& out, std::uint16_t sections) {
+  struct Name {
+    std::uint16_t bit;
+    const char* name;
+  };
+  static constexpr Name kNames[] = {
+      {frame_section::kSeq, "SEQ"},
+      {frame_section::kAck, "ACK"},
+      {frame_section::kNack, "NACK"},
+      {frame_section::kRequest, "REQ"},
+      {frame_section::kAccept, "ACC"},
+      {frame_section::kProbe, "PROBE"},
+      {frame_section::kDiscover, "DISC"},
+      {frame_section::kDiscoverReply, "DISC_RE"},
+      {frame_section::kCancel, "CANCEL"},
+      {frame_section::kData, "DATA"},
+      {frame_section::kDataAck, "DACK"},
+      {frame_section::kConnOpen, "OPEN"},
+  };
+  bool first = true;
+  for (const auto& n : kNames) {
+    if (sections & n.bit) {
+      out += first ? "" : "+";
+      out += n.name;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+
+std::string describe(const TraceEvent& e) {
+  std::string out = to_string(e.category);
+  if (e.node >= 0) {
+    out += " n";
+    out += std::to_string(e.node);
+  }
+  if (e.peer >= 0) {
+    out += " peer=";
+    out += std::to_string(e.peer);
+  }
+  if (e.tid >= 0) {
+    out += " tid=";
+    out += std::to_string(e.tid);
+  }
+  if (e.pattern >= 0) {
+    out += " pat=";
+    out += std::to_string(e.pattern);
+  }
+  if (e.size >= 0) {
+    out += " size=";
+    out += std::to_string(e.size);
+  }
+  if (e.sections != 0) {
+    out += ' ';
+    append_sections(out, e.sections);
+  }
+  if (e.status != TraceStatus::kNone) {
+    out += ' ';
+    out += to_string(e.status);
+  }
+  if (const auto* d = std::get_if<std::int64_t>(&e.detail)) {
+    out += " detail=";
+    out += std::to_string(*d);
+  }
+  return out;
+}
+
+std::string to_json(const TraceEvent& e) {
+  stats::JsonObject o;
+  o.set("kind", "trace")
+      .set("at", static_cast<std::int64_t>(e.at))
+      .set("cat", to_string(e.category))
+      .set("node", e.node);
+  if (e.peer >= 0) o.set("peer", e.peer);
+  if (e.tid >= 0) o.set("tid", static_cast<int>(e.tid));
+  if (e.pattern >= 0) o.set("pattern", static_cast<int>(e.pattern));
+  if (e.size >= 0) o.set("size", static_cast<int>(e.size));
+  if (e.sections != 0) o.set("sections", static_cast<int>(e.sections));
+  if (e.status != TraceStatus::kNone) o.set("status", to_string(e.status));
+  if (const auto* d = std::get_if<std::int64_t>(&e.detail))
+    o.set("detail", *d);
+  return o.str();
+}
+
+std::optional<TraceEvent> trace_event_from_json(std::string_view line) {
+  auto fields = stats::parse_json_line(line);
+  if (!fields) return std::nullopt;
+  auto kind = fields->find("kind");
+  if (kind == fields->end() || kind->second != "trace") return std::nullopt;
+
+  TraceEvent e;
+  auto get_int = [&](const char* key, auto& out) -> bool {
+    auto it = fields->find(key);
+    if (it == fields->end()) return true;  // optional field absent
+    try {
+      out = static_cast<std::remove_reference_t<decltype(out)>>(
+          std::stoll(it->second));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  };
+
+  auto cat_it = fields->find("cat");
+  if (cat_it == fields->end()) return std::nullopt;
+  auto cat = trace_category_from_string(cat_it->second);
+  if (!cat) return std::nullopt;
+  e.category = *cat;
+
+  if (!get_int("at", e.at) || !get_int("node", e.node) ||
+      !get_int("peer", e.peer) || !get_int("tid", e.tid) ||
+      !get_int("pattern", e.pattern) || !get_int("size", e.size) ||
+      !get_int("sections", e.sections)) {
+    return std::nullopt;
+  }
+
+  if (auto st = fields->find("status"); st != fields->end()) {
+    auto status = trace_status_from_string(st->second);
+    if (!status) return std::nullopt;
+    e.status = *status;
+  }
+  if (auto d = fields->find("detail"); d != fields->end()) {
+    try {
+      e.detail = static_cast<std::int64_t>(std::stoll(d->second));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return e;
 }
 
 }  // namespace soda::sim

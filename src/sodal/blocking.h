@@ -11,6 +11,7 @@
 
 #include "core/client.h"
 #include "core/network.h"
+#include "sodal/status.h"
 
 namespace soda::sodal {
 
@@ -30,6 +31,19 @@ struct Completion {
     return status == CompletionStatus::kCompleted && arg < 0;
   }
 };
+
+/// Collapse a Completion into the canonical soda::Status.
+inline Status to_status(const Completion& c) {
+  switch (c.status) {
+    case CompletionStatus::kCompleted:
+      return c.rejected() ? Status::error(StatusCode::kRejected) : Status{};
+    case CompletionStatus::kCrashed:
+      return Status::error(StatusCode::kCrashed);
+    case CompletionStatus::kUnadvertised:
+      return Status::error(StatusCode::kUnadvertised);
+  }
+  return Status::error(StatusCode::kUnavailable);
+}
 
 class SodalClient : public Client {
  public:
@@ -88,20 +102,21 @@ class SodalClient : public Client {
 
   // ---- blocking request family (§4.1.1) ----
   sim::Future<Completion> b_signal(ServerSignature s, std::int32_t arg = 0) {
-    return issue_blocking({s, arg, {}, 0, nullptr});
+    return issue_blocking(Kernel::RequestParams::signal(s, arg));
   }
   sim::Future<Completion> b_put(ServerSignature s, std::int32_t arg,
                                 Bytes data) {
-    return issue_blocking({s, arg, std::move(data), 0, nullptr});
+    return issue_blocking(Kernel::RequestParams::put(s, std::move(data), arg));
   }
   sim::Future<Completion> b_get(ServerSignature s, std::int32_t arg,
                                 Bytes* into, std::uint32_t get_size) {
-    return issue_blocking({s, arg, {}, get_size, into});
+    return issue_blocking(Kernel::RequestParams::get(s, get_size, into, arg));
   }
   sim::Future<Completion> b_exchange(ServerSignature s, std::int32_t arg,
                                      Bytes out, Bytes* in,
                                      std::uint32_t get_size) {
-    return issue_blocking({s, arg, std::move(out), get_size, in});
+    return issue_blocking(
+        Kernel::RequestParams::exchange(s, std::move(out), get_size, in, arg));
   }
 
   /// Blocking DISCOVER (§4.1.3): re-broadcasts until at least one server
@@ -160,11 +175,7 @@ class SodalClient : public Client {
     Bytes mids;
     for (;;) {
       sim::Promise<Completion> done;
-      auto tid = k().request({ServerSignature{kBroadcastMid, pattern},
-                              0,
-                              {},
-                              4,
-                              &mids});
+      auto tid = k().request(Kernel::RequestParams::discover(pattern, 4, &mids));
       if (!tid) {
         co_await wait_on(slot_freed_);
         continue;

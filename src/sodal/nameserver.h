@@ -148,16 +148,133 @@ class NameServer : public SodalClient {
 };
 
 // ---- client-side helpers ----
+//
+// The *_status forms are canonical: every operation reports through
+// soda::Status / StatusOr, so callers branch on one code enum instead of
+// Completion quirks and sentinel signatures. The Completion-returning
+// originals remain as deprecated shims.
 
-inline sim::Future<Completion> ns_bind(SodalClient& c, ServerSignature ns,
-                                       const std::string& path,
-                                       ServerSignature sig) {
+namespace detail {
+inline Bytes ns_bind_payload(const std::string& path, ServerSignature sig) {
   Bytes payload = to_bytes(path);
   Bytes m = encode_u32(static_cast<std::uint32_t>(sig.mid));
   Bytes p = encode_u64(sig.pattern);
   payload.insert(payload.end(), m.begin(), m.end());
   payload.insert(payload.end(), p.begin(), p.end());
-  return c.b_put(ns, 1, std::move(payload));
+  return payload;
+}
+
+inline sim::Task ns_status_loop(sim::Future<Completion> op,
+                                sim::Promise<Status> pr) {
+  pr.set(to_status(co_await op));
+}
+
+inline sim::Task ns_resolve_loop(SodalClient& c, ServerSignature ns,
+                                 std::string path,
+                                 sim::Promise<StatusOr<ServerSignature>> pr) {
+  Completion done = co_await c.b_put(ns, 2, to_bytes(path));
+  if (!done.ok()) {
+    pr.set(StatusOr<ServerSignature>(to_status(done)));
+    co_return;
+  }
+  Bytes sig;
+  done = co_await c.b_get(ns, 3, &sig, 12);
+  if (done.rejected()) {
+    // FETCH rejects exactly when the path is unbound (or unstaged).
+    pr.set(StatusOr<ServerSignature>(StatusCode::kNotFound));
+    co_return;
+  }
+  if (!done.ok() || sig.size() < 12) {
+    pr.set(StatusOr<ServerSignature>(to_status(done)));
+    co_return;
+  }
+  pr.set(StatusOr<ServerSignature>(
+      ServerSignature{static_cast<Mid>(decode_u32(sig, 0)),
+                      decode_u64(sig, 4) & kPatternMask}));
+}
+
+inline sim::Task ns_list_loop(SodalClient& c, ServerSignature ns,
+                              std::string path,
+                              sim::Promise<StatusOr<std::vector<std::string>>>
+                                  pr) {
+  Completion done = co_await c.b_put(ns, 4, to_bytes(path));
+  if (!done.ok()) {
+    pr.set(StatusOr<std::vector<std::string>>(to_status(done)));
+    co_return;
+  }
+  Bytes listing;
+  done = co_await c.b_get(ns, 5, &listing, 2000);
+  if (!done.ok()) {
+    pr.set(StatusOr<std::vector<std::string>>(to_status(done)));
+    co_return;
+  }
+  std::vector<std::string> names;
+  std::string cur;
+  for (auto b : listing) {
+    const char ch = static_cast<char>(std::to_integer<unsigned char>(b));
+    if (ch == '\n') {
+      if (!cur.empty()) names.push_back(cur);
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  pr.set(StatusOr<std::vector<std::string>>(std::move(names)));
+}
+
+template <typename T>
+sim::Future<T> via_caller(SodalClient& c, sim::Promise<T>& pr) {
+  auto fut = pr.future();
+  fut.set_executor(c.executor_for_current_context());
+  return fut;
+}
+}  // namespace detail
+
+/// Bind `path` to `sig` at the name server.
+inline sim::Future<Status> ns_bind_status(SodalClient& c, ServerSignature ns,
+                                          const std::string& path,
+                                          ServerSignature sig) {
+  sim::Promise<Status> pr;
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_status_loop(c.b_put(ns, 1, detail::ns_bind_payload(path, sig)),
+                         pr)
+      .detach();
+  return fut;
+}
+
+/// Remove the binding for `path`, if any.
+inline sim::Future<Status> ns_unbind_status(SodalClient& c, ServerSignature ns,
+                                            const std::string& path) {
+  sim::Promise<Status> pr;
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_status_loop(c.b_put(ns, 6, to_bytes(path)), pr).detach();
+  return fut;
+}
+
+/// Resolve a path to a signature (kNotFound when unbound).
+inline sim::Future<StatusOr<ServerSignature>> ns_resolve_status(
+    SodalClient& c, ServerSignature ns, const std::string& path) {
+  sim::Promise<StatusOr<ServerSignature>> pr;
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_resolve_loop(c, ns, path, pr).detach();
+  return fut;
+}
+
+/// List the immediate children of a directory path.
+inline sim::Future<StatusOr<std::vector<std::string>>> ns_list_status(
+    SodalClient& c, ServerSignature ns, const std::string& path) {
+  sim::Promise<StatusOr<std::vector<std::string>>> pr;
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_list_loop(c, ns, path, pr).detach();
+  return fut;
+}
+
+// ---- deprecated shims (pre-Status API) ----
+
+inline sim::Future<Completion> ns_bind(SodalClient& c, ServerSignature ns,
+                                       const std::string& path,
+                                       ServerSignature sig) {
+  return c.b_put(ns, 1, detail::ns_bind_payload(path, sig));
 }
 
 inline sim::Future<Completion> ns_unbind(SodalClient& c, ServerSignature ns,
@@ -166,67 +283,39 @@ inline sim::Future<Completion> ns_unbind(SodalClient& c, ServerSignature ns,
 }
 
 namespace detail {
-inline sim::Task ns_resolve_loop(SodalClient& c, ServerSignature ns,
-                                 std::string path,
-                                 sim::Promise<ServerSignature> pr) {
-  Completion done = co_await c.b_put(ns, 2, to_bytes(path));
-  if (!done.ok()) {
-    pr.set(ServerSignature{kBroadcastMid, 0});
-    co_return;
-  }
-  Bytes sig;
-  done = co_await c.b_get(ns, 3, &sig, 12);
-  if (!done.ok() || sig.size() < 12) {
-    pr.set(ServerSignature{kBroadcastMid, 0});
-    co_return;
-  }
-  pr.set(ServerSignature{static_cast<Mid>(decode_u32(sig, 0)),
-                         decode_u64(sig, 4) & kPatternMask});
+inline sim::Task ns_resolve_compat_loop(SodalClient& c, ServerSignature ns,
+                                        std::string path,
+                                        sim::Promise<ServerSignature> pr) {
+  StatusOr<ServerSignature> r = co_await ns_resolve_status(c, ns, path);
+  pr.set(r.value_or(ServerSignature{kBroadcastMid, 0}));
 }
 
-inline sim::Task ns_list_loop(SodalClient& c, ServerSignature ns,
-                              std::string path,
-                              sim::Promise<std::vector<std::string>> pr) {
-  std::vector<std::string> names;
-  Completion done = co_await c.b_put(ns, 4, to_bytes(path));
-  if (done.ok()) {
-    Bytes listing;
-    done = co_await c.b_get(ns, 5, &listing, 2000);
-    if (done.ok()) {
-      std::string cur;
-      for (auto b : listing) {
-        const char ch = static_cast<char>(std::to_integer<unsigned char>(b));
-        if (ch == '\n') {
-          if (!cur.empty()) names.push_back(cur);
-          cur.clear();
-        } else {
-          cur += ch;
-        }
-      }
-    }
-  }
-  pr.set(std::move(names));
+inline sim::Task ns_list_compat_loop(
+    SodalClient& c, ServerSignature ns, std::string path,
+    sim::Promise<std::vector<std::string>> pr) {
+  StatusOr<std::vector<std::string>> r = co_await ns_list_status(c, ns, path);
+  pr.set(r.value_or({}));
 }
 }  // namespace detail
 
-/// Resolve a path to a signature (mid == kBroadcastMid when unbound).
+/// Deprecated: resolve with kBroadcastMid as the "unbound" sentinel.
+/// Prefer ns_resolve_status.
 inline sim::Future<ServerSignature> ns_resolve(SodalClient& c,
                                                ServerSignature ns,
                                                const std::string& path) {
   sim::Promise<ServerSignature> pr;
-  auto fut = pr.future();
-  fut.set_executor(c.executor_for_current_context());
-  detail::ns_resolve_loop(c, ns, path, pr).detach();
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_resolve_compat_loop(c, ns, path, pr).detach();
   return fut;
 }
 
-/// List the immediate children of a directory path.
+/// Deprecated: listing failure collapses to an empty vector. Prefer
+/// ns_list_status.
 inline sim::Future<std::vector<std::string>> ns_list(
     SodalClient& c, ServerSignature ns, const std::string& path) {
   sim::Promise<std::vector<std::string>> pr;
-  auto fut = pr.future();
-  fut.set_executor(c.executor_for_current_context());
-  detail::ns_list_loop(c, ns, path, pr).detach();
+  auto fut = detail::via_caller(c, pr);
+  detail::ns_list_compat_loop(c, ns, path, pr).detach();
   return fut;
 }
 

@@ -69,30 +69,67 @@ class RpcServer : public SodalClient {
   std::size_t calls_ = 0;
 };
 
-/// Result of a caller-side RPC.
+/// Result of a caller-side RPC (deprecated: prefer rpc_invoke, which
+/// reports the failure reason through StatusOr instead of a bare bool).
 struct RpcResult {
   bool ok = false;
   Bytes out;
 };
 
+inline sim::Future<StatusOr<Bytes>> rpc_invoke(SodalClient& c,
+                                               ServerSignature proc,
+                                               Bytes in_params,
+                                               std::uint32_t max_result);
+
 namespace detail {
+inline sim::Task rpc_invoke_loop(SodalClient& c, ServerSignature proc,
+                                 Bytes in_params, std::uint32_t max_result,
+                                 sim::Promise<StatusOr<Bytes>> pr) {
+  Status st = to_status(co_await c.b_put(proc, 0, std::move(in_params)));
+  if (!st.ok()) {
+    pr.set(StatusOr<Bytes>(st));
+    co_return;
+  }
+  Bytes out;
+  st = to_status(co_await c.b_get(proc, 0, &out, max_result));
+  if (!st.ok()) {
+    pr.set(StatusOr<Bytes>(st));
+    co_return;
+  }
+  pr.set(StatusOr<Bytes>(std::move(out)));
+}
+
 inline sim::Task rpc_call_loop(SodalClient& c, ServerSignature proc,
                                Bytes in_params, std::uint32_t max_result,
                                sim::Promise<RpcResult> pr) {
-  Completion done = co_await c.b_put(proc, 0, std::move(in_params));
-  if (!done.ok()) {
+  StatusOr<Bytes> r = co_await rpc_invoke(c, proc, std::move(in_params),
+                                          max_result);
+  if (r.ok()) {
+    pr.set(RpcResult{true, std::move(*r)});
+  } else {
     pr.set(RpcResult{false, {}});
-    co_return;
   }
-  RpcResult r;
-  done = co_await c.b_get(proc, 0, &r.out, max_result);
-  r.ok = done.ok();
-  pr.set(std::move(r));
 }
 }  // namespace detail
 
 /// The paper's call sequence: B_PUT(args) then B_GET(results). Awaitable
-/// from any SodalClient coroutine.
+/// from any SodalClient coroutine; the StatusOr distinguishes a REJECT
+/// (unbound procedure) from a server crash or a missing advertisement.
+inline sim::Future<StatusOr<Bytes>> rpc_invoke(SodalClient& c,
+                                               ServerSignature proc,
+                                               Bytes in_params,
+                                               std::uint32_t max_result =
+                                                   2000) {
+  sim::Promise<StatusOr<Bytes>> pr;
+  auto fut = pr.future();
+  fut.set_executor(c.executor_for_current_context());
+  detail::rpc_invoke_loop(c, proc, std::move(in_params), max_result, pr)
+      .detach();
+  return fut;
+}
+
+/// Deprecated shim over rpc_invoke; kept for callers that predate
+/// soda::Status.
 inline sim::Future<RpcResult> rpc_call(SodalClient& c, ServerSignature proc,
                                        Bytes in_params,
                                        std::uint32_t max_result = 2000) {

@@ -1,0 +1,96 @@
+// Unified result types for the SODAL library layer.
+//
+// The kernel primitives report outcomes through several ad-hoc channels
+// (CompletionStatus + the REJECT argument convention, RpcResult::ok,
+// sentinel ServerSignatures from ns_resolve). soda::Status and
+// soda::StatusOr<T> give every SODAL helper one canonical shape: check
+// `ok()`, branch on `code()`, unwrap `value()`.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace soda {
+
+enum class StatusCode : std::uint8_t {
+  kOk,
+  kRejected,      // the server ACCEPTed with argument -1 (§4.1.2)
+  kCrashed,       // the server crashed / died / went silent
+  kUnadvertised,  // the pattern was not advertised at the server
+  kNotFound,      // the named object does not exist (e.g. an unbound path)
+  kUnavailable,   // could not issue / no server answered
+};
+
+constexpr std::string_view to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kRejected: return "rejected";
+    case StatusCode::kCrashed: return "crashed";
+    case StatusCode::kUnadvertised: return "unadvertised";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kUnavailable: return "unavailable";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status error(StatusCode code) {
+    Status s;
+    s.code_ = code;
+    return s;
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  explicit operator bool() const { return ok(); }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+};
+
+/// A Status or a value: the usual sum type. Constructing from a T yields
+/// OK; constructing from a non-OK Status yields an empty, failed result.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(s) { assert(!s.ok()); }  // NOLINT(runtime/explicit)
+  StatusOr(StatusCode c) : status_(Status::error(c)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code(); }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace soda

@@ -1,0 +1,197 @@
+#include "stats/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace soda::stats {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::append(std::string_view key,
+                               std::string_view raw_value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += raw_value;
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view key, std::string_view value) {
+  return append(key, "\"" + json_escape(value) + "\"");
+}
+JsonObject& JsonObject::set(std::string_view key, const char* value) {
+  return set(key, std::string_view(value));
+}
+JsonObject& JsonObject::set(std::string_view key, std::int64_t value) {
+  return append(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(std::string_view key, std::uint64_t value) {
+  return append(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(std::string_view key, std::uint32_t value) {
+  return append(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(std::string_view key, int value) {
+  return append(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(std::string_view key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return append(key, buf);
+}
+JsonObject& JsonObject::set(std::string_view key, bool value) {
+  return append(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::set_raw(std::string_view key, std::string_view json) {
+  return append(key, json);
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+/// Parse a quoted string starting at s[i] == '"'; returns the unescaped
+/// content and leaves i one past the closing quote.
+std::optional<std::string> parse_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return std::nullopt;
+  ++i;
+  std::string out;
+  while (i < s.size()) {
+    char c = s[i++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (i >= s.size()) return std::nullopt;
+      char e = s[i++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 4 > s.size()) return std::nullopt;
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = s[i++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // The exporter only ever emits \u00xx control escapes.
+          out += static_cast<char>(v & 0xFF);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // unterminated
+}
+
+/// Capture the raw text of one value (number, literal, string, or nested
+/// aggregate) starting at s[i]; leaves i one past its end.
+std::optional<std::string> parse_raw_value(std::string_view s,
+                                           std::size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) return std::nullopt;
+  const std::size_t start = i;
+  if (s[i] == '"') {
+    return parse_string(s, i);  // strings come back unescaped/unquoted
+  }
+  if (s[i] == '{' || s[i] == '[') {
+    // Nested aggregate: scan to the matching bracket, respecting strings.
+    int depth = 0;
+    bool in_str = false;
+    while (i < s.size()) {
+      char c = s[i];
+      if (in_str) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_str = false;
+      } else if (c == '"') {
+        in_str = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (--depth == 0) {
+          ++i;
+          return std::string(s.substr(start, i - start));
+        }
+      }
+      ++i;
+    }
+    return std::nullopt;
+  }
+  // Number / true / false / null: runs until a delimiter.
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  if (i == start) return std::nullopt;
+  return std::string(s.substr(start, i - start));
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, std::string>> parse_json_line(
+    std::string_view line) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  std::map<std::string, std::string> out;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return out;  // empty object
+  for (;;) {
+    skip_ws(line, i);
+    auto key = parse_string(line, i);
+    if (!key) return std::nullopt;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    auto value = parse_raw_value(line, i);
+    if (!value) return std::nullopt;
+    out[*key] = *value;
+    skip_ws(line, i);
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return out;
+    return std::nullopt;
+  }
+}
+
+}  // namespace soda::stats

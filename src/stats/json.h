@@ -1,0 +1,53 @@
+// Minimal JSON support for the observability subsystem: a line-oriented
+// object builder (JSONL — one object per line, appendable, grep-able) and
+// a flat-object parser used by tests and tools to read reports back.
+//
+// Deliberately not a general JSON library: the metrics/trace exporters
+// only ever emit one level of nesting (objects and arrays of numbers),
+// and the parser only needs to read the flat rows back. No dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace soda::stats {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Incremental builder for one JSON object (one JSONL row). Keys are
+/// emitted in insertion order. Nested objects/arrays are attached with
+/// set_raw() using another builder's str().
+class JsonObject {
+ public:
+  JsonObject& set(std::string_view key, std::string_view value);
+  JsonObject& set(std::string_view key, const char* value);
+  JsonObject& set(std::string_view key, std::int64_t value);
+  JsonObject& set(std::string_view key, std::uint64_t value);
+  JsonObject& set(std::string_view key, std::uint32_t value);
+  JsonObject& set(std::string_view key, int value);
+  JsonObject& set(std::string_view key, double value);
+  JsonObject& set(std::string_view key, bool value);
+  /// Attach an already-serialized JSON value (object, array, number).
+  JsonObject& set_raw(std::string_view key, std::string_view json);
+
+  /// The serialized object, e.g. `{"a":1,"b":"x"}`.
+  std::string str() const;
+  bool empty() const { return body_.empty(); }
+
+ private:
+  JsonObject& append(std::string_view key, std::string_view raw_value);
+  std::string body_;
+};
+
+/// Parse one flat JSON object line into key -> raw-value-text. String
+/// values are unescaped and returned without quotes; numbers, booleans
+/// and nested aggregates are returned verbatim (nested aggregates as
+/// their full text). Returns nullopt on malformed input.
+std::optional<std::map<std::string, std::string>> parse_json_line(
+    std::string_view line);
+
+}  // namespace soda::stats

@@ -1,0 +1,146 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "stats/json.h"
+
+namespace soda::stats {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kFramesSent: return "frames_sent";
+    case Counter::kFramesReceived: return "frames_received";
+    case Counter::kFramesDropped: return "frames_dropped";
+    case Counter::kFramesCorrupted: return "frames_corrupted";
+    case Counter::kBytesSent: return "bytes_sent";
+    case Counter::kRetransmits: return "retransmits";
+    case Counter::kBusyNacks: return "busy_nacks";
+    case Counter::kErrorNacks: return "error_nacks";
+    case Counter::kProbesSent: return "probes_sent";
+    case Counter::kProbeRepliesSent: return "probe_replies_sent";
+    case Counter::kCrashesDetected: return "crashes_detected";
+    case Counter::kRecordsOpened: return "records_opened";
+    case Counter::kRecordsExpired: return "records_expired";
+    case Counter::kRequestsIssued: return "requests_issued";
+    case Counter::kRequestsCompleted: return "requests_completed";
+    case Counter::kAcceptsIssued: return "accepts_issued";
+    case Counter::kAcceptsCompleted: return "accepts_completed";
+    case Counter::kHandlerInvocations: return "handler_invocations";
+    case Counter::kBoots: return "boots";
+    case Counter::kCpuBusyMicros: return "cpu_busy_micros";
+    case Counter::kCounterCount: break;
+  }
+  return "unknown";
+}
+
+const char* to_string(Latency l) {
+  switch (l) {
+    case Latency::kRequestLatency: return "request_latency_us";
+    case Latency::kAcceptWait: return "accept_wait_us";
+    case Latency::kRecordLifetime: return "record_lifetime_us";
+    case Latency::kRetransmitBackoff: return "retransmit_backoff_us";
+    case Latency::kLatencyCount: break;
+  }
+  return "unknown";
+}
+
+void Histogram::observe(std::int64_t micros) {
+  auto it = std::upper_bound(kUpperBounds.begin(), kUpperBounds.end(),
+                             micros - 1);  // bucket i covers <= bound
+  ++buckets_[static_cast<std::size_t>(it - kUpperBounds.begin())];
+  if (count_ == 0 || micros < min_) min_ = micros;
+  if (count_ == 0 || micros > max_) max_ = micros;
+  ++count_;
+  sum_ += micros;
+}
+
+std::int64_t Histogram::quantile_upper_bound(double q) const {
+  if (count_ == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0 && seen > 0) {
+      return i < kUpperBounds.size() ? kUpperBounds[i] : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+std::string Histogram::to_json() const {
+  std::string buckets = "[";
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (i) buckets += ',';
+    buckets += std::to_string(buckets_[i]);
+  }
+  buckets += ']';
+  JsonObject o;
+  o.set("count", count_)
+      .set("sum", sum_)
+      .set("min", min())
+      .set("max", max_)
+      .set("p50", quantile_upper_bound(0.50))
+      .set("p99", quantile_upper_bound(0.99))
+      .set_raw("buckets", buckets);
+  return o.str();
+}
+
+void MetricsRegistry::reset() {
+  counters_.fill(0);
+  for (auto& h : histograms_) h.reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonObject o;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (counters_[i] != 0) o.set(to_string(static_cast<Counter>(i)), counters_[i]);
+  }
+  for (std::size_t i = 0; i < kNumLatencies; ++i) {
+    const Histogram& h = histograms_[i];
+    if (h.count() != 0) o.set_raw(to_string(static_cast<Latency>(i)), h.to_json());
+  }
+  return o.str();
+}
+
+std::uint64_t MetricsHub::total(Counter c) const {
+  std::uint64_t sum = 0;
+  for (const auto& [mid, reg] : nodes_) sum += reg.counter(c);
+  return sum;
+}
+
+void MetricsHub::reset() { nodes_.clear(); }
+
+void dump_json(std::ostream& os, const MetricsRegistry& reg,
+               std::string_view label, int node) {
+  JsonObject o;
+  o.set("kind", "metrics").set("label", label).set("node", node);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (reg.counter(c) != 0) o.set(to_string(c), reg.counter(c));
+  }
+  for (std::size_t i = 0; i < kNumLatencies; ++i) {
+    const auto l = static_cast<Latency>(i);
+    const Histogram& h = reg.histogram(l);
+    if (h.count() != 0) o.set_raw(to_string(l), h.to_json());
+  }
+  os << o.str() << '\n';
+}
+
+void dump_json(std::ostream& os, const MetricsHub& hub,
+               std::string_view label) {
+  MetricsRegistry agg;
+  for (const auto& [mid, reg] : hub.nodes()) {
+    dump_json(os, reg, label, mid);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      const auto c = static_cast<Counter>(i);
+      agg.add(c, reg.counter(c));
+    }
+  }
+  dump_json(os, agg, label, -1);
+}
+
+}  // namespace soda::stats

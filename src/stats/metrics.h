@@ -1,0 +1,164 @@
+// Per-node metrics registry: cheap counters and fixed-bucket latency
+// histograms for the SODA stack (net::Bus, proto::Transport, core::Kernel,
+// NodeCpu). This is the node-wide observability substrate the benches and
+// tools export as JSONL via dump_json().
+//
+// Deliberately a leaf library: durations are plain int64 microseconds (no
+// dependency on sim/time.h) so every layer — including sim itself — can
+// link against it without cycles. Single-threaded like the simulator; a
+// counter bump is one array increment, a histogram observe is one binary
+// search over 16 fixed buckets.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace soda::stats {
+
+/// Monotonically increasing event counts. One slot per node in a
+/// MetricsRegistry; indexes into a flat array, so keep this enum dense.
+enum class Counter : std::uint8_t {
+  kFramesSent,
+  kFramesReceived,
+  kFramesDropped,       // lost or CRC-discarded on the bus
+  kFramesCorrupted,
+  kBytesSent,
+  kRetransmits,
+  kBusyNacks,           // BUSY back-pressure NACKs received
+  kErrorNacks,          // protocol-error NACKs received
+  kProbesSent,
+  kProbeRepliesSent,
+  kCrashesDetected,
+  kRecordsOpened,       // Delta-t connection records created
+  kRecordsExpired,      // Delta-t connection records timed out
+  kRequestsIssued,
+  kRequestsCompleted,
+  kAcceptsIssued,
+  kAcceptsCompleted,
+  kHandlerInvocations,
+  kBoots,
+  kCpuBusyMicros,       // accumulated NodeCpu busy time
+  kCounterCount,        // sentinel, keep last
+};
+
+constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCounterCount);
+
+const char* to_string(Counter c);
+
+/// Latency distributions, in microseconds.
+enum class Latency : std::uint8_t {
+  kRequestLatency,      // REQUEST issue -> completion, client side
+  kAcceptWait,          // ACCEPT issue -> matching request arrival
+  kRecordLifetime,      // Delta-t record open -> expiry
+  kRetransmitBackoff,   // delay before a retransmission / busy retry
+  kLatencyCount,        // sentinel, keep last
+};
+
+constexpr std::size_t kNumLatencies =
+    static_cast<std::size_t>(Latency::kLatencyCount);
+
+const char* to_string(Latency l);
+
+/// Fixed-bucket histogram over int64 microsecond samples. Bucket upper
+/// bounds follow a 1-2-5 decade ladder from 100us to 5s plus +inf, so
+/// merging histograms across nodes or runs is always well-defined.
+class Histogram {
+ public:
+  // 15 finite upper bounds + one overflow bucket.
+  static constexpr std::array<std::int64_t, 15> kUpperBounds = {
+      100,     200,     500,     1000,    2000,
+      5000,    10000,   20000,   50000,   100000,
+      200000,  500000,  1000000, 2000000, 5000000};
+  static constexpr std::size_t kNumBuckets = kUpperBounds.size() + 1;
+
+  void observe(std::int64_t micros);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Smallest bucket upper bound covering at least `q` (0..1) of the
+  /// samples; overflow bucket reports max(). 0 when empty.
+  std::int64_t quantile_upper_bound(double q) const;
+
+  void reset();
+
+  /// `{"count":N,"sum":...,"min":...,"max":...,"p50":...,"p99":...,
+  ///   "buckets":[...]}` — nested value for dump_json.
+  std::string to_json() const;
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// All counters + histograms for one node. Cheap to bump; owned by a
+/// MetricsHub keyed by node MID.
+class MetricsRegistry {
+ public:
+  void add(Counter c, std::uint64_t delta = 1) {
+    counters_[static_cast<std::size_t>(c)] += delta;
+  }
+  std::uint64_t counter(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)];
+  }
+
+  void observe(Latency l, std::int64_t micros) {
+    histograms_[static_cast<std::size_t>(l)].observe(micros);
+  }
+  const Histogram& histogram(Latency l) const {
+    return histograms_[static_cast<std::size_t>(l)];
+  }
+
+  void reset();
+
+  /// One JSON object: every non-zero counter plus every non-empty
+  /// histogram (as nested objects). Empty registries serialize to `{}`.
+  std::string to_json() const;
+
+ private:
+  std::array<std::uint64_t, kNumCounters> counters_{};
+  std::array<Histogram, kNumLatencies> histograms_{};
+};
+
+/// Node-id -> registry map for one simulation / process. node(mid) creates
+/// on first use; aggregate() merges counters across all nodes.
+class MetricsHub {
+ public:
+  MetricsRegistry& node(int mid) { return nodes_[mid]; }
+  const std::map<int, MetricsRegistry>& nodes() const { return nodes_; }
+
+  std::uint64_t total(Counter c) const;
+
+  void reset();
+
+ private:
+  std::map<int, MetricsRegistry> nodes_;
+};
+
+/// JSONL export: one row per node, `{"kind":"metrics","label":...,
+/// "node":MID,...counters...,...histograms...}`, plus a final aggregate
+/// row with "node":-1 summing the counters. This is the machine-readable
+/// report format every bench emits.
+void dump_json(std::ostream& os, const MetricsHub& hub,
+               std::string_view label);
+
+/// Single-registry variant (one row, no aggregate).
+void dump_json(std::ostream& os, const MetricsRegistry& reg,
+               std::string_view label, int node = -1);
+
+}  // namespace soda::stats

@@ -176,12 +176,12 @@ TEST(DeltaT, TidsMonotoneAcrossReboot) {
   net.spawn<Echo>(NodeConfig{});
   auto& k = net.node(0).kernel();
   k.advertise(kP);
-  auto t1 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  auto t1 = k.request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
   net.node(0).crash();
   net.run_for(k.config().timing.crash_quarantine() + sim::kSecond);
   net.node(0).install_client(std::make_unique<Echo>(), 0);
   net.run_for(10 * sim::kMillisecond);
-  auto t2 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  auto t2 = k.request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
   ASSERT_TRUE(t1 && t2);
   EXPECT_LT(*t1, *t2);
 }

@@ -85,11 +85,11 @@ TEST(Discover, RepliesAreStaggeredByMid) {
   net.run_for(sim::kSecond);
   net.check_clients();
   ASSERT_TRUE(d.done);
-  // Find the two DISC_RE sends and check they are separated by roughly
-  // the stagger interval (§5.3).
+  // Find the two DISCOVER-reply sends and check they are separated by
+  // roughly the stagger interval (§5.3).
   std::vector<sim::Time> reply_times;
   for (const auto& e : net.sim().trace().events()) {
-    if (e.detail.find("DISC_RE") != std::string::npos &&
+    if ((e.sections & sim::frame_section::kDiscoverReply) != 0 &&
         e.category == sim::TraceCategory::kPacketSent) {
       reply_times.push_back(e.at);
     }

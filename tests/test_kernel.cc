@@ -89,7 +89,7 @@ TEST(Request, MaxRequestsEnforced) {
   auto& k = h.client_kernel();
   std::vector<Tid> got;
   for (int i = 0; i < 5; ++i) {
-    auto t = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+    auto t = k.request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
     if (t) got.push_back(*t);
   }
   EXPECT_EQ(got.size(), 3u);  // default MAXREQUESTS = 3
@@ -99,10 +99,11 @@ TEST(Request, MaxRequestsEnforced) {
 TEST(Request, OversizeIgnored) {
   Harness h;
   auto& k = h.client_kernel();
-  auto t = k.request(
-      {ServerSignature{0, kP}, 0, Bytes(5000, std::byte{0}), 0, nullptr});
+  auto t = k.request(Kernel::RequestParams::put(ServerSignature{0, kP},
+                                                Bytes(5000, std::byte{0})));
   EXPECT_FALSE(t.has_value());
-  t = k.request({ServerSignature{0, kP}, 0, {}, 5000, nullptr});
+  t = k.request(
+      Kernel::RequestParams::get(ServerSignature{0, kP}, 5000, nullptr));
   EXPECT_FALSE(t.has_value());
 }
 
@@ -110,8 +111,8 @@ TEST(Request, TidsAreMonotone) {
   Harness h;
   h.server_kernel().advertise(kP);
   auto& k = h.client_kernel();
-  auto t1 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
-  auto t2 = k.request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  auto t1 = k.request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
+  auto t2 = k.request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
   ASSERT_TRUE(t1 && t2);
   EXPECT_LT(*t1, *t2);
 }
@@ -140,7 +141,7 @@ TEST(Handler, SelfRequestFailsUnadvertised) {
   net.run_for(5 * sim::kMillisecond);
   net.node(1).kernel().advertise(kP);
   auto tid =
-      net.node(1).kernel().request({ServerSignature{1, kP}, 0, {}, 0, nullptr});
+      net.node(1).kernel().request(Kernel::RequestParams::signal(ServerSignature{1, kP}));
   ASSERT_TRUE(tid.has_value());
   net.run_for(100 * sim::kMillisecond);
   net.check_clients();
@@ -158,7 +159,7 @@ TEST(Handler, ClosedHandlerDelaysArrivalNotCompletion) {
   net.node(0).kernel().advertise(kP);
   net.node(0).kernel().close();
 
-  net.node(1).kernel().request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  net.node(1).kernel().request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
   net.run_for(100 * sim::kMillisecond);
   EXPECT_EQ(srv.entries.size(), 0u);  // kept away by CLOSE (busy NACKs)
 
@@ -282,7 +283,7 @@ TEST(Handler, OpenCloseInsideHandlerDeferred) {
   auto& c = net.spawn<Closer>(NodeConfig{});
   net.spawn<Recorder>(NodeConfig{});
   net.run_for(5 * sim::kMillisecond);
-  net.node(1).kernel().request({ServerSignature{0, kP}, 0, {}, 0, nullptr});
+  net.node(1).kernel().request(Kernel::RequestParams::signal(ServerSignature{0, kP}));
   net.run_for(100 * sim::kMillisecond);
   net.check_clients();
   EXPECT_TRUE(c.was_open_inside);              // no visible effect inside

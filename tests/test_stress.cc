@@ -92,10 +92,9 @@ class ChaosClient : public SodalClient {
       const Mid server = servers_[rng_.next_below(servers_.size())];
       const auto size = static_cast<std::uint32_t>(rng_.next_below(300));
       get_bufs_.emplace_back();
-      auto tid = k().request({ServerSignature{server, kStress},
-                              static_cast<std::int32_t>(issued_),
-                              Bytes(size, std::byte{0x11}), size,
-                              &get_bufs_.back()});
+      auto tid = k().request(Kernel::RequestParams::exchange(
+          ServerSignature{server, kStress}, Bytes(size, std::byte{0x11}),
+          size, &get_bufs_.back(), static_cast<std::int32_t>(issued_)));
       if (!tid) continue;
       live_.insert(*tid);
       ++issued_;

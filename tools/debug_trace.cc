@@ -32,6 +32,6 @@ int main() {
   net.spawn<Cli>(NodeConfig{});
   net.run_for(sim::kSecond);
   for (auto& e : net.sim().trace().events()) {
-    printf("%8.3fms n%d %-18s %s\n", sim::to_ms(e.at), e.node, sim::to_string(e.category), e.detail.c_str());
+    printf("%8.3fms %s\n", sim::to_ms(e.at), sim::describe(e).c_str());
   }
 }

@@ -136,8 +136,8 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& e : net.sim().trace().events()) {
-    std::printf("%10.3f ms  n%d  %-18s %s\n", sim::to_ms(e.at), e.node,
-                sim::to_string(e.category), e.detail.c_str());
+    std::printf("%10.3f ms  %s\n", sim::to_ms(e.at),
+                sim::describe(e).c_str());
   }
   std::printf("\n%zu trace events; driver %s\n",
               net.sim().trace().events().size(),

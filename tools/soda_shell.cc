@@ -14,7 +14,7 @@
 //   crash <mid>                hard-fail a node
 //   run <ms>                   advance simulated time
 //   trace on|off               packet tracing for subsequent runs
-//   stats                      bus statistics
+//   stats [json]               bus + per-node metrics (json: JSONL dump)
 //   help / quit
 //
 // Example session:
@@ -27,6 +27,7 @@
 
 #include "core/network.h"
 #include "sodal/sodal.h"
+#include "stats/metrics.h"
 
 namespace {
 
@@ -103,20 +104,19 @@ int main() {
         int from, to, arg;
         std::string pat;
         in >> from >> to >> pat >> arg;
-        Kernel::RequestParams rp;
-        rp.server = ServerSignature{to, parse_pattern(pat)};
-        rp.arg = arg;
+        const ServerSignature server{to, parse_pattern(pat)};
+        Kernel::RequestParams rp = Kernel::RequestParams::signal(server, arg);
         if (cmd == "put") {
           std::string text;
           std::getline(in, text);
           if (!text.empty() && text[0] == ' ') text.erase(0, 1);
-          rp.put_data = to_bytes(text);
+          rp = Kernel::RequestParams::put(server, to_bytes(text), arg);
         } else if (cmd == "get") {
           unsigned n = 0;
           in >> n;
           get_buffers.emplace_back();
-          rp.get_size = n;
-          rp.get_into = &get_buffers.back();
+          rp = Kernel::RequestParams::get(server, n, &get_buffers.back(),
+                                          arg);
         }
         auto tid = net.node(from).kernel().request(rp);
         if (tid) {
@@ -130,11 +130,8 @@ int main() {
         std::string pat;
         in >> from >> pat;
         get_buffers.emplace_back();
-        Kernel::RequestParams rp;
-        rp.server = ServerSignature{kBroadcastMid, parse_pattern(pat)};
-        rp.get_size = 64;
-        rp.get_into = &get_buffers.back();
-        net.node(from).kernel().request(rp);
+        net.node(from).kernel().request(Kernel::RequestParams::discover(
+            parse_pattern(pat), 64, &get_buffers.back()));
         std::printf("discover broadcast issued\n");
       } else if (cmd == "crash") {
         int mid;
@@ -150,9 +147,8 @@ int main() {
           const auto& ev = net.sim().trace().events();
           for (; trace_cursor < ev.size(); ++trace_cursor) {
             const auto& e = ev[trace_cursor];
-            std::printf("  %9.2f ms n%d %-16s %s\n", sim::to_ms(e.at),
-                        e.node, sim::to_string(e.category),
-                        e.detail.c_str());
+            std::printf("  %9.2f ms %s\n", sim::to_ms(e.at),
+                        sim::describe(e).c_str());
           }
         }
         std::printf("t=%.1f ms\n", sim::to_ms(net.sim().now()));
@@ -168,11 +164,45 @@ int main() {
         }
         std::printf("trace %s\n", tracing ? "on" : "off");
       } else if (cmd == "stats") {
-        std::printf("frames=%zu bytes=%zu lost=%zu corrupted=%zu nodes=%zu "
-                    "t=%.1fms\n",
-                    net.bus().frames_sent(), net.bus().bytes_sent(),
-                    net.bus().frames_lost(), net.bus().frames_corrupted(),
-                    net.size(), sim::to_ms(net.sim().now()));
+        std::string mode;
+        in >> mode;
+        if (mode == "json") {
+          // JSONL dump of every node's metrics registry (plus aggregate).
+          stats::dump_json(std::cout, net.sim().metrics(), "soda_shell");
+        } else {
+          std::printf("frames=%zu bytes=%zu lost=%zu corrupted=%zu nodes=%zu "
+                      "t=%.1fms\n",
+                      net.bus().frames_sent(), net.bus().bytes_sent(),
+                      net.bus().frames_lost(), net.bus().frames_corrupted(),
+                      net.size(), sim::to_ms(net.sim().now()));
+          for (const auto& [mid, reg] : net.sim().metrics().nodes()) {
+            using stats::Counter;
+            std::printf(
+                "  n%d: sent=%llu recv=%llu dropped=%llu retrans=%llu "
+                "busy_nacks=%llu reqs=%llu/%llu accepts=%llu/%llu "
+                "handler_runs=%llu\n",
+                mid,
+                static_cast<unsigned long long>(reg.counter(Counter::kFramesSent)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kFramesReceived)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kFramesDropped)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kRetransmits)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kBusyNacks)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kRequestsCompleted)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kRequestsIssued)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kAcceptsCompleted)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kAcceptsIssued)),
+                static_cast<unsigned long long>(
+                    reg.counter(Counter::kHandlerInvocations)));
+          }
+        }
       } else {
         std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
       }

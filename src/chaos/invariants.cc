@@ -1,0 +1,170 @@
+#include "chaos/invariants.h"
+
+#include <tuple>
+#include <utility>
+
+namespace soda::chaos {
+
+namespace {
+
+/// A kBoot event with DIE/KILLED status marks the end of an incarnation:
+/// the node's kernel state (pending requests, delivered table, handler)
+/// is gone from this instant on.
+bool is_death(const sim::TraceEvent& e) {
+  return e.category == sim::TraceCategory::kBoot &&
+         (e.status == sim::TraceStatus::kDie ||
+          e.status == sim::TraceStatus::kKilled);
+}
+
+std::string tid_key_str(int node, std::int32_t tid) {
+  return "n" + std::to_string(node) + " tid=" + std::to_string(tid);
+}
+
+}  // namespace
+
+// ------------------------------------------------- ExactlyOnceTermination
+
+void ExactlyOnceTermination::on_event(const sim::TraceEvent& e) {
+  using sim::TraceCategory;
+  if (is_death(e)) {
+    // The dead incarnation's open requests are legitimately abandoned.
+    auto it = requests_.lower_bound({e.node, 0});
+    while (it != requests_.end() && it->first.first == e.node) {
+      if (it->second == State::kOpen) {
+        it = requests_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+  if (e.category == TraceCategory::kRequestIssued) {
+    auto [it, inserted] = requests_.try_emplace({e.node, e.tid}, State::kOpen);
+    if (!inserted) {
+      fail(e.at, "tid reissued: " + tid_key_str(e.node, e.tid));
+    }
+    return;
+  }
+  if (e.category == TraceCategory::kRequestCompleted) {
+    auto it = requests_.find({e.node, e.tid});
+    if (it == requests_.end()) {
+      fail(e.at, "completion without issue: " + tid_key_str(e.node, e.tid));
+      return;
+    }
+    if (it->second == State::kTerminated) {
+      fail(e.at, "terminated twice: " + tid_key_str(e.node, e.tid));
+      return;
+    }
+    it->second = State::kTerminated;
+  }
+}
+
+void ExactlyOnceTermination::finish(sim::Time end) {
+  for (const auto& [key, state] : requests_) {
+    if (state == State::kOpen) {
+      fail(end, "never terminated after quiescence: " +
+                    tid_key_str(key.first, key.second));
+    }
+  }
+}
+
+// --------------------------------------------------- AtMostOnceDelivery
+
+void AtMostOnceDelivery::on_event(const sim::TraceEvent& e) {
+  if (is_death(e)) {
+    ++deaths_[e.node];
+    return;
+  }
+  if (e.category != sim::TraceCategory::kRequestDelivered) return;
+  const int server_epoch = deaths_[e.node];
+  const int requester_epoch = deaths_[e.peer];
+  auto& seen = delivered_[{e.node, e.peer, e.tid}];
+  if (!seen.insert({server_epoch, requester_epoch}).second) {
+    fail(e.at, "duplicate delivery at n" + std::to_string(e.node) +
+                   " of n" + std::to_string(e.peer) +
+                   " tid=" + std::to_string(e.tid));
+  }
+}
+
+// ------------------------------------------------------- NoStaleAccept
+
+void NoStaleAccept::on_event(const sim::TraceEvent& e) {
+  using sim::TraceStatus;
+  if (is_death(e)) {
+    ++deaths_[e.node];
+    return;
+  }
+  if (e.category == sim::TraceCategory::kHandlerInvoked &&
+      e.status == TraceStatus::kBooting) {
+    alive_[e.node] = deaths_[e.node];
+    return;
+  }
+  if (e.category == sim::TraceCategory::kRequestIssued) {
+    issued_in_[{e.node, e.tid}] = deaths_[e.node];
+    return;
+  }
+  if (e.category != sim::TraceCategory::kAcceptCompleted) return;
+  const bool success = e.status == TraceStatus::kCompleted ||
+                       e.status == TraceStatus::kPiggybacked ||
+                       e.status == TraceStatus::kNone;
+  if (!success) return;
+  auto it = issued_in_.find({e.peer, e.tid});
+  if (it == issued_in_.end()) return;  // issued before tracing started
+  // Only a success after a NEWER incarnation of the requester has booted
+  // is a protocol violation; completing while the requester is dead (or
+  // gone for good) is the benign piggyback case.
+  if (alive_[e.peer] > it->second) {
+    fail(e.at, "n" + std::to_string(e.node) +
+                   " accepted pre-reboot request " +
+                   tid_key_str(e.peer, e.tid));
+  }
+}
+
+// ---------------------------------------------------- HandlerNeverNests
+
+void HandlerNeverNests::on_event(const sim::TraceEvent& e) {
+  using sim::TraceCategory;
+  if (is_death(e)) {
+    busy_[e.node] = false;  // the kernel tears the handler down
+    return;
+  }
+  if (e.category == TraceCategory::kHandlerInvoked) {
+    bool& busy = busy_[e.node];
+    if (busy) {
+      fail(e.at, "handler invoked while busy on n" + std::to_string(e.node));
+    }
+    busy = true;
+    return;
+  }
+  if (e.category == TraceCategory::kHandlerEnded) {
+    busy_[e.node] = false;
+  }
+}
+
+// ---------------------------------------------------------- InvariantSet
+
+InvariantSet InvariantSet::standard() {
+  InvariantSet set;
+  set.add(std::make_unique<ExactlyOnceTermination>());
+  set.add(std::make_unique<AtMostOnceDelivery>());
+  set.add(std::make_unique<NoStaleAccept>());
+  set.add(std::make_unique<HandlerNeverNests>());
+  return set;
+}
+
+std::vector<Violation> InvariantSet::violations() const {
+  std::vector<Violation> all;
+  for (const auto& c : checkers_) {
+    all.insert(all.end(), c->violations().begin(), c->violations().end());
+  }
+  return all;
+}
+
+bool InvariantSet::ok() const {
+  for (const auto& c : checkers_) {
+    if (!c->violations().empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace soda::chaos

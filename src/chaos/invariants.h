@@ -1,0 +1,146 @@
+// Online invariant checkers over the typed TraceEvent stream.
+//
+// Each Invariant subscribes (through InvariantSet, installed as the
+// sim::Trace observer) to every event a chaos run records and asserts an
+// end-to-end protocol property while the simulation executes; finish()
+// runs the quiescence checks once the network has drained. The properties
+// come from the paper's crash semantics (§3.6, §6) read through the
+// failure-model taxonomy of Aspnes' distributed-systems notes: what must
+// hold no matter which prefix of messages is lost, duplicated, delayed,
+// or cut by a crash.
+//
+// A Violation is evidence, not an exception: checkers collect up to a cap
+// and the runner reports them with the (scenario, seed) pair that
+// reproduces the trace bit-identically.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace soda::chaos {
+
+struct Violation {
+  std::string invariant;
+  sim::Time at = 0;
+  std::string detail;
+};
+
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual std::string_view name() const = 0;
+  virtual void on_event(const sim::TraceEvent& e) = 0;
+  /// Called once after the run has quiesced (network drained, no load).
+  virtual void finish(sim::Time end) { (void)end; }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ protected:
+  void fail(sim::Time at, std::string detail) {
+    if (violations_.size() >= kMaxViolations) return;
+    violations_.push_back(Violation{std::string(name()), at,
+                                    std::move(detail)});
+  }
+  static constexpr std::size_t kMaxViolations = 16;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Every REQUEST issued by a live incarnation terminates in exactly one of
+/// COMPLETED / CANCELLED / CRASHED / UNADVERTISED — never zero (after
+/// quiescence) and never twice. Requests whose issuer died are forgiven:
+/// a crash wipes the requester's pending table by design (§3.6.1).
+class ExactlyOnceTermination final : public Invariant {
+ public:
+  std::string_view name() const override { return "exactly-once-termination"; }
+  void on_event(const sim::TraceEvent& e) override;
+  void finish(sim::Time end) override;
+
+ private:
+  enum class State : std::uint8_t { kOpen, kTerminated };
+  std::map<std::pair<int, std::int32_t>, State> requests_;
+};
+
+/// A REQUEST is handed to the server's client at most once per (server
+/// incarnation, requester incarnation): the alternating-bit + Delta-t
+/// machinery must reject every duplicate the bus injects. Redelivery to a
+/// *new* server incarnation after a reboot is legal (§3.6.2) — the
+/// requester's kernel still holds the request and retransmits it.
+class AtMostOnceDelivery final : public Invariant {
+ public:
+  std::string_view name() const override { return "at-most-once-delivery"; }
+  void on_event(const sim::TraceEvent& e) override;
+
+ private:
+  std::map<int, int> deaths_;  // node -> incarnation epoch
+  // (server, requester, tid) -> epochs pairs already seen
+  std::map<std::tuple<int, int, std::int32_t>, std::set<std::pair<int, int>>>
+      delivered_;
+};
+
+/// No ACCEPT of a pre-reboot request succeeds once the requester's *new*
+/// incarnation is up: old TIDs must be rejected by the stale-accept check
+/// (§6, boot_min_tid) — a success would hand data to a ghost. An accept
+/// that completes while the requester is merely dead (or never reboots) is
+/// legal: the server cannot know yet, and piggybacked request data lets it
+/// finish without ever hearing from the requester again.
+class NoStaleAccept final : public Invariant {
+ public:
+  std::string_view name() const override { return "no-stale-accept"; }
+  void on_event(const sim::TraceEvent& e) override;
+
+ private:
+  std::map<int, int> deaths_;  // node -> death count
+  std::map<int, int> alive_;   // node -> epoch of the booted incarnation
+  std::map<std::pair<int, std::int32_t>, int> issued_in_;  // (node,tid)->epoch
+};
+
+/// The client handler never nests: between a handler invocation and its
+/// ENDHANDLER the kernel must not invoke the handler again (§3.7.5 — the
+/// uniprogrammed discipline chaos loves to probe with completion storms).
+class HandlerNeverNests final : public Invariant {
+ public:
+  std::string_view name() const override { return "handler-never-nests"; }
+  void on_event(const sim::TraceEvent& e) override;
+
+ private:
+  std::map<int, bool> busy_;
+};
+
+/// A registry of invariants driven by one trace stream.
+class InvariantSet {
+ public:
+  InvariantSet() = default;
+  InvariantSet(InvariantSet&&) = default;
+  InvariantSet& operator=(InvariantSet&&) = default;
+
+  /// The four standard checkers every chaos run gets.
+  static InvariantSet standard();
+
+  void add(std::unique_ptr<Invariant> inv) {
+    checkers_.push_back(std::move(inv));
+  }
+
+  void on_event(const sim::TraceEvent& e) {
+    for (auto& c : checkers_) c->on_event(e);
+  }
+  void finish(sim::Time end) {
+    for (auto& c : checkers_) c->finish(end);
+  }
+
+  /// All violations, flattened in checker order.
+  std::vector<Violation> violations() const;
+  bool ok() const;
+
+ private:
+  std::vector<std::unique_ptr<Invariant>> checkers_;
+};
+
+}  // namespace soda::chaos

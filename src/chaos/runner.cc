@@ -1,0 +1,341 @@
+#include "chaos/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "chaos/workload.h"
+#include "core/network.h"
+
+namespace soda::chaos {
+
+namespace {
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// A fault window resolved against the scenario (until=0 already expanded).
+struct Window {
+  sim::Time at = 0;
+  sim::Time until = 0;
+  int node = -1;
+  int peer = -1;
+  double probability = 1.0;
+  sim::Duration delay = 0;
+  std::uint64_t group = 0;
+
+  bool matches_link(sim::Time now, Mid src, Mid dst) const {
+    return now >= at && now < until && (node < 0 || node == src) &&
+           (peer < 0 || peer == dst);
+  }
+};
+
+Window resolve(const Scenario& s, const Fault& f) {
+  Window w;
+  w.at = f.at;
+  w.until = s.window_end(f);
+  w.node = f.node;
+  w.peer = f.peer;
+  w.probability = f.probability;
+  w.delay = f.delay;
+  w.group = f.group;
+  return w;
+}
+
+/// Translate the scenario's link faults into bus filters and scheduled
+/// config flips. Loss windows and partitions share the loss filter;
+/// corruption has no per-delivery hook on the bus, so its windows become
+/// scheduled probability flips (bus-wide; see doc/CHAOS.md).
+void install_link_faults(Network& net, const Scenario& s) {
+  std::vector<Window> losses, partitions, dups, delays;
+  for (const Fault& f : s.faults) {
+    switch (f.kind) {
+      case FaultKind::kLoss: losses.push_back(resolve(s, f)); break;
+      case FaultKind::kPartition: partitions.push_back(resolve(s, f)); break;
+      case FaultKind::kDuplicate: dups.push_back(resolve(s, f)); break;
+      case FaultKind::kDelay: delays.push_back(resolve(s, f)); break;
+      default: break;
+    }
+  }
+
+  auto& sim = net.sim();
+  auto& bus = net.bus();
+
+  if (!losses.empty() || !partitions.empty()) {
+    bus.set_loss_filter([&sim, losses, partitions](const net::Frame& f, Mid dst) {
+      const sim::Time now = sim.now();
+      for (const Window& w : partitions) {
+        if (now >= w.at && now < w.until &&
+            (((w.group >> static_cast<unsigned>(f.src)) ^
+              (w.group >> static_cast<unsigned>(dst))) &
+             1)) {
+          return true;
+        }
+      }
+      for (const Window& w : losses) {
+        if (w.matches_link(now, f.src, dst) &&
+            sim.rng().chance(w.probability)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  if (!dups.empty()) {
+    bus.set_dup_filter([&sim, dups](const net::Frame& f, Mid dst) {
+      const sim::Time now = sim.now();
+      for (const Window& w : dups) {
+        if (w.matches_link(now, f.src, dst) &&
+            sim.rng().chance(w.probability)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  if (!delays.empty()) {
+    bus.set_delay_filter([&sim, delays](const net::Frame& f, Mid dst) {
+      sim::Duration extra = 0;
+      const sim::Time now = sim.now();
+      for (const Window& w : delays) {
+        if (w.matches_link(now, f.src, dst) && w.delay > 0) {
+          extra += static_cast<sim::Duration>(sim.rng().next_range(0, w.delay));
+        }
+      }
+      return extra;
+    });
+  }
+
+  for (const Fault& f : s.faults) {
+    if (f.kind != FaultKind::kCorrupt) continue;
+    const double p = f.probability;
+    sim.at(f.at, [&bus, p] { bus.set_corruption_probability(p); });
+    sim.at(s.window_end(f), [&bus] { bus.set_corruption_probability(0.0); });
+  }
+}
+
+/// Schedule the crash / reboot events. A reboot reinstalls the node's
+/// workload client; the kernel keeps its monotone TID floor and its
+/// Delta-t quarantine across the reboot (§5.4), so rebooting before the
+/// quarantine elapses is protocol-safe — the transport just stays silent
+/// until it expires.
+void schedule_crashes(Network& net, const Scenario& s) {
+  auto& sim = net.sim();
+  for (const Fault& f : s.faults) {
+    if (f.kind != FaultKind::kCrash) continue;
+    if (f.node < 0 || f.node >= s.nodes) continue;
+    const Mid mid = static_cast<Mid>(f.node);
+    sim.at(f.at, [&net, mid] { net.node(mid).crash(); });
+    if (f.reboot_after > 0) {
+      sim.at(f.at + f.reboot_after, [&net, &s, mid] {
+        net.node(mid).install_client(make_workload_client(s, mid), mid);
+      });
+    }
+  }
+}
+
+/// run_scenario that converts an escaped exception (a client program
+/// throwing, a simulation runaway) into a reported violation, so a worker
+/// thread never terminates the sweep.
+RunResult run_guarded(const Scenario& scenario, std::uint64_t seed,
+                      const InvariantFactory& extra) {
+  try {
+    return run_scenario(scenario, seed, extra);
+  } catch (const std::exception& ex) {
+    RunResult r;
+    r.seed = seed;
+    r.violations.push_back(Violation{"exception", 0, ex.what()});
+    return r;
+  }
+}
+
+}  // namespace
+
+std::uint64_t hash_event(std::uint64_t h, const sim::TraceEvent& e) {
+  h = fnv_u64(h, static_cast<std::uint64_t>(e.at));
+  h = fnv_u64(h, static_cast<std::uint64_t>(e.category));
+  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
+  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.peer)));
+  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.tid)));
+  h = fnv_u64(h,
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(e.pattern)));
+  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.size)));
+  h = fnv_u64(h, static_cast<std::uint64_t>(e.sections));
+  h = fnv_u64(h, static_cast<std::uint64_t>(e.status));
+  h = fnv_u64(h, static_cast<std::uint64_t>(e.detail_i64(-1)));
+  return h;
+}
+
+RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
+                       const InvariantFactory& extra,
+                       const RunOptions& options) {
+  Network::Options nopts;
+  nopts.seed = seed;
+  Network net(nopts);
+  auto& sim = net.sim();
+  sim.trace().enable_all();
+  sim.trace().set_store(options.keep_events);
+
+  InvariantSet invariants = InvariantSet::standard();
+  if (extra) {
+    for (auto& inv : extra()) invariants.add(std::move(inv));
+  }
+
+  RunResult result;
+  result.seed = seed;
+  std::uint64_t hash = kTraceHashSeed;
+  sim.trace().set_observer([&](const sim::TraceEvent& e) {
+    hash = hash_event(hash, e);
+    invariants.on_event(e);
+    ++result.stats.events;
+    using sim::TraceCategory;
+    switch (e.category) {
+      case TraceCategory::kRequestIssued:
+        ++result.stats.requests_issued;
+        break;
+      case TraceCategory::kRequestDelivered:
+        ++result.stats.deliveries;
+        break;
+      case TraceCategory::kRequestCompleted:
+        ++result.stats.requests_completed;
+        if (e.status == sim::TraceStatus::kCrashed) {
+          ++result.stats.crashed_completions;
+        }
+        break;
+      default:
+        break;
+    }
+  });
+
+  for (int mid = 0; mid < scenario.nodes; ++mid) {
+    NodeConfig cfg;
+    for (const Fault& f : scenario.faults) {
+      if (f.kind == FaultKind::kTimerSkew && f.node == mid) {
+        apply_timer_skew(cfg.timing, f.factor);
+      }
+    }
+    Node& n = net.add_node(std::move(cfg));
+    n.install_client(make_workload_client(scenario, static_cast<Mid>(mid)),
+                     n.mid());
+  }
+
+  install_link_faults(net, scenario);
+  schedule_crashes(net, scenario);
+
+  net.run_for(scenario.end_time());
+  net.check_clients();
+  invariants.finish(sim.now());
+
+  result.trace_hash = hash;
+  result.violations = invariants.violations();
+  result.stats.frames_sent = net.bus().frames_sent();
+  result.stats.frames_lost = net.bus().frames_lost();
+  result.stats.frames_duplicated = net.bus().frames_duplicated();
+  if (options.keep_events) result.events = sim.trace().events();
+  // The observer references locals of this frame; drop it before they die.
+  sim.trace().set_observer(nullptr);
+  return result;
+}
+
+SweepResult sweep_scenario(const Scenario& scenario,
+                           const SweepOptions& options,
+                           const InvariantFactory& extra) {
+  SweepResult out;
+  const int seeds = std::max(0, options.seeds);
+  if (seeds == 0) return out;
+  int jobs = options.jobs > 0
+                 ? options.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::clamp(jobs, 1, seeds);
+
+  std::atomic<int> next{0};
+  std::atomic<int> failure_count{0};
+  std::mutex mu;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= seeds) return;
+      if (failure_count.load() >= options.max_failures) return;
+      const std::uint64_t seed =
+          options.first_seed + static_cast<std::uint64_t>(i);
+      RunResult r = run_guarded(scenario, seed, extra);
+      std::lock_guard<std::mutex> lock(mu);
+      ++out.ran;
+      if (!r.ok()) {
+        ++failure_count;
+        if (options.on_failure) options.on_failure(r);
+        out.failures.push_back(std::move(r));
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.seed < b.seed;
+            });
+  return out;
+}
+
+Scenario shrink_failure(const Scenario& scenario, std::uint64_t seed,
+                        const InvariantFactory& extra, int* runs_used) {
+  int runs = 0;
+  auto violated_names = [&](const Scenario& s) {
+    ++runs;
+    std::set<std::string> names;
+    for (const Violation& v : run_guarded(s, seed, extra).violations) {
+      names.insert(v.invariant);
+    }
+    return names;
+  };
+
+  const std::set<std::string> original = violated_names(scenario);
+  Scenario best = scenario;
+  if (original.empty()) {
+    if (runs_used) *runs_used = runs;
+    return best;  // (scenario, seed) doesn't fail — nothing to shrink
+  }
+
+  // A candidate counts as "still failing" only if it reproduces one of the
+  // *original* violations; trading the bug under investigation for a
+  // different one isn't a reduction.
+  auto still_fails = [&](const Scenario& s) {
+    for (const std::string& n : violated_names(s)) {
+      if (original.count(n)) return true;
+    }
+    return false;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < best.faults.size(); ++i) {
+      Scenario candidate = best;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (still_fails(candidate)) {
+        best = std::move(candidate);
+        progress = true;
+        break;  // fault indices shifted — restart the scan
+      }
+    }
+  }
+  if (runs_used) *runs_used = runs;
+  return best;
+}
+
+}  // namespace soda::chaos

@@ -1,0 +1,356 @@
+#include "chaos/scenario.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "stats/json.h"
+
+namespace soda::chaos {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kTimerSkew: return "timer_skew";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view s) {
+  constexpr auto kLast = static_cast<std::size_t>(FaultKind::kTimerSkew);
+  for (std::size_t i = 0; i <= kLast; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (s == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------- builder
+
+Scenario& Scenario::lose(double p, sim::Time at, sim::Time until, int node,
+                         int peer) {
+  Fault f;
+  f.kind = FaultKind::kLoss;
+  f.probability = p;
+  f.at = at;
+  f.until = until;
+  f.node = node;
+  f.peer = peer;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::corrupt(double p, sim::Time at, sim::Time until, int node,
+                            int peer) {
+  Fault f;
+  f.kind = FaultKind::kCorrupt;
+  f.probability = p;
+  f.at = at;
+  f.until = until;
+  f.node = node;
+  f.peer = peer;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::duplicate(double p, sim::Time at, sim::Time until,
+                              int node, int peer) {
+  Fault f;
+  f.kind = FaultKind::kDuplicate;
+  f.probability = p;
+  f.at = at;
+  f.until = until;
+  f.node = node;
+  f.peer = peer;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::delay_frames(sim::Duration max_extra, sim::Time at,
+                                 sim::Time until, int node, int peer) {
+  Fault f;
+  f.kind = FaultKind::kDelay;
+  f.delay = max_extra;
+  f.at = at;
+  f.until = until;
+  f.node = node;
+  f.peer = peer;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::partition(std::uint64_t group_mask, sim::Time at,
+                              sim::Time until) {
+  Fault f;
+  f.kind = FaultKind::kPartition;
+  f.group = group_mask;
+  f.at = at;
+  f.until = until;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::crash(int node, sim::Time at, sim::Duration reboot_after) {
+  Fault f;
+  f.kind = FaultKind::kCrash;
+  f.node = node;
+  f.at = at;
+  f.reboot_after = reboot_after;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::skew_timers(int node, double factor) {
+  Fault f;
+  f.kind = FaultKind::kTimerSkew;
+  f.node = node;
+  f.factor = factor;
+  faults.push_back(f);
+  return *this;
+}
+
+void apply_timer_skew(TimingModel& t, double factor) {
+  auto scale = [factor](sim::Duration& d) {
+    d = static_cast<sim::Duration>(static_cast<double>(d) * factor + 0.5);
+  };
+  scale(t.ack_delay_window);
+  scale(t.retransmit_interval);
+  scale(t.retransmit_jitter);
+  scale(t.busy_retry_interval);
+  scale(t.busy_retry_growth);
+  scale(t.busy_retry_max);
+  scale(t.probe_interval);
+  scale(t.mpl);
+  scale(t.discover_window);
+}
+
+// ------------------------------------------------------------------ JSONL
+
+std::string to_jsonl(const Scenario& s) {
+  std::string out;
+  stats::JsonObject header;
+  header.set("kind", "scenario")
+      .set("name", s.name)
+      .set("nodes", s.nodes)
+      .set("servers", s.servers)
+      .set("duration", static_cast<std::int64_t>(s.duration))
+      .set("drain", static_cast<std::int64_t>(s.drain))
+      .set("request_interval", static_cast<std::int64_t>(s.request_interval))
+      .set("payload", s.payload)
+      .set("accept_delay", static_cast<std::int64_t>(s.accept_delay));
+  out += header.str();
+  out += '\n';
+  for (const Fault& f : s.faults) {
+    stats::JsonObject o;
+    o.set("kind", "fault").set("fault", to_string(f.kind));
+    if (f.at != 0) o.set("at", static_cast<std::int64_t>(f.at));
+    if (f.until != 0) o.set("until", static_cast<std::int64_t>(f.until));
+    if (f.node != -1) o.set("node", f.node);
+    if (f.peer != -1) o.set("peer", f.peer);
+    if (f.probability != 1.0) o.set("p", f.probability);
+    if (f.delay != 0) o.set("delay", static_cast<std::int64_t>(f.delay));
+    if (f.factor != 1.0) o.set("factor", f.factor);
+    if (f.group != 0) o.set("group", static_cast<std::uint64_t>(f.group));
+    if (f.reboot_after != 0)
+      o.set("reboot_after", static_cast<std::int64_t>(f.reboot_after));
+    out += o.str();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool read_i64(const std::map<std::string, std::string>& fields,
+              const char* key, std::int64_t& out) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return true;
+  try {
+    out = std::stoll(it->second);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool read_int(const std::map<std::string, std::string>& fields,
+              const char* key, int& out) {
+  std::int64_t v = out;
+  if (!read_i64(fields, key, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool read_u64(const std::map<std::string, std::string>& fields,
+              const char* key, std::uint64_t& out) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return true;
+  try {
+    out = std::stoull(it->second);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool read_double(const std::map<std::string, std::string>& fields,
+                 const char* key, double& out) {
+  auto it = fields.find(key);
+  if (it == fields.end()) return true;
+  try {
+    out = std::stod(it->second);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool read_u32(const std::map<std::string, std::string>& fields,
+              const char* key, std::uint32_t& out) {
+  std::int64_t v = out;
+  if (!read_i64(fields, key, v) || v < 0) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
+  Scenario s;
+  bool saw_header = false;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    // Tolerate comments and blank lines so checked-in scenario files can
+    // carry commentary.
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    auto fields = stats::parse_json_line(line);
+    if (!fields) return std::nullopt;
+    auto kind = fields->find("kind");
+    if (kind == fields->end()) return std::nullopt;
+
+    if (kind->second == "scenario") {
+      if (saw_header) return std::nullopt;  // one header only
+      saw_header = true;
+      if (auto it = fields->find("name"); it != fields->end())
+        s.name = it->second;
+      if (!read_int(*fields, "nodes", s.nodes) ||
+          !read_int(*fields, "servers", s.servers) ||
+          !read_i64(*fields, "duration", s.duration) ||
+          !read_i64(*fields, "drain", s.drain) ||
+          !read_i64(*fields, "request_interval", s.request_interval) ||
+          !read_u32(*fields, "payload", s.payload) ||
+          !read_i64(*fields, "accept_delay", s.accept_delay)) {
+        return std::nullopt;
+      }
+      continue;
+    }
+
+    if (kind->second == "fault") {
+      auto fk = fields->find("fault");
+      if (fk == fields->end()) return std::nullopt;
+      auto parsed = fault_kind_from_string(fk->second);
+      if (!parsed) return std::nullopt;
+      Fault f;
+      f.kind = *parsed;
+      if (!read_i64(*fields, "at", f.at) ||
+          !read_i64(*fields, "until", f.until) ||
+          !read_int(*fields, "node", f.node) ||
+          !read_int(*fields, "peer", f.peer) ||
+          !read_double(*fields, "p", f.probability) ||
+          !read_i64(*fields, "delay", f.delay) ||
+          !read_double(*fields, "factor", f.factor) ||
+          !read_u64(*fields, "group", f.group) ||
+          !read_i64(*fields, "reboot_after", f.reboot_after)) {
+        return std::nullopt;
+      }
+      s.faults.push_back(f);
+      continue;
+    }
+
+    return std::nullopt;  // unknown row kind
+  }
+  if (!saw_header) return std::nullopt;
+  if (s.nodes < 1 || s.servers < 0 || s.servers > s.nodes) return std::nullopt;
+  return s;
+}
+
+// --------------------------------------------------------------- builtins
+
+std::optional<Scenario> builtin_scenario(std::string_view name) {
+  using sim::kMillisecond;
+  using sim::kSecond;
+
+  if (name == "regression") {
+    // The kitchen sink the CI sweep runs: background loss, corruption,
+    // duplication and jitter for the whole load phase; the server crashes
+    // and reboots mid-run; a client crashes and reboots; a partition
+    // isolates the server for two seconds; one node's timers run 25% slow.
+    Scenario s;
+    s.name = "regression";
+    s.nodes = 5;
+    s.servers = 1;
+    s.duration = 20 * kSecond;
+    s.drain = 10 * kSecond;
+    s.request_interval = 60 * kMillisecond;
+    s.payload = 96;
+    s.accept_delay = 2 * kMillisecond;  // keep requests held across faults
+    s.lose(0.10)
+        .corrupt(0.05)
+        .duplicate(0.05)
+        .delay_frames(3 * kMillisecond)
+        .crash(/*node=*/0, /*at=*/5 * kSecond, /*reboot_after=*/2 * kSecond)
+        .crash(/*node=*/3, /*at=*/9 * kSecond, /*reboot_after=*/1500 *
+                                                   kMillisecond)
+        .partition(/*group=*/0b00011, /*at=*/12 * kSecond,
+                   /*until=*/14 * kSecond)
+        .skew_timers(/*node=*/2, /*factor=*/1.25);
+    return s;
+  }
+
+  if (name == "smoke") {
+    // Small and fast: what tests/test_chaos.cc sweeps across ~50 seeds.
+    Scenario s;
+    s.name = "smoke";
+    s.nodes = 3;
+    s.servers = 1;
+    s.duration = 3 * kSecond;
+    s.drain = 3 * kSecond;
+    s.request_interval = 80 * kMillisecond;
+    s.payload = 32;
+    s.accept_delay = 1 * kMillisecond;
+    s.lose(0.10)
+        .duplicate(0.05)
+        .crash(/*node=*/0, /*at=*/1 * kSecond, /*reboot_after=*/800 *
+                                                   kMillisecond)
+        .partition(/*group=*/0b001, /*at=*/2 * kSecond,
+                   /*until=*/2500 * kMillisecond);
+    return s;
+  }
+
+  if (name == "loss_storm") {
+    Scenario s;
+    s.name = "loss_storm";
+    s.nodes = 4;
+    s.servers = 1;
+    s.duration = 10 * kSecond;
+    s.drain = 10 * kSecond;
+    s.request_interval = 80 * kMillisecond;
+    s.payload = 64;
+    s.lose(0.40).corrupt(0.10);
+    return s;
+  }
+
+  return std::nullopt;
+}
+
+std::vector<std::string> builtin_scenario_names() {
+  return {"regression", "smoke", "loss_storm"};
+}
+
+}  // namespace soda::chaos

@@ -1,0 +1,111 @@
+// soda::chaos scenario DSL — a declarative fault schedule against a
+// simulated SODA network, in the FoundationDB/TigerBeetle deterministic-
+// simulation style.
+//
+// A Scenario names a topology (N nodes, the first `servers` of which run
+// the echo workload's server side), a workload intensity, and a list of
+// Faults. Faults are either *windowed link faults* (loss / corruption /
+// duplication / delay between `at` and `until`, optionally restricted to
+// one directed link), *events* (crash at `at`, optional reboot after
+// `reboot_after`), *partitions* (frames crossing the `group` bitmask
+// boundary are dropped during the window), or *setup-time skews*
+// (a node's protocol timers scaled by `factor` before the run starts).
+//
+// Scenarios serialize to JSONL (one header line + one line per fault) via
+// to_jsonl()/scenario_from_jsonl(), reusing the stats:: flat JSON support,
+// so a failing (scenario, seed) pair is a two-token reproduction recipe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/timing.h"
+#include "sim/time.h"
+
+namespace soda::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kLoss,       // windowed link fault: drop with `probability`
+  kCorrupt,    // windowed link fault: CRC-damage with `probability`
+  kDuplicate,  // windowed link fault: deliver twice with `probability`
+  kDelay,      // windowed link fault: add uniform extra latency [0, delay]
+  kPartition,  // windowed: drop frames crossing the `group` boundary
+  kCrash,      // event: hard-fail `node` at `at`; reboot after `reboot_after`
+  kTimerSkew,  // setup: scale `node`'s protocol timers by `factor`
+};
+
+const char* to_string(FaultKind k);
+std::optional<FaultKind> fault_kind_from_string(std::string_view s);
+
+struct Fault {
+  FaultKind kind = FaultKind::kLoss;
+  sim::Time at = 0;     // window start / event time
+  sim::Time until = 0;  // window end; 0 = scenario duration (open window)
+  int node = -1;        // link faults: sender (-1 = any); crash/skew: target
+  int peer = -1;        // link faults: receiver (-1 = any)
+  double probability = 1.0;      // loss / corrupt / duplicate
+  sim::Duration delay = 0;       // kDelay: max extra latency (keep < MPL)
+  double factor = 1.0;           // kTimerSkew
+  std::uint64_t group = 0;       // kPartition: bitmask of MIDs in group A
+  sim::Duration reboot_after = 0;  // kCrash: 0 = stays down
+
+  bool operator==(const Fault&) const = default;
+};
+
+struct Scenario {
+  std::string name = "unnamed";
+  int nodes = 4;
+  int servers = 1;  // MIDs [0, servers) run echo servers, the rest load
+  sim::Duration duration = 10 * sim::kSecond;  // load-generation phase
+  sim::Duration drain = 10 * sim::kSecond;     // quiesce phase (no new load)
+  sim::Duration request_interval = 50 * sim::kMillisecond;  // per client
+  std::uint32_t payload = 64;        // bytes exchanged per request
+  sim::Duration accept_delay = 0;    // server dawdle before ACCEPT (holds
+                                     // requests in flight across faults)
+  std::vector<Fault> faults;
+
+  bool operator==(const Scenario&) const = default;
+
+  // --- builder (each returns *this for chaining) ---
+  Scenario& lose(double p, sim::Time at = 0, sim::Time until = 0,
+                 int node = -1, int peer = -1);
+  Scenario& corrupt(double p, sim::Time at = 0, sim::Time until = 0,
+                    int node = -1, int peer = -1);
+  Scenario& duplicate(double p, sim::Time at = 0, sim::Time until = 0,
+                      int node = -1, int peer = -1);
+  Scenario& delay_frames(sim::Duration max_extra, sim::Time at = 0,
+                         sim::Time until = 0, int node = -1, int peer = -1);
+  Scenario& partition(std::uint64_t group_mask, sim::Time at, sim::Time until);
+  Scenario& crash(int node, sim::Time at, sim::Duration reboot_after = 0);
+  Scenario& skew_timers(int node, double factor);
+
+  /// End of the simulated run (load + quiesce).
+  sim::Time end_time() const { return duration + drain; }
+  /// A fault window's effective end (`until` == 0 means `duration`).
+  sim::Time window_end(const Fault& f) const {
+    return f.until > 0 ? f.until : duration;
+  }
+};
+
+/// Scale every protocol timer of `t` by `factor` (Delta-t skew: the node's
+/// clock runs fast or slow relative to its peers').
+void apply_timer_skew(TimingModel& t, double factor);
+
+/// Serialize to JSONL: a `{"kind":"scenario",...}` header line followed by
+/// one `{"kind":"fault",...}` line per fault. Times are microseconds.
+std::string to_jsonl(const Scenario& s);
+
+/// Parse the output of to_jsonl() (blank lines and `#` comments allowed).
+/// Returns nullopt on malformed input.
+std::optional<Scenario> scenario_from_jsonl(std::string_view text);
+
+/// Named bundled scenarios: "regression" (loss + corruption + duplication
+/// + jitter + crash/reboot + partition + skew — the CI sweep), "smoke"
+/// (small and fast, for tests), "loss_storm" (heavy uniform loss).
+std::optional<Scenario> builtin_scenario(std::string_view name);
+std::vector<std::string> builtin_scenario_names();
+
+}  // namespace soda::chaos

@@ -1,0 +1,10 @@
+#include "chaos/workload.h"
+
+namespace soda::chaos {
+
+std::unique_ptr<Client> make_workload_client(const Scenario& s, Mid mid) {
+  if (mid < s.servers) return std::make_unique<EchoServer>(s);
+  return std::make_unique<LoadClient>(s);
+}
+
+}  // namespace soda::chaos

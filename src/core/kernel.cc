@@ -313,7 +313,44 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
   dr.accepting = true;
   accepts_.emplace(key, std::move(oa));
   transport_.send_sequenced(rs.mid, std::move(af));
+  if (needs_put) arm_accept_data_deadline(key);
   return pr.future();
+}
+
+void Kernel::arm_accept_data_deadline(ServerKey key) {
+  // A waiting ACCEPT must not outlive the requester's willingness to
+  // supply the late data: once the requester's DATA retransmission budget
+  // (or its own view of this exchange) is spent it completes the request
+  // as CRASHED and forgets the TID, and nothing it sends afterwards can
+  // release this handler. Give the data one record lifetime plus a full
+  // retransmission span to arrive, then declare the requester crashed
+  // (§3.3.2: an ACCEPT fails if the requesting machine crashed).
+  const sim::Duration grace =
+      config_.timing.record_lifetime() + config_.timing.retransmit_span();
+  const sim::Time issued = sim_.now();
+  sim_.after(grace, [this, key, issued, epoch = death_epoch_]() {
+    if (epoch != death_epoch_) return;
+    auto it = accepts_.find(key);
+    if (it == accepts_.end() || !it->second.waiting_put_data ||
+        it->second.issued_at != issued) {
+      return;
+    }
+    OngoingAccept& oa = it->second;
+    AcceptResult result;
+    result.status = AcceptStatus::kCrashed;
+    sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
+                        sim::TracePayload{}
+                            .with_peer(key.first)
+                            .with_tid(static_cast<std::int32_t>(key.second))
+                            .with_status(sim::TraceStatus::kCrashed));
+    auto promise = std::move(oa.promise);
+    auto kernel_done = std::move(oa.kernel_done);
+    accepts_.erase(it);
+    delivered_.erase(key);
+    note_completed(key);
+    if (promise) promise->set(result);
+    if (kernel_done) kernel_done(result);
+  });
 }
 
 void Kernel::finish_accept(ServerKey key, OngoingAccept& oa) {
@@ -323,7 +360,8 @@ void Kernel::finish_accept(ServerKey key, OngoingAccept& oa) {
   sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
                       sim::TracePayload{}
                           .with_peer(key.first)
-                          .with_tid(static_cast<std::int32_t>(key.second)));
+                          .with_tid(static_cast<std::int32_t>(key.second))
+                          .with_status(sim::TraceStatus::kCompleted));
   AcceptResult result = oa.result;
   auto promise = std::move(oa.promise);
   auto kernel_done = std::move(oa.kernel_done);
@@ -517,6 +555,9 @@ void Kernel::client_booted(Mid parent) {
                return;
              }
              metrics_.add(stats::Counter::kHandlerInvocations);
+             sim_.trace().record(
+                 sim_.now(), TraceCategory::kHandlerInvoked, mid_,
+                 sim::TracePayload{}.with_status(sim::TraceStatus::kBooting));
              host_.invoke_handler(args);
            });
 }
@@ -704,6 +745,14 @@ void Kernel::deliver(const net::Frame& f) {
         p.cancel_promise.reset();
         if (c.ok) {
           stop_probing(p);
+          // Cancellation is the third way a REQUEST terminates; trace it
+          // so invariant checkers see exactly one terminal event per tid.
+          sim_.trace().record(sim_.now(), TraceCategory::kRequestCompleted,
+                              mid_,
+                              sim::TracePayload{}
+                                  .with_peer(p.server.mid)
+                                  .with_tid(static_cast<std::int32_t>(p.tid))
+                                  .with_status(sim::TraceStatus::kCancelled));
           pending_.erase(it);  // no completion interrupt for a cancelled one
           promise.set(CancelStatus::kSuccess);
         } else {
@@ -770,6 +819,15 @@ void Kernel::on_failed(Mid peer, const net::Frame& sent,
       result.status = (reason == net::NackReason::kCrashed)
                           ? AcceptStatus::kCrashed
                           : AcceptStatus::kCancelled;
+      sim_.trace().record(sim_.now(), TraceCategory::kAcceptCompleted, mid_,
+                          sim::TracePayload{}
+                              .with_peer(peer)
+                              .with_tid(static_cast<std::int32_t>(
+                                  sent.accept->tid))
+                              .with_status(result.status ==
+                                                   AcceptStatus::kCrashed
+                                               ? sim::TraceStatus::kCrashed
+                                               : sim::TraceStatus::kCancelled));
       auto promise = std::move(oa.promise);
       auto kernel_done = std::move(oa.kernel_done);
       accepts_.erase(it);
@@ -995,6 +1053,10 @@ void Kernel::on_request_delivered(const net::Frame& f) {
     dr.data = f.data;
   }
   delivered_[{f.src, f.request->tid}] = std::move(dr);
+  sim_.trace().record(sim_.now(), TraceCategory::kRequestDelivered, mid_,
+                      sim::TracePayload{}
+                          .with_peer(f.src)
+                          .with_tid(static_cast<std::int32_t>(f.request->tid)));
   dispatch_arrival(f);
 }
 
@@ -1094,6 +1156,7 @@ void Kernel::serve_reserved(const net::Frame& f) {
         };
         accepts_.emplace(ServerKey{f.src, rq.tid}, std::move(oa));
         transport_.send_sequenced(f.src, std::move(af));
+        arm_accept_data_deadline(ServerKey{f.src, rq.tid});
       }
       return;
     }

@@ -273,6 +273,7 @@ class Kernel {
   bool handler_available_for_arrival() const;
   void handle_late_data(const net::Frame& f);
   void finish_accept(ServerKey key, OngoingAccept& oa);
+  void arm_accept_data_deadline(ServerKey key);
 
   // handler management
   void post_completion(HandlerArgs args);

@@ -2,12 +2,15 @@
 // 1 Mbit/s shared medium with hardware CRC (a damaged frame is silently
 // discarded by the receiver's interface) and physical broadcast.
 //
-// Fault injection: uniform frame-loss probability and CRC-corruption
-// probability exercise the retransmission and Delta-t machinery the same
-// way collisions and line noise did on the real bus. For deterministic
-// tests, set_loss_filter() replaces the random draw with a predicate.
+// Fault injection: uniform frame-loss, CRC-corruption, and duplication
+// probabilities exercise the retransmission and Delta-t machinery the same
+// way collisions, line noise, and store-and-forward relays did on real
+// media. For deterministic tests (and the soda::chaos scenario engine),
+// set_loss_filter() / set_dup_filter() / set_delay_filter() replace the
+// random draws with predicates.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -36,6 +39,10 @@ struct BusConfig {
   /// UDP) may not — jitter lets control frames overtake sequenced ones
   /// and exercises the reordering tolerance of the protocol.
   sim::Duration delivery_jitter = 0;
+  /// Probability a frame is delivered twice to a receiver (a relay or NIC
+  /// retry artefact). The extra copy arrives one jitter draw later and
+  /// exercises the alternating-bit duplicate rejection.
+  double duplicate_probability = 0.0;
 };
 
 /// Receiver callback installed by a NIC.
@@ -44,6 +51,14 @@ using FrameSink = std::function<void(const Frame&)>;
 /// Deterministic loss predicate: return true to drop this (frame, receiver)
 /// delivery. When installed it replaces the random loss draw entirely.
 using LossFilter = std::function<bool(const Frame&, Mid dst)>;
+
+/// Deterministic duplication predicate: return true to deliver a second
+/// copy of this (frame, receiver) pair. Replaces the random duplicate draw.
+using DupFilter = std::function<bool(const Frame&, Mid dst)>;
+
+/// Deterministic delay shaper: extra latency (>= 0) added to this (frame,
+/// receiver) delivery on top of wire + jitter time.
+using DelayFilter = std::function<sim::Duration(const Frame&, Mid dst)>;
 
 class Bus {
  public:
@@ -101,26 +116,27 @@ class Bus {
       if (config_.delivery_jitter > 0) {
         jitter = sim_.rng().next_range(0, config_.delivery_jitter);
       }
-      sim_.after(wire + jitter, [this, mid, f = std::move(copy)]() {
-        auto it = stations_.find(mid);
-        if (it == stations_.end()) return;  // station powered off
-        if (f.corrupted) {
-          sim_.trace().record(
-              sim_.now(), sim::TraceCategory::kPacketDropped, mid,
-              trace_payload(f).with_status(sim::TraceStatus::kCrcDropped));
-          ++frames_corrupted_;
-          if (auto* m = it->second.metrics) {
-            m->add(stats::Counter::kFramesDropped);
-            m->add(stats::Counter::kFramesCorrupted);
-          }
-          return;
-        }
-        sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
-                            mid, trace_payload(f));
-        if (auto* m = it->second.metrics)
-          m->add(stats::Counter::kFramesReceived);
-        it->second.sink(f);
-      });
+      sim::Duration shaped = 0;
+      if (delay_filter_) {
+        shaped = std::max<sim::Duration>(0, delay_filter_(frame, mid));
+      }
+      const bool duplicated =
+          dup_filter_ ? dup_filter_(frame, mid)
+                      : sim_.rng().chance(config_.duplicate_probability);
+      sim::Duration dup_lag = 0;
+      if (duplicated) {
+        // The extra copy trails the original by an independent jitter draw
+        // (drawn even when jitter is 0 so dup faults don't perturb other
+        // streams' determinism when toggled together with jitter).
+        dup_lag = sim_.rng().next_range(0, std::max<sim::Duration>(
+                                               config_.delivery_jitter, 0));
+        ++frames_duplicated_;
+      }
+      schedule_delivery(mid, copy, wire + jitter + shaped, false);
+      if (duplicated) {
+        schedule_delivery(mid, std::move(copy),
+                          wire + jitter + shaped + dup_lag, true);
+      }
     };
 
     if (frame.dst == kBroadcastMid) {
@@ -137,8 +153,10 @@ class Bus {
   std::size_t bytes_sent() const { return bytes_sent_; }
   std::size_t frames_lost() const { return frames_lost_; }
   std::size_t frames_corrupted() const { return frames_corrupted_; }
+  std::size_t frames_duplicated() const { return frames_duplicated_; }
   void reset_stats() {
-    frames_sent_ = bytes_sent_ = frames_lost_ = frames_corrupted_ = 0;
+    frames_sent_ = bytes_sent_ = frames_lost_ = frames_corrupted_ =
+        frames_duplicated_ = 0;
   }
 
   const BusConfig& config() const { return config_; }
@@ -146,9 +164,22 @@ class Bus {
   void set_corruption_probability(double p) {
     config_.corruption_probability = p;
   }
+  void set_duplicate_probability(double p) {
+    config_.duplicate_probability = p;
+  }
 
   /// Install (or clear, with nullptr) a deterministic loss predicate.
   void set_loss_filter(LossFilter filter) { loss_filter_ = std::move(filter); }
+
+  /// Install (or clear) a deterministic duplication predicate.
+  void set_dup_filter(DupFilter filter) { dup_filter_ = std::move(filter); }
+
+  /// Install (or clear) a deterministic per-delivery delay shaper. Keep
+  /// the added delay under the Delta-t MPL or the protocol's correctness
+  /// assumptions (§5.2.2) are themselves under test.
+  void set_delay_filter(DelayFilter filter) {
+    delay_filter_ = std::move(filter);
+  }
 
  protected:
   /// For subclasses delivering frames that arrived from elsewhere.
@@ -191,14 +222,44 @@ class Bus {
     stats::MetricsRegistry* metrics = nullptr;
   };
 
+  /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted copies.
+  void schedule_delivery(Mid mid, Frame f, sim::Duration delay,
+                         bool duplicate) {
+    sim_.after(delay, [this, mid, duplicate, f = std::move(f)]() {
+      auto it = stations_.find(mid);
+      if (it == stations_.end()) return;  // station powered off
+      if (f.corrupted) {
+        sim_.trace().record(
+            sim_.now(), sim::TraceCategory::kPacketDropped, mid,
+            trace_payload(f).with_status(sim::TraceStatus::kCrcDropped));
+        ++frames_corrupted_;
+        if (auto* m = it->second.metrics) {
+          m->add(stats::Counter::kFramesDropped);
+          m->add(stats::Counter::kFramesCorrupted);
+        }
+        return;
+      }
+      auto payload = trace_payload(f);
+      if (duplicate) payload.with_status(sim::TraceStatus::kDuplicated);
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
+                          mid, payload);
+      if (auto* m = it->second.metrics)
+        m->add(stats::Counter::kFramesReceived);
+      it->second.sink(f);
+    });
+  }
+
   sim::Simulator& sim_;
   BusConfig config_;
   std::unordered_map<Mid, Station> stations_;
   LossFilter loss_filter_;
+  DupFilter dup_filter_;
+  DelayFilter delay_filter_;
   std::size_t frames_sent_ = 0;
   std::size_t bytes_sent_ = 0;
   std::size_t frames_lost_ = 0;
   std::size_t frames_corrupted_ = 0;
+  std::size_t frames_duplicated_ = 0;
 };
 
 }  // namespace soda::net

@@ -202,6 +202,12 @@ void Transport::arm_retransmit(Mid peer, Record& r, sim::Duration delay) {
       // which must not be clobbered by our own bookkeeping.
       Frame dead = std::move(*rec.outstanding);
       rec.outstanding.reset();
+      // We cannot know whether the peer consumed this sequence number (it
+      // may have delivered the frame and lost every ACK). Advance past it
+      // so the next frame is distinguishable either way — reusing it after
+      // a give-up lets the peer's duplicate-replay ACK masquerade as the
+      // acknowledgement of a frame the peer never actually delivered.
+      ++rec.send_bit;
       clear_outstanding_and_advance(peer, rec);
       metrics_->add(stats::Counter::kCrashesDetected);
       sim_.trace().record(sim_.now(), TraceCategory::kCrashDetected, mid_,
@@ -281,6 +287,7 @@ void Transport::accept_held(const net::Frame& frame) {
   touch(r, frame.src);
   r.has_recv = true;
   r.last_recv_seq = *frame.seq;
+  r.last_recv_at = sim_.now();
   r.last_response.reset();
   owe_ack(frame.src, r, *frame.seq);
   cb_.deliver(frame);
@@ -346,7 +353,7 @@ void Transport::process_ack(Mid peer, Record& r, const Frame& f) {
   if (f.ack->seq != *r.outstanding->seq) return;    // not ours
   disarm_retransmit(r);
   Frame sent = std::move(*r.outstanding);
-  r.send_bit ^= 1;
+  ++r.send_bit;
   clear_outstanding_and_advance(peer, r);
   cb_.on_acked(peer, sent);
 }
@@ -383,13 +390,26 @@ void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
   // Error NACK: the operation this frame carried has failed.
   disarm_retransmit(r);
   Frame sent = std::move(*r.outstanding);
-  r.send_bit ^= 1;  // the peer consumed our frame even though it refused it
+  ++r.send_bit;  // the peer consumed our frame even though it refused it
   const net::NackReason reason = f.nack->reason;
   clear_outstanding_and_advance(peer, r);
   cb_.on_failed(peer, sent, reason);
 }
 
 void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
+  if (r.has_recv &&
+      sim_.now() - r.last_recv_at > timing_.record_lifetime()) {
+    // Delta-t take-any-SN applies per direction: the peer has been silent
+    // on this connection past the record lifetime, so its send state is
+    // certainly gone and no retransmission of the old sequence bit can
+    // still be in flight. Our receive half must therefore accept whatever
+    // bit comes next as fresh. Without this, a partition that outlives one
+    // side's record (while ours is kept open by our own retransmissions)
+    // ends with the peer's reopened connection colliding with our stale
+    // bit — every new frame reads as a duplicate and the request livelocks.
+    r.has_recv = false;
+    r.last_response.reset();
+  }
   if (r.has_recv && f.seq == r.last_recv_seq) {
     // Duplicate: the peer missed our acknowledgement. Re-answer from
     // connection state (§5.2.3).
@@ -417,6 +437,7 @@ void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
     case Disposition::kDeliver: {
       r.has_recv = true;
       r.last_recv_seq = *f.seq;
+      r.last_recv_at = sim_.now();
       r.last_response.reset();
       owe_ack(peer, r, *f.seq);
       cb_.deliver(f);
@@ -441,6 +462,7 @@ void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
       // does not fail twice.
       r.has_recv = true;
       r.last_recv_seq = *f.seq;
+      r.last_recv_at = sim_.now();
       r.last_response.reset();
       Frame nackf;
       nackf.nack = net::NackSection{d.error, *f.seq, d.nack_tid};

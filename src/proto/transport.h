@@ -1,8 +1,10 @@
 // Reliable kernel-to-kernel transport (§5.2.2–§5.2.3).
 //
 // Per peer, the transport keeps one Delta-t connection record holding:
-//   * alternating-bit state for each direction (stop-and-wait: at most one
-//     unacknowledged sequenced frame outstanding per direction),
+//   * sequence state for each direction (stop-and-wait: at most one
+//     unacknowledged sequenced frame outstanding per direction, numbered
+//     by a mod-256 counter so a frame abandoned after the retransmission
+//     budget cannot be confused with its successor),
 //   * the retransmission timer with random backoff, slowed when the peer
 //     reports a BUSY handler,
 //   * a delayed-ACK slot so acknowledgements piggyback on imminent reverse
@@ -138,7 +140,8 @@ class Transport {
     // receive direction
     bool has_recv = false;
     std::uint8_t last_recv_seq = 0;
-    // send direction
+    sim::Time last_recv_at = 0;  // ages the receive half independently
+    // send direction (mod-256 sequence counter)
     std::uint8_t send_bit = 0;
     std::optional<net::Frame> outstanding;
     SendOptions outstanding_opts;

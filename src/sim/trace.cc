@@ -12,6 +12,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kHandlerInvoked: return "handler_invoked";
     case TraceCategory::kHandlerEnded: return "handler_ended";
     case TraceCategory::kRequestIssued: return "request_issued";
+    case TraceCategory::kRequestDelivered: return "request_delivered";
     case TraceCategory::kRequestCompleted: return "request_completed";
     case TraceCategory::kAcceptIssued: return "accept_issued";
     case TraceCategory::kAcceptCompleted: return "accept_completed";
@@ -58,12 +59,14 @@ const char* to_string(TraceStatus s) {
     case TraceStatus::kLateData: return "late_data";
     case TraceStatus::kBusyRetry: return "busy_retry";
     case TraceStatus::kTimeout: return "timeout";
+    case TraceStatus::kDuplicated: return "duplicated";
+    case TraceStatus::kCancelled: return "cancelled";
   }
   return "unknown";
 }
 
 std::optional<TraceStatus> trace_status_from_string(std::string_view s) {
-  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kTimeout);
+  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kCancelled);
   for (std::size_t i = 0; i <= kLast; ++i) {
     const auto st = static_cast<TraceStatus>(i);
     if (s == to_string(st)) return st;

@@ -32,6 +32,7 @@ enum class TraceCategory : std::uint8_t {
   kHandlerInvoked,
   kHandlerEnded,
   kRequestIssued,
+  kRequestDelivered,  // REQUEST handed to the server-side kernel (the "tag")
   kRequestCompleted,
   kAcceptIssued,
   kAcceptCompleted,
@@ -83,6 +84,10 @@ enum class TraceStatus : std::uint8_t {
   kLateData,       // data re-sent for an already-answered request
   kBusyRetry,      // retry paced by a BUSY NACK
   kTimeout,        // retry driven by the retransmit timer
+  // kPacketReceived
+  kDuplicated,     // extra copy injected by the bus duplicate fault
+  // kAcceptCompleted
+  kCancelled,      // the ACCEPT failed: request completed/cancelled first
 };
 
 const char* to_string(TraceStatus s);
@@ -155,6 +160,11 @@ std::string to_json(const TraceEvent& e);
 /// category/status names.
 std::optional<TraceEvent> trace_event_from_json(std::string_view line);
 
+/// Observer invoked synchronously for every recorded event. The chaos
+/// invariant checkers subscribe here so they can assert properties online
+/// without retaining the whole event vector.
+using TraceObserver = std::function<void(const TraceEvent&)>;
+
 /// Collects trace events. Collection is opt-in per category set so that the
 /// hot path stays cheap when tracing is off. Per-category (and per
 /// category+node) counts are maintained incrementally, so count() is O(1)
@@ -166,6 +176,13 @@ class Trace {
   void disable_all() { mask_ = 0; }
   bool enabled(TraceCategory c) const { return (mask_ & bit(c)) != 0; }
 
+  /// Install (or clear, with nullptr) the event observer.
+  void set_observer(TraceObserver observer) { observer_ = std::move(observer); }
+
+  /// Whether recorded events are retained in events(). Long chaos sweeps
+  /// turn retention off and rely on the observer + counters instead.
+  void set_store(bool store) { store_ = store; }
+
   void record(Time at, TraceCategory c, int node,
               const TracePayload& payload = {}) {
     if (!enabled(c)) return;
@@ -174,7 +191,8 @@ class Trace {
     e.at = at;
     e.category = c;
     e.node = node;
-    events_.push_back(e);
+    if (observer_) observer_(e);
+    if (store_) events_.push_back(e);
     ++totals_[static_cast<std::size_t>(c)];
     ++node_counts_[node_key(c, node)];
   }
@@ -204,6 +222,8 @@ class Trace {
            static_cast<std::uint64_t>(c);
   }
   std::uint64_t mask_ = 0;
+  bool store_ = true;
+  TraceObserver observer_;
   std::vector<TraceEvent> events_;
   std::array<std::size_t, kNumTraceCategories> totals_{};
   std::unordered_map<std::uint64_t, std::size_t> node_counts_;

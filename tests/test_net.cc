@@ -148,5 +148,48 @@ TEST(Bus, StatsAccumulateAndReset) {
   EXPECT_EQ(bus.frames_sent(), 0u);
 }
 
+TEST(Bus, DupFilterDeliversSecondCopy) {
+  sim::Simulator s;
+  Bus bus(s, BusConfig{});
+  int deliveries = 0;
+  bus.attach(2, [&](const Frame&) { ++deliveries; });
+  bus.set_dup_filter([](const Frame&, Mid dst) { return dst == 2; });
+  bus.send(small_frame(1, 2));
+  s.run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(bus.frames_duplicated(), 1u);
+}
+
+TEST(Bus, DupFilterDecliningMeansSingleDelivery) {
+  sim::Simulator s;
+  BusConfig cfg;
+  cfg.duplicate_probability = 1.0;  // filter overrides the random draw
+  Bus bus(s, cfg);
+  int deliveries = 0;
+  bus.attach(2, [&](const Frame&) { ++deliveries; });
+  bus.set_dup_filter([](const Frame&, Mid) { return false; });
+  bus.send(small_frame(1, 2));
+  s.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(bus.frames_duplicated(), 0u);
+}
+
+TEST(Bus, DelayFilterAddsShapedLatency) {
+  sim::Simulator s;
+  BusConfig cfg;
+  Bus bus(s, cfg);
+  sim::Time delivered_at = -1;
+  bus.attach(2, [&](const Frame&) { delivered_at = s.now(); });
+  bus.set_delay_filter(
+      [](const Frame&, Mid) { return sim::Duration{1500}; });
+  Frame f = small_frame(1, 2);
+  const auto wire = static_cast<sim::Duration>(f.wire_size()) *
+                        cfg.us_per_byte +
+                    cfg.propagation;
+  bus.send(f);
+  s.run();
+  EXPECT_EQ(delivered_at, wire + 1500);
+}
+
 }  // namespace
 }  // namespace soda::net

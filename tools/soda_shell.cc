@@ -15,16 +15,21 @@
 //   run <ms>                   advance simulated time
 //   trace on|off               packet tracing for subsequent runs
 //   stats [json]               bus + per-node metrics (json: JSONL dump)
+//   chaos <scenario> [seeds]   sweep a chaos scenario (builtin name or
+//                              JSONL file) across seeds, report violations
 //   help / quit
 //
 // Example session:
 //   $ printf 'node\nnode\nadvertise 0 42\nput 1 0 42 7 hello\nrun 50\nquit\n' |
 //     ./tools/soda_shell
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
 #include "core/network.h"
 #include "sodal/sodal.h"
 #include "stats/metrics.h"
@@ -86,7 +91,7 @@ int main() {
         break;
       } else if (cmd == "help") {
         std::printf("node free advertise signal put get discover crash run "
-                    "trace stats quit\n");
+                    "trace stats chaos quit\n");
       } else if (cmd == "node") {
         net.spawn<ConsoleClient>(NodeConfig{});
         std::printf("node %zu created (console client)\n", net.size() - 1);
@@ -203,6 +208,37 @@ int main() {
                     reg.counter(Counter::kHandlerInvocations)));
           }
         }
+      } else if (cmd == "chaos") {
+        // Runs on fresh simulations — the shell's own network is untouched.
+        std::string which;
+        int seeds = 50;
+        in >> which >> seeds;
+        std::optional<chaos::Scenario> sc = chaos::builtin_scenario(which);
+        if (!sc) {
+          std::ifstream f(which);
+          std::ostringstream text;
+          if (f) {
+            text << f.rdbuf();
+            sc = chaos::scenario_from_jsonl(text.str());
+          }
+        }
+        if (!sc) {
+          std::printf("chaos: no builtin or readable scenario '%s'\n",
+                      which.c_str());
+          continue;
+        }
+        chaos::SweepOptions so;
+        so.seeds = seeds > 0 ? seeds : 50;
+        so.on_failure = [](const chaos::RunResult& r) {
+          for (const auto& v : r.violations) {
+            std::printf("  FAIL seed=%llu [%s] %s\n",
+                        static_cast<unsigned long long>(r.seed),
+                        v.invariant.c_str(), v.detail.c_str());
+          }
+        };
+        auto res = chaos::sweep_scenario(*sc, so);
+        std::printf("chaos %s: %d seed(s), %zu failure(s)\n",
+                    sc->name.c_str(), res.ran, res.failures.size());
       } else {
         std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
       }

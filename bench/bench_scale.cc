@@ -1,0 +1,134 @@
+// Scaling beyond the paper's eight PDP-11s: run the star-RPC, DISCOVER-
+// storm, replicated-store and name-storm workloads at 8..64 nodes under
+// the fast timing preset, with the O(N) fixes switched off ("legacy") and
+// on ("optimized"), and report the deterministic cost counters side by
+// side. Rows land in BENCH_scale.jsonl for the trend tooling.
+#include <cstdio>
+#include <cstring>
+
+#include "benchsupport/report.h"
+#include "scale/harness.h"
+
+using namespace soda;
+using namespace soda::bench;
+using namespace soda::scale;
+
+namespace {
+
+int servers_for(Workload w, int nodes) {
+  switch (w) {
+    case Workload::kStarRpc: return nodes >= 16 ? nodes / 8 : 1;
+    case Workload::kDiscoverStorm: return 2;
+    case Workload::kReplicatedStore: return 3;
+    case Workload::kNameStorm: return 1;
+  }
+  return 1;
+}
+
+HarnessResult run(Workload w, int nodes, bool optimized, double loss,
+                  std::uint64_t seed) {
+  HarnessOptions o;
+  o.workload = w;
+  o.nodes = nodes;
+  o.servers = servers_for(w, nodes);
+  o.ops_per_client = 12;
+  o.loss = loss;
+  o.seed = seed;
+  o.fast = true;
+  o.optimized = optimized;
+  o.check_invariants = true;
+  return run_harness(o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick: one workload at two sizes, for smoke runs.
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  JsonlReport report("scale");
+  auto emit = [&report](Workload w, int nodes, int servers, bool optimized,
+                        double loss, const HarnessResult& r) {
+    report.row(stats::JsonObject()
+                   .set("kind", "scale")
+                   .set("workload", to_string(w))
+                   .set("nodes", nodes)
+                   .set("servers", servers)
+                   .set("optimized", optimized)
+                   .set("loss", loss)
+                   .set("sim_ms", sim::to_ms(r.sim_elapsed))
+                   .set("wall_ms", r.wall_ms)
+                   .set("events_executed", r.events_executed)
+                   .set("events_scheduled", r.events_scheduled)
+                   .set("events_cancelled", r.events_cancelled)
+                   .set("frames_sent", r.frames_sent)
+                   .set("frames_filtered", r.frames_filtered)
+                   .set("requests_issued", r.requests_issued)
+                   .set("requests_completed", r.requests_completed)
+                   .set("cpu_busy_us", r.cpu_busy_micros)
+                   .set("ops_done", r.ops_done)
+                   .set("ops_expected", r.ops_expected)
+                   .set("violations", r.violations)
+                   .set("trace_hash", r.trace_hash));
+  };
+
+  std::printf("Scaling past the 1984 model\n");
+  std::printf("===========================\n");
+  std::printf("fast timing preset; legacy = promiscuous NIC + per-frame "
+              "timer churn + flat name table,\noptimized = NIC pattern "
+              "filter + batched timers + indexed name table.\n");
+
+  const Workload all[] = {Workload::kStarRpc, Workload::kDiscoverStorm,
+                          Workload::kReplicatedStore, Workload::kNameStorm};
+  const int sizes[] = {8, 16, 32, 64};
+
+  for (Workload w : all) {
+    if (quick && w != Workload::kStarRpc) continue;
+    std::printf("\n[%s]\n", to_string(w));
+    std::printf("  %5s %5s %9s %12s %12s %12s %10s %9s %4s\n", "nodes",
+                "mode", "sim_ms", "events", "sched", "filtered", "frames",
+                "ops", "viol");
+    for (int nodes : sizes) {
+      if (quick && nodes > 16) continue;
+      const int servers = servers_for(w, nodes);
+      for (bool optimized : {false, true}) {
+        const HarnessResult r = run(w, nodes, optimized, /*loss=*/0.0,
+                                    /*seed=*/1);
+        emit(w, nodes, servers, optimized, 0.0, r);
+        std::printf("  %5d %5s %9.1f %12llu %12llu %12llu %10llu %5llu/%-3llu"
+                    " %4llu\n",
+                    nodes, optimized ? "opt" : "base",
+                    sim::to_ms(r.sim_elapsed),
+                    static_cast<unsigned long long>(r.events_executed),
+                    static_cast<unsigned long long>(r.events_scheduled),
+                    static_cast<unsigned long long>(r.frames_filtered),
+                    static_cast<unsigned long long>(r.frames_sent),
+                    static_cast<unsigned long long>(r.ops_done),
+                    static_cast<unsigned long long>(r.ops_expected),
+                    static_cast<unsigned long long>(r.violations));
+      }
+    }
+  }
+
+  // One lossy row pair at 32 nodes: the optimizations must not change
+  // workload completion under 5% frame loss.
+  if (!quick) {
+    std::printf("\n[star_rpc, 5%% loss, 32 nodes]\n");
+    for (bool optimized : {false, true}) {
+      const HarnessResult r =
+          run(Workload::kStarRpc, 32, optimized, 0.05, 7);
+      emit(Workload::kStarRpc, 32, servers_for(Workload::kStarRpc, 32),
+           optimized, 0.05, r);
+      std::printf("  %5s sim_ms=%.1f ops=%llu/%llu violations=%llu\n",
+                  optimized ? "opt" : "base", sim::to_ms(r.sim_elapsed),
+                  static_cast<unsigned long long>(r.ops_done),
+                  static_cast<unsigned long long>(r.ops_expected),
+                  static_cast<unsigned long long>(r.violations));
+    }
+  }
+
+  if (report.enabled()) {
+    std::printf("\nJSONL rows -> %s\n", report.path().c_str());
+  }
+  return 0;
+}

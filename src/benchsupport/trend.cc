@@ -1,0 +1,193 @@
+#include "benchsupport/trend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "stats/json.h"
+
+namespace soda::bench {
+
+std::optional<double> TrendRow::num(const std::string& key) const {
+  const std::string* v = get(key);
+  if (!v) return std::nullopt;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  if (end == v->c_str()) return std::nullopt;
+  return d;
+}
+
+std::string TrendRow::str(const std::string& key) const {
+  const std::string* v = get(key);
+  return v ? *v : std::string();
+}
+
+std::vector<std::string> find_bench_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 6 + 6 &&  // "BENCH_" + ".jsonl"
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      out.push_back(e.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void aggregate_chaos(TrendReport& r) {
+  std::map<std::string, TrendReport::ChaosLine> by_scenario;
+  for (const TrendRow& row : r.rows) {
+    const std::string kind = row.str("kind");
+    if (kind != "chaos_run" && kind != "chaos_sweep") continue;
+    TrendReport::ChaosLine& line = by_scenario[row.str("scenario")];
+    line.scenario = row.str("scenario");
+    if (kind == "chaos_run") {
+      ++line.runs;
+      if (row.num("ok").value_or(1) == 0) ++line.failures;
+    } else {
+      line.seeds_swept += static_cast<long>(row.num("ran").value_or(0));
+      line.failures += static_cast<long>(row.num("failures").value_or(0));
+    }
+  }
+  for (auto& [name, line] : by_scenario) r.chaos.push_back(line);
+}
+
+void aggregate_streams(TrendReport& r) {
+  std::map<std::string, TrendReport::StreamLine> by_op;
+  for (const TrendRow& row : r.rows) {
+    if (row.str("kind") != "stream") continue;
+    const std::string op = row.str("op");
+    TrendReport::StreamLine& line = by_op[op];
+    line.op = op;
+    const double ms = row.num("ms_per_op").value_or(0);
+    if (line.rows == 0 || ms < line.best_ms) line.best_ms = ms;
+    if (line.rows == 0 || ms > line.worst_ms) line.worst_ms = ms;
+    ++line.rows;
+    if (row.num("finished").value_or(1) == 0) ++line.unfinished;
+  }
+  for (auto& [op, line] : by_op) r.streams.push_back(line);
+}
+
+void aggregate_scale(TrendReport& r) {
+  // key: workload | nodes | loss
+  std::map<std::tuple<std::string, int, double>, ScaleTrend> pairs;
+  for (const TrendRow& row : r.rows) {
+    if (row.str("kind") != "scale") continue;
+    const std::string workload = row.str("workload");
+    const int nodes = static_cast<int>(row.num("nodes").value_or(0));
+    const double loss = row.num("loss").value_or(0);
+    ScaleTrend& t = pairs[{workload, nodes, loss}];
+    t.workload = workload;
+    t.nodes = nodes;
+    t.loss = loss;
+    const bool opt = row.str("optimized") == "true" ||
+                     row.num("optimized").value_or(0) != 0;
+    const double events = row.num("events_executed").value_or(0);
+    const double sched = row.num("events_scheduled").value_or(0);
+    const double frames = row.num("frames_sent").value_or(0);
+    const double ops = row.num("ops_done").value_or(0);
+    if (opt) {
+      t.opt_events = events;
+      t.opt_scheduled = sched;
+      t.opt_frames = frames;
+      t.opt_ops = ops;
+      t.opt_filtered = row.num("frames_filtered").value_or(0);
+    } else {
+      t.base_events = events;
+      t.base_scheduled = sched;
+      t.base_frames = frames;
+      t.base_ops = ops;
+    }
+    t.ops_expected = row.num("ops_expected").value_or(t.ops_expected);
+    t.violations += row.num("violations").value_or(0);
+  }
+  for (auto& [key, t] : pairs) r.scale.push_back(t);
+}
+
+}  // namespace
+
+TrendReport build_trend_report(const std::vector<std::string>& paths) {
+  TrendReport r;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      r.files.push_back(path + "!");
+      continue;
+    }
+    r.files.push_back(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      auto parsed = stats::parse_json_line(line);
+      if (!parsed) continue;
+      r.rows.push_back(TrendRow{path, std::move(*parsed)});
+    }
+  }
+  aggregate_chaos(r);
+  aggregate_streams(r);
+  aggregate_scale(r);
+  return r;
+}
+
+std::string format_trend_report(const TrendReport& r) {
+  std::ostringstream out;
+  out << "Trend report (" << r.files.size() << " BENCH files, "
+      << r.rows.size() << " rows)\n";
+  for (const std::string& f : r.files) out << "  " << f << "\n";
+
+  if (!r.streams.empty()) {
+    out << "\nPaper streams (ms/op range per operation)\n";
+    char buf[160];
+    for (const auto& s : r.streams) {
+      std::snprintf(buf, sizeof buf,
+                    "  %-10s rows=%-4ld ms/op %.1f..%.1f%s\n", s.op.c_str(),
+                    s.rows, s.best_ms, s.worst_ms,
+                    s.unfinished ? "  [UNFINISHED RUNS]" : "");
+      out << buf;
+    }
+  }
+
+  if (!r.chaos.empty()) {
+    out << "\nChaos sweeps\n";
+    char buf[160];
+    for (const auto& c : r.chaos) {
+      std::snprintf(buf, sizeof buf,
+                    "  %-22s runs=%-4ld seeds=%-6ld failures=%ld%s\n",
+                    c.scenario.c_str(), c.runs, c.seeds_swept, c.failures,
+                    c.failures ? "  [FAILING]" : "");
+      out << buf;
+    }
+  }
+
+  if (!r.scale.empty()) {
+    out << "\nScaling matrix (base -> optimized, % = reduction)\n";
+    char buf[200];
+    std::snprintf(buf, sizeof buf, "  %-18s %5s %5s %22s %22s %10s %6s\n",
+                  "workload", "nodes", "loss", "sched events", "frames",
+                  "filtered", "viol");
+    out << buf;
+    for (const auto& t : r.scale) {
+      std::snprintf(
+          buf, sizeof buf,
+          "  %-18s %5d %4.0f%% %9.0f->%-7.0f %2.0f%% %9.0f->%-7.0f %2.0f%% "
+          "%10.0f %6.0f\n",
+          t.workload.c_str(), t.nodes, t.loss * 100, t.base_scheduled,
+          t.opt_scheduled, ScaleTrend::win(t.base_scheduled, t.opt_scheduled),
+          t.base_frames, t.opt_frames,
+          ScaleTrend::win(t.base_frames, t.opt_frames), t.opt_filtered,
+          t.violations);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace soda::bench

@@ -1,0 +1,80 @@
+// Cross-bench trend report: ingest every BENCH_*.jsonl a bench or tool
+// run left behind (paper tables, chaos sweeps, scaling matrix) and boil
+// them down to one comparable summary — the place to look when deciding
+// whether a change moved any number that matters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace soda::bench {
+
+/// One parsed JSONL row: file it came from + flat key/value map.
+struct TrendRow {
+  std::string file;
+  std::map<std::string, std::string> fields;
+
+  const std::string* get(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  std::optional<double> num(const std::string& key) const;
+  std::string str(const std::string& key) const;
+};
+
+/// Paired base/optimized scaling measurements for one (workload, nodes).
+struct ScaleTrend {
+  std::string workload;
+  int nodes = 0;
+  double loss = 0;
+  double base_events = 0, opt_events = 0;        // events executed
+  double base_scheduled = 0, opt_scheduled = 0;  // timer churn
+  double base_frames = 0, opt_frames = 0;
+  double opt_filtered = 0;  // broadcast deliveries the NIC filter skipped
+  double base_ops = 0, opt_ops = 0, ops_expected = 0;
+  double violations = 0;  // summed over both modes — should stay 0
+
+  /// Percent reduction of `base` -> `opt` (0 when base is 0).
+  static double win(double base, double opt) {
+    return base > 0 ? 100.0 * (base - opt) / base : 0.0;
+  }
+};
+
+struct TrendReport {
+  std::vector<std::string> files;  // BENCH files ingested, sorted
+  std::vector<TrendRow> rows;      // all parsed rows
+
+  // chaos: per scenario, sweep totals
+  struct ChaosLine {
+    std::string scenario;
+    long runs = 0;
+    long seeds_swept = 0;
+    long failures = 0;
+  };
+  std::vector<ChaosLine> chaos;
+
+  // paper streams: worst relative retransmit-free ms_per_op per op kind
+  struct StreamLine {
+    std::string op;
+    long rows = 0;
+    double best_ms = 0, worst_ms = 0;
+    long unfinished = 0;
+  };
+  std::vector<StreamLine> streams;
+
+  std::vector<ScaleTrend> scale;
+};
+
+/// Parse the given JSONL files (unreadable files are skipped and recorded
+/// with a trailing '!' in `files`) and aggregate the known row kinds.
+TrendReport build_trend_report(const std::vector<std::string>& paths);
+
+/// Find BENCH_*.jsonl files directly under `dir`, sorted by name.
+std::vector<std::string> find_bench_files(const std::string& dir);
+
+/// Render the report as the human-readable summary the CLI prints.
+std::string format_trend_report(const TrendReport& r);
+
+}  // namespace soda::bench

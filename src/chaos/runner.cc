@@ -50,18 +50,19 @@ Window resolve(const Scenario& s, const Fault& f) {
   return w;
 }
 
-/// Translate the scenario's link faults into bus filters and scheduled
-/// config flips. Loss windows and partitions share the loss filter;
-/// corruption has no per-delivery hook on the bus, so its windows become
-/// scheduled probability flips (bus-wide; see doc/CHAOS.md).
+/// Translate the scenario's link faults into deterministic bus filters.
+/// Loss windows and partitions share the loss filter; corruption,
+/// duplication and delay each get their own, so every fault kind honours
+/// its node/peer restriction.
 void install_link_faults(Network& net, const Scenario& s) {
-  std::vector<Window> losses, partitions, dups, delays;
+  std::vector<Window> losses, partitions, dups, delays, corrupts;
   for (const Fault& f : s.faults) {
     switch (f.kind) {
       case FaultKind::kLoss: losses.push_back(resolve(s, f)); break;
       case FaultKind::kPartition: partitions.push_back(resolve(s, f)); break;
       case FaultKind::kDuplicate: dups.push_back(resolve(s, f)); break;
       case FaultKind::kDelay: delays.push_back(resolve(s, f)); break;
+      case FaultKind::kCorrupt: corrupts.push_back(resolve(s, f)); break;
       default: break;
     }
   }
@@ -116,11 +117,17 @@ void install_link_faults(Network& net, const Scenario& s) {
     });
   }
 
-  for (const Fault& f : s.faults) {
-    if (f.kind != FaultKind::kCorrupt) continue;
-    const double p = f.probability;
-    sim.at(f.at, [&bus, p] { bus.set_corruption_probability(p); });
-    sim.at(s.window_end(f), [&bus] { bus.set_corruption_probability(0.0); });
+  if (!corrupts.empty()) {
+    bus.set_corrupt_filter([&sim, corrupts](const net::Frame& f, Mid dst) {
+      const sim::Time now = sim.now();
+      for (const Window& w : corrupts) {
+        if (w.matches_link(now, f.src, dst) &&
+            sim.rng().chance(w.probability)) {
+          return true;
+        }
+      }
+      return false;
+    });
   }
 }
 
@@ -181,6 +188,7 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
                        const RunOptions& options) {
   Network::Options nopts;
   nopts.seed = seed;
+  if (scenario.fast) nopts.bus = net::BusConfig::fast();
   Network net(nopts);
   auto& sim = net.sim();
   sim.trace().enable_all();
@@ -219,6 +227,7 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
 
   for (int mid = 0; mid < scenario.nodes; ++mid) {
     NodeConfig cfg;
+    if (scenario.fast) cfg.timing = TimingModel::fast();
     for (const Fault& f : scenario.faults) {
       if (f.kind == FaultKind::kTimerSkew && f.node == mid) {
         apply_timer_skew(cfg.timing, f.factor);

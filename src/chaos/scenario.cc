@@ -113,6 +113,11 @@ Scenario& Scenario::skew_timers(int node, double factor) {
   return *this;
 }
 
+Scenario& Scenario::fast_timing() {
+  fast = true;
+  return *this;
+}
+
 void apply_timer_skew(TimingModel& t, double factor) {
   auto scale = [factor](sim::Duration& d) {
     d = static_cast<sim::Duration>(static_cast<double>(d) * factor + 0.5);
@@ -142,6 +147,7 @@ std::string to_jsonl(const Scenario& s) {
       .set("request_interval", static_cast<std::int64_t>(s.request_interval))
       .set("payload", s.payload)
       .set("accept_delay", static_cast<std::int64_t>(s.accept_delay));
+  if (s.fast) header.set("fast", 1);
   out += header.str();
   out += '\n';
   for (const Fault& f : s.faults) {
@@ -248,6 +254,9 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
           !read_i64(*fields, "accept_delay", s.accept_delay)) {
         return std::nullopt;
       }
+      int fast_flag = 0;
+      if (!read_int(*fields, "fast", fast_flag)) return std::nullopt;
+      s.fast = fast_flag != 0;
       continue;
     }
 
@@ -346,11 +355,117 @@ std::optional<Scenario> builtin_scenario(std::string_view name) {
     return s;
   }
 
+  if (name == "asymmetric_partition") {
+    // One-way blackouts: for a window only one direction of a link dies,
+    // so requests arrive but every acknowledgement (or vice versa)
+    // vanishes — the hardest case for the retransmission budget and the
+    // per-direction Delta-t aging rule. Plus per-link corruption, which
+    // exercises the corrupt filter's node/peer restriction.
+    Scenario s;
+    s.name = "asymmetric_partition";
+    s.nodes = 5;
+    s.servers = 1;
+    s.duration = 15 * kSecond;
+    s.drain = 10 * kSecond;
+    s.request_interval = 60 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 2 * kMillisecond;
+    s.lose(0.05)
+        .lose(1.0, /*at=*/3 * kSecond, /*until=*/6 * kSecond, /*node=*/3,
+              /*peer=*/0)  // node 3's requests never reach the server
+        .lose(1.0, /*at=*/8 * kSecond, /*until=*/11 * kSecond, /*node=*/0,
+              /*peer=*/2)  // the server's replies to node 2 all vanish
+        .corrupt(0.30, /*at=*/12 * kSecond, /*until=*/14 * kSecond,
+                 /*node=*/0, /*peer=*/4);  // per-link CRC damage
+    return s;
+  }
+
+  if (name == "crash_during_boot") {
+    // The second crash lands moments after the reboot, while the node is
+    // still inside its Delta-t quarantine / boot handler — the window
+    // where half-initialized state is most likely to leak a stale TID.
+    Scenario s;
+    s.name = "crash_during_boot";
+    s.nodes = 4;
+    s.servers = 1;
+    s.duration = 12 * kSecond;
+    s.drain = 10 * kSecond;
+    s.request_interval = 70 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 1 * kMillisecond;
+    s.lose(0.08)
+        .crash(/*node=*/0, /*at=*/4 * kSecond,
+               /*reboot_after=*/1 * kSecond)  // reboot at 5 s
+        .crash(/*node=*/0, /*at=*/5100 * kMillisecond,
+               /*reboot_after=*/800 * kMillisecond)  // 100 ms into the boot
+        .crash(/*node=*/2, /*at=*/7 * kSecond,
+               /*reboot_after=*/600 * kMillisecond)
+        .crash(/*node=*/2, /*at=*/7700 * kMillisecond,
+               /*reboot_after=*/900 * kMillisecond);
+    return s;
+  }
+
+  if (name == "skew_extreme") {
+    // Delta-t clock-rate skew at the very edge of the protocol's design
+    // envelope. At-most-once delivery is only guaranteed while a
+    // requester's retransmit span (scaled by its clock rate) stays inside
+    // the receiver's record lifetime (scaled by *its* clock rate):
+    // record_lifetime / retransmit_span = 237k/192k ~= 1.23 with the
+    // default calibration, so communicating peers may disagree by at most
+    // ~1.23x. Sweeping this scenario with 3x/0.33x factors reproducibly
+    // yields duplicate deliveries (e.g. seed 27) — the protocol failing
+    // exactly as Delta-t's bounded-drift assumption predicts, not an
+    // implementation bug. The builtin therefore rides the documented
+    // edge: the fast and slow clients each sit ~1.2x away from the
+    // unskewed server, under background loss and duplication.
+    Scenario s;
+    s.name = "skew_extreme";
+    s.nodes = 5;
+    s.servers = 1;
+    s.duration = 15 * kSecond;
+    s.drain = 18 * kSecond;  // the slow node needs extra settle time
+    s.request_interval = 70 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 2 * kMillisecond;
+    s.lose(0.10)
+        .duplicate(0.05)
+        .skew_timers(/*node=*/1, /*factor=*/1.2)
+        .skew_timers(/*node=*/3, /*factor=*/0.82);
+    return s;
+  }
+
+  if (name == "scale_32") {
+    // The scaling regression gate: 32 stations under the fast timing
+    // preset, with loss, duplication, a server crash and a brief
+    // partition. tests/test_scale.cc and the CI `scale` job sweep this
+    // across 200 seeds.
+    Scenario s;
+    s.name = "scale_32";
+    s.nodes = 32;
+    s.servers = 4;
+    s.duration = 1 * kSecond;
+    s.drain = 500 * kMillisecond;
+    s.request_interval = 5 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;  // 200 us dawdle
+    s.fast_timing()
+        .lose(0.05)
+        .duplicate(0.02)
+        .crash(/*node=*/1, /*at=*/300 * kMillisecond,
+               /*reboot_after=*/200 * kMillisecond)
+        .partition(/*group=*/0xFF, /*at=*/600 * kMillisecond,
+                   /*until=*/700 * kMillisecond);
+    return s;
+  }
+
   return std::nullopt;
 }
 
 std::vector<std::string> builtin_scenario_names() {
-  return {"regression", "smoke", "loss_storm"};
+  return {"regression",      "smoke",
+          "loss_storm",      "asymmetric_partition",
+          "crash_during_boot", "skew_extreme",
+          "scale_32"};
 }
 
 }  // namespace soda::chaos

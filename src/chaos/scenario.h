@@ -65,6 +65,9 @@ struct Scenario {
   std::uint32_t payload = 64;        // bytes exchanged per request
   sim::Duration accept_delay = 0;    // server dawdle before ACCEPT (holds
                                      // requests in flight across faults)
+  /// Run under TimingModel::fast() + BusConfig::fast() instead of the
+  /// 1984 calibration — dozens-of-node scenarios stay affordable.
+  bool fast = false;
   std::vector<Fault> faults;
 
   bool operator==(const Scenario&) const = default;
@@ -81,6 +84,7 @@ struct Scenario {
   Scenario& partition(std::uint64_t group_mask, sim::Time at, sim::Time until);
   Scenario& crash(int node, sim::Time at, sim::Duration reboot_after = 0);
   Scenario& skew_timers(int node, double factor);
+  Scenario& fast_timing();
 
   /// End of the simulated run (load + quiesce).
   sim::Time end_time() const { return duration + drain; }
@@ -104,7 +108,11 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text);
 
 /// Named bundled scenarios: "regression" (loss + corruption + duplication
 /// + jitter + crash/reboot + partition + skew — the CI sweep), "smoke"
-/// (small and fast, for tests), "loss_storm" (heavy uniform loss).
+/// (small and fast, for tests), "loss_storm" (heavy uniform loss),
+/// "asymmetric_partition" (one-way link blackouts), "crash_during_boot"
+/// (a node crashes again right after its reboot lands), "skew_extreme"
+/// (3x fast and 3x slow Delta-t clocks side by side), and "scale_32"
+/// (32 nodes under the fast timing preset — the scaling regression gate).
 std::optional<Scenario> builtin_scenario(std::string_view name);
 std::vector<std::string> builtin_scenario_names();
 

@@ -42,6 +42,14 @@ struct NodeConfig {
   /// they are hard to guess while staying network-wide unique.
   bool randomized_unique_ids = false;
 
+  /// Model the NIC's pattern-address filter (§5.3): the station tells the
+  /// bus which broadcast DISCOVER queries it matches, and non-matching
+  /// queries never interrupt the kernel at all. Without it every DISCOVER
+  /// costs protocol_recv CPU and a scheduled event at all N-1 stations —
+  /// the dominant O(N^2) wall in all-to-all discovery at scale. Off by
+  /// default: the promiscuous path is the 1984-faithful model.
+  bool nic_pattern_filter = false;
+
   TimingModel timing;
 };
 

@@ -49,6 +49,15 @@ Kernel::Kernel(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
                 on_failed(peer, sent, reason);
               }}) {
   boot_patterns_.insert(kDefaultBootPattern);
+  if (config_.nic_pattern_filter) {
+    // The predicate reads live kernel state, so advertise/unadvertise and
+    // client death are reflected without re-registering.
+    bus.set_interest_filter(mid_, [this](const Frame& f) {
+      if (!f.discover || f.discover->is_reply) return true;
+      const Pattern p = f.discover->pattern & kPatternMask;
+      return (host_.has_client() && pattern_bound(p)) || reserved_bound(p);
+    });
+  }
 }
 
 bool Kernel::client_dead() const { return !host_.has_client(); }
@@ -578,6 +587,10 @@ void Kernel::reset_for_death(bool client_initiated) {
   client_patterns_.clear();
   indexed_used_.fill(false);
   for (auto& [tid, p] : pending_) stop_probing(p);
+  if (probe_wheel_armed_) {
+    sim_.cancel(probe_wheel_timer_);
+    probe_wheel_armed_ = false;
+  }
   pending_.clear();
   completions_.clear();
   accepts_.clear();
@@ -984,6 +997,12 @@ void Kernel::start_probing(Tid tid) {
   PendingRequest& p = it->second;
   p.probe_misses = 0;
   p.awaiting_probe_reply = false;
+  if (config_.timing.batched_timer_bookkeeping) {
+    p.probe_active = true;
+    p.next_probe_at = sim_.now() + config_.timing.probe_interval;
+    probe_wheel_schedule(p.next_probe_at);
+    return;
+  }
   p.probe_armed = true;
   p.probe_timer =
       sim_.after(config_.timing.probe_interval,
@@ -994,10 +1013,48 @@ void Kernel::start_probing(Tid tid) {
 }
 
 void Kernel::stop_probing(PendingRequest& p) {
+  p.probe_active = false;  // the wheel skips de-enrolled entries lazily
   if (p.probe_armed) {
     sim_.cancel(p.probe_timer);
     p.probe_armed = false;
   }
+}
+
+void Kernel::probe_wheel_schedule(sim::Time at) {
+  if (probe_wheel_armed_ && probe_wheel_at_ <= at) return;
+  if (probe_wheel_armed_) sim_.cancel(probe_wheel_timer_);
+  probe_wheel_armed_ = true;
+  probe_wheel_at_ = at;
+  probe_wheel_timer_ = sim_.at(at, [this, epoch = death_epoch_]() {
+    if (epoch != death_epoch_) return;
+    probe_wheel_fire();
+  });
+}
+
+void Kernel::probe_wheel_fire() {
+  probe_wheel_armed_ = false;
+  // Collect due TIDs first: probe_tick may fail a request and erase it
+  // from pending_ mid-scan.
+  std::vector<Tid> due;
+  for (auto& [tid, p] : pending_) {
+    if (p.probe_active && p.next_probe_at <= sim_.now()) due.push_back(tid);
+  }
+  for (Tid tid : due) {
+    auto it = pending_.find(tid);
+    if (it == pending_.end() || !it->second.probe_active) continue;
+    it->second.probe_active = false;
+    probe_tick(tid);
+  }
+  sim::Time next = 0;
+  bool have = false;
+  for (auto& [tid, p] : pending_) {
+    if (!p.probe_active) continue;
+    if (!have || p.next_probe_at < next) {
+      next = p.next_probe_at;
+      have = true;
+    }
+  }
+  if (have) probe_wheel_schedule(next);
 }
 
 void Kernel::probe_tick(Tid tid) {
@@ -1025,6 +1082,12 @@ void Kernel::probe_tick(Tid tid) {
                           .with_status(sim::TraceStatus::kQuery));
   p.awaiting_probe_reply = true;
   p.probe_reply_seen = false;
+  if (config_.timing.batched_timer_bookkeeping) {
+    p.probe_active = true;
+    p.next_probe_at = sim_.now() + config_.timing.probe_interval;
+    probe_wheel_schedule(p.next_probe_at);
+    return;
+  }
   p.probe_armed = true;
   p.probe_timer = sim_.after(config_.timing.probe_interval,
                              [this, tid, epoch = death_epoch_]() {

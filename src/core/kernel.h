@@ -208,7 +208,9 @@ class Kernel {
 
     // probing (§3.6.2)
     sim::EventId probe_timer = 0;
-    bool probe_armed = false;
+    bool probe_armed = false;      // legacy per-request timer
+    bool probe_active = false;     // enrolled on the probe wheel (batched)
+    sim::Time next_probe_at = 0;   // wheel deadline for this request
     bool awaiting_probe_reply = false;
     bool probe_reply_seen = false;
     int probe_misses = 0;
@@ -262,6 +264,8 @@ class Kernel {
   void start_probing(Tid tid);
   void stop_probing(PendingRequest& p);
   void probe_tick(Tid tid);
+  void probe_wheel_schedule(sim::Time at);
+  void probe_wheel_fire();
   void send_late_data(PendingRequest& p);
   void stop_data_timer(PendingRequest& p);
   void send_cancel_query(PendingRequest& p);
@@ -322,6 +326,13 @@ class Kernel {
 
   // requester state
   std::map<Tid, PendingRequest> pending_;
+  // Probe wheel (timing.batched_timer_bookkeeping): every pending
+  // request's probe deadline multiplexes onto one armed timer at the
+  // earliest of them; firing scans pending_ (bounded by MAXREQUESTS)
+  // instead of each request arming/cancelling its own event.
+  sim::EventId probe_wheel_timer_ = 0;
+  bool probe_wheel_armed_ = false;
+  sim::Time probe_wheel_at_ = 0;
   Tid next_tid_ = 1;      // monotone across reboots (§5.4)
   Tid boot_min_tid_ = 1;  // TIDs below this predate the current incarnation
 

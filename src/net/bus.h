@@ -6,8 +6,8 @@
 // probabilities exercise the retransmission and Delta-t machinery the same
 // way collisions, line noise, and store-and-forward relays did on real
 // media. For deterministic tests (and the soda::chaos scenario engine),
-// set_loss_filter() / set_dup_filter() / set_delay_filter() replace the
-// random draws with predicates.
+// set_loss_filter() / set_dup_filter() / set_delay_filter() /
+// set_corrupt_filter() replace the random draws with predicates.
 #pragma once
 
 #include <algorithm>
@@ -43,6 +43,16 @@ struct BusConfig {
   /// retry artefact). The extra copy arrives one jitter draw later and
   /// exercises the alternating-bit duplicate rejection.
   double duplicate_probability = 0.0;
+
+  /// A "modern NIC" medium to pair with TimingModel::fast(): wire time is
+  /// dominated by fixed per-frame latency, not serialization, so N-node
+  /// scaling runs aren't bottlenecked on simulated 1 Mbit/s wire slots.
+  static BusConfig fast() {
+    BusConfig c;
+    c.us_per_byte = 0;
+    c.propagation = 2;
+    return c;
+  }
 };
 
 /// Receiver callback installed by a NIC.
@@ -60,6 +70,18 @@ using DupFilter = std::function<bool(const Frame&, Mid dst)>;
 /// receiver) delivery on top of wire + jitter time.
 using DelayFilter = std::function<sim::Duration(const Frame&, Mid dst)>;
 
+/// Deterministic corruption predicate: return true to CRC-damage this
+/// (frame, receiver) delivery. Replaces the random corruption draw, so a
+/// chaos `corrupt` window can honour its node/peer restriction.
+using CorruptFilter = std::function<bool(const Frame&, Mid dst)>;
+
+/// Per-station broadcast interest predicate (models the pattern-address
+/// filtering a NIC does in hardware, §5.3): return false and the bus never
+/// delivers this broadcast frame to the station — no loss/corruption
+/// draws, no scheduled event, no protocol_recv CPU at the receiver.
+/// Unicast frames are never filtered.
+using InterestFilter = std::function<bool(const Frame&)>;
+
 class Bus {
  public:
   Bus(sim::Simulator& sim, BusConfig config) : sim_(sim), config_(config) {}
@@ -72,7 +94,7 @@ class Bus {
   /// delivered to `sink` after serialization + propagation delay. The
   /// station's per-node MetricsRegistry is bound here.
   void attach(Mid mid, FrameSink sink) {
-    stations_[mid] = Station{std::move(sink), &sim_.metrics().node(mid)};
+    stations_[mid] = Station{std::move(sink), &sim_.metrics().node(mid), {}};
   }
 
   void detach(Mid mid) { stations_.erase(mid); }
@@ -109,7 +131,10 @@ class Bus {
         return;
       }
       Frame copy = frame;
-      if (sim_.rng().chance(config_.corruption_probability)) {
+      const bool damaged =
+          corrupt_filter_ ? corrupt_filter_(frame, mid)
+                          : sim_.rng().chance(config_.corruption_probability);
+      if (damaged) {
         copy.corrupted = true;  // receiver NIC discards after CRC check
       }
       sim::Duration jitter = 0;
@@ -141,7 +166,12 @@ class Bus {
 
     if (frame.dst == kBroadcastMid) {
       for (const auto& [mid, station] : stations_) {
-        if (mid != frame.src) deliver_to(mid);
+        if (mid == frame.src) continue;
+        if (station.interest && !station.interest(frame)) {
+          ++frames_filtered_;
+          continue;  // NIC hardware filter: frame never reaches the kernel
+        }
+        deliver_to(mid);
       }
     } else {
       deliver_to(frame.dst);
@@ -154,9 +184,10 @@ class Bus {
   std::size_t frames_lost() const { return frames_lost_; }
   std::size_t frames_corrupted() const { return frames_corrupted_; }
   std::size_t frames_duplicated() const { return frames_duplicated_; }
+  std::size_t frames_filtered() const { return frames_filtered_; }
   void reset_stats() {
     frames_sent_ = bytes_sent_ = frames_lost_ = frames_corrupted_ =
-        frames_duplicated_ = 0;
+        frames_duplicated_ = frames_filtered_ = 0;
   }
 
   const BusConfig& config() const { return config_; }
@@ -181,12 +212,30 @@ class Bus {
     delay_filter_ = std::move(filter);
   }
 
+  /// Install (or clear) a deterministic corruption predicate. Replaces
+  /// the random corruption draw entirely (mirrors set_loss_filter).
+  void set_corrupt_filter(CorruptFilter filter) {
+    corrupt_filter_ = std::move(filter);
+  }
+
+  /// Install (or clear) a broadcast interest filter for one station. Only
+  /// meaningful for an attached station; survives until detach().
+  void set_interest_filter(Mid mid, InterestFilter filter) {
+    auto it = stations_.find(mid);
+    if (it != stations_.end()) it->second.interest = std::move(filter);
+  }
+
  protected:
   /// For subclasses delivering frames that arrived from elsewhere.
   void deliver_to_station(const Frame& f) {
     if (f.dst == kBroadcastMid) {
       for (const auto& [mid, station] : stations_) {
-        if (mid != f.src) station.sink(f);
+        if (mid == f.src) continue;
+        if (station.interest && !station.interest(f)) {
+          ++frames_filtered_;
+          continue;
+        }
+        station.sink(f);
       }
       return;
     }
@@ -220,6 +269,7 @@ class Bus {
   struct Station {
     FrameSink sink;
     stats::MetricsRegistry* metrics = nullptr;
+    InterestFilter interest;  // empty = promiscuous (receive everything)
   };
 
   /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted copies.
@@ -255,11 +305,13 @@ class Bus {
   LossFilter loss_filter_;
   DupFilter dup_filter_;
   DelayFilter delay_filter_;
+  CorruptFilter corrupt_filter_;
   std::size_t frames_sent_ = 0;
   std::size_t bytes_sent_ = 0;
   std::size_t frames_lost_ = 0;
   std::size_t frames_corrupted_ = 0;
   std::size_t frames_duplicated_ = 0;
+  std::size_t frames_filtered_ = 0;
 };
 
 }  // namespace soda::net

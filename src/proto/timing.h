@@ -93,6 +93,46 @@ struct TimingModel {
   // --- discover ---
   sim::Duration discover_window = 30'000;     // wait for broadcast replies
   sim::Duration discover_stagger = 1'500;     // per-MID reply stagger (§5.3)
+
+  // --- implementation strategy knobs (not part of the 1984 calibration) ---
+  /// Batch/lazily maintain protocol timers instead of cancel+reschedule
+  /// per frame: Delta-t record expiry re-arms from a last-activity stamp,
+  /// and the kernel multiplexes all probe timers onto one wheel. The fire
+  /// times are provably identical; only event-queue churn changes. Kept
+  /// as a switch so the scaling bench can measure the before/after.
+  bool batched_timer_bookkeeping = true;
+
+  /// A "modern NIC" preset: microsecond-scale per-event costs and
+  /// timeouts (~1000x the 1984 constants) so dozens-of-node topologies
+  /// run enough protocol rounds to expose O(N) walls without simulating
+  /// hours of Megalink time. The ratios between constants are preserved,
+  /// so the protocol state machines traverse the same paths.
+  static TimingModel fast() {
+    TimingModel t;
+    t.protocol_send = 2;
+    t.protocol_recv = 2;
+    t.conn_timer_send = 1;
+    t.conn_timer_recv = 1;
+    t.retransmit_timer = 2;
+    t.context_switch = 2;
+    t.client_trap = 4;
+    t.copy_per_byte = 0;
+    t.pipeline_check = 1;
+    t.ack_delay_window = 20;
+    t.retransmit_interval = 200;
+    t.retransmit_jitter = 40;
+    t.retransmit_per_byte = 1;
+    t.busy_retry_interval = 50;
+    t.busy_retry_growth = 10;
+    t.busy_retry_max = 400;
+    t.max_ack_retries = 8;
+    t.probe_interval = 500;
+    t.max_probe_misses = 3;
+    t.mpl = 200;
+    t.discover_window = 300;
+    t.discover_stagger = 15;
+    return t;
+  }
 };
 
 /// Accumulates CPU charges by category; the overhead-breakdown bench

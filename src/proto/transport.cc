@@ -38,25 +38,44 @@ Transport::Record& Transport::record(Mid peer) {
 }
 
 void Transport::touch(Record& r, Mid peer) {
-  if (r.expiry_armed) sim_.cancel(r.expiry_timer);
+  r.last_activity = sim_.now();
+  if (r.expiry_armed) {
+    // Lazy expiry: the armed timer re-checks last_activity when it fires
+    // and re-arms for the remainder, so a busy connection costs zero
+    // event-queue churn per frame instead of a cancel + reschedule.
+    if (timing_.batched_timer_bookkeeping) return;
+    sim_.cancel(r.expiry_timer);
+    r.expiry_armed = false;
+  }
+  arm_expiry(r, peer, timing_.record_lifetime());
+}
+
+void Transport::arm_expiry(Record& r, Mid peer, sim::Duration delay) {
   r.expiry_armed = true;
   const auto epoch = epoch_;
-  r.expiry_timer =
-      sim_.after(timing_.record_lifetime(), [this, peer, epoch]() {
-        if (stale(epoch)) return;
-        auto it = records_.find(peer);
-        if (it == records_.end()) return;
-        Record& rec = it->second;
-        rec.expiry_armed = false;
-        // Keep the record alive while traffic is still in progress; the
-        // retransmission budget will declare the peer dead first if it has
-        // actually vanished.
-        if (rec.outstanding || rec.ack_owed || !rec.queue.empty()) {
-          touch(rec, peer);
-          return;
-        }
-        drop_record(peer);
-      });
+  r.expiry_timer = sim_.after(delay, [this, peer, epoch]() {
+    if (stale(epoch)) return;
+    auto it = records_.find(peer);
+    if (it == records_.end()) return;
+    Record& rec = it->second;
+    rec.expiry_armed = false;
+    // The record's true deadline is last-activity + lifetime, exactly what
+    // the eager cancel+reschedule scheme enforced; if activity arrived
+    // since this timer was armed, sleep out the remainder.
+    const sim::Time due = rec.last_activity + timing_.record_lifetime();
+    if (sim_.now() < due) {
+      arm_expiry(rec, peer, due - sim_.now());
+      return;
+    }
+    // Keep the record alive while traffic is still in progress; the
+    // retransmission budget will declare the peer dead first if it has
+    // actually vanished.
+    if (rec.outstanding || rec.ack_owed || !rec.queue.empty()) {
+      touch(rec, peer);
+      return;
+    }
+    drop_record(peer);
+  });
 }
 
 void Transport::drop_record(Mid peer) {

@@ -161,12 +161,14 @@ class Transport {
     // Delta-t record lifetime
     sim::EventId expiry_timer = 0;
     bool expiry_armed = false;
+    sim::Time last_activity = 0;  // drives the lazy expiry re-arm
     sim::Time opened_at = 0;           // for the record-lifetime histogram
     sim::Duration pending_backoff = 0;  // delay armed before a retransmit
   };
 
   Record& record(net::Mid peer);
   void touch(Record& r, net::Mid peer);
+  void arm_expiry(Record& r, net::Mid peer, sim::Duration delay);
   void drop_record(net::Mid peer);
 
   void on_bus_frame(const net::Frame& f);

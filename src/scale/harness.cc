@@ -1,0 +1,270 @@
+#include "scale/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/replicated_store.h"
+#include "chaos/invariants.h"
+#include "chaos/runner.h"
+#include "core/network.h"
+#include "sodal/nameserver.h"
+#include "sodal/sodal.h"
+
+namespace soda::scale {
+
+namespace {
+
+/// The pattern the scaling servers advertise (well-known, like kEchoPattern).
+constexpr Pattern kScalePattern = kWellKnownBit | 0x5CA1;
+
+/// Shared scoreboard the load clients report into. Single-threaded sim, so
+/// plain counters suffice.
+struct Tally {
+  std::uint64_t ops_done = 0;
+  int finished = 0;
+};
+
+class ScaleEchoServer final : public sodal::SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kScalePattern);
+    co_return;
+  }
+
+  sim::Task on_entry(HandlerArgs a) override {
+    Bytes in;
+    co_await accept_current_exchange(a.arg, &in, a.put_size,
+                                     Bytes(a.get_size));
+  }
+};
+
+/// Star RPC: each client runs `ops_per_client` blocking exchanges,
+/// round-robining over the server MIDs so every spoke of the star is hot.
+class StarClient final : public sodal::SodalClient {
+ public:
+  StarClient(const HarnessOptions& o, Tally* tally) : o_(o), tally_(tally) {}
+
+  sim::Task on_task() override {
+    for (int i = 0; i < o_.ops_per_client; ++i) {
+      const auto server = static_cast<Mid>((my_mid() + i) % o_.servers);
+      Bytes in;
+      auto c = co_await b_exchange(ServerSignature{server, kScalePattern},
+                                   i, Bytes(o_.payload), &in, o_.payload);
+      if (c.ok()) ++tally_->ops_done;
+    }
+    ++tally_->finished;
+    co_await park_forever();
+  }
+
+ private:
+  HarnessOptions o_;
+  Tally* tally_;
+};
+
+/// All-to-all DISCOVER storm: every client repeatedly broadcasts DISCOVER
+/// for the server pattern. Without the NIC pattern filter each broadcast
+/// interrupts all N-1 stations; with it only the servers ever see one.
+class DiscoverClient final : public sodal::SodalClient {
+ public:
+  DiscoverClient(const HarnessOptions& o, Tally* tally)
+      : o_(o), tally_(tally) {}
+
+  sim::Task on_task() override {
+    // Stagger the start so the first round isn't one synchronized burst.
+    co_await delay(static_cast<sim::Duration>(my_mid()) * 20);
+    for (int i = 0; i < o_.ops_per_client; ++i) {
+      auto s = co_await discover(kScalePattern);
+      if (s.pattern == kScalePattern) ++tally_->ops_done;
+    }
+    ++tally_->finished;
+    co_await park_forever();
+  }
+
+ private:
+  HarnessOptions o_;
+  Tally* tally_;
+};
+
+/// Replicated store: write through the whole replica group, read back from
+/// any live replica, and count the op only if both halves check out.
+class StoreClient final : public sodal::SodalClient {
+ public:
+  StoreClient(const HarnessOptions& o, Tally* tally) : o_(o), tally_(tally) {}
+
+  sim::Task on_task() override {
+    std::vector<ServerSignature> group;
+    for (int s = 0; s < o_.servers; ++s) {
+      group.push_back(
+          ServerSignature{static_cast<Mid>(s), apps::kStoreReplica});
+    }
+    const std::string me = "c" + std::to_string(my_mid());
+    for (int i = 0; i < o_.ops_per_client; ++i) {
+      const std::string key = me + "-k" + std::to_string(i % 4);
+      const Bytes value = sodal::to_bytes("v" + std::to_string(i));
+      auto w = co_await apps::store_set(*this, group, key, value);
+      auto r = co_await apps::store_get(*this, group, key);
+      if (w.quorum(group.size()) && r && *r == value) ++tally_->ops_done;
+    }
+    ++tally_->finished;
+    co_await park_forever();
+  }
+
+ private:
+  HarnessOptions o_;
+  Tally* tally_;
+};
+
+/// Name-service storm: each client grows its own directory one binding at
+/// a time and LISTs it after every bind. The legacy flat table makes each
+/// LIST scan every binding on the server (quadratic in total ops); the
+/// indexed table touches only the client's own directory.
+class NameClient final : public sodal::SodalClient {
+ public:
+  NameClient(const HarnessOptions& o, Tally* tally) : o_(o), tally_(tally) {}
+
+  sim::Task on_task() override {
+    const ServerSignature ns{0, sodal::kNameServerPattern};
+    const ServerSignature self{my_mid(), kScalePattern};
+    const std::string dir = "n" + std::to_string(my_mid());
+    for (int i = 0; i < o_.ops_per_client; ++i) {
+      auto st = co_await sodal::ns_bind_status(
+          *this, ns, dir + "/k" + std::to_string(i), self);
+      if (st.ok()) ++tally_->ops_done;
+      auto ls = co_await sodal::ns_list_status(*this, ns, dir);
+      if (ls.ok() && static_cast<int>(ls->size()) == i + 1) {
+        ++tally_->ops_done;
+      }
+    }
+    ++tally_->finished;
+    co_await park_forever();
+  }
+
+ private:
+  HarnessOptions o_;
+  Tally* tally_;
+};
+
+std::unique_ptr<Client> make_scale_client(const HarnessOptions& o, int mid,
+                                          Tally* tally) {
+  const bool is_server = mid < o.servers;
+  switch (o.workload) {
+    case Workload::kStarRpc:
+      if (is_server) return std::make_unique<ScaleEchoServer>();
+      return std::make_unique<StarClient>(o, tally);
+    case Workload::kDiscoverStorm:
+      if (is_server) return std::make_unique<ScaleEchoServer>();
+      return std::make_unique<DiscoverClient>(o, tally);
+    case Workload::kReplicatedStore:
+      if (is_server) return std::make_unique<apps::StoreReplica>();
+      return std::make_unique<StoreClient>(o, tally);
+    case Workload::kNameStorm:
+      if (is_server) {
+        return std::make_unique<sodal::NameServer>(sodal::kNameServerPattern,
+                                                   o.optimized);
+      }
+      return std::make_unique<NameClient>(o, tally);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kStarRpc: return "star_rpc";
+    case Workload::kDiscoverStorm: return "discover_storm";
+    case Workload::kReplicatedStore: return "replicated_store";
+    case Workload::kNameStorm: return "name_storm";
+  }
+  return "unknown";
+}
+
+HarnessResult run_harness(const HarnessOptions& opts) {
+  // Normalize the topology: at least one server, at least one client, and
+  // the name storm has exactly one name server by construction.
+  HarnessOptions o = opts;
+  if (o.workload == Workload::kNameStorm) o.servers = 1;
+  o.servers = std::clamp(o.servers, 1, std::max(1, o.nodes - 1));
+
+  Network::Options nopts;
+  nopts.seed = o.seed;
+  if (o.fast) nopts.bus = net::BusConfig::fast();
+  Network net(nopts);
+  auto& sim = net.sim();
+
+  chaos::InvariantSet invariants = chaos::InvariantSet::standard();
+  std::uint64_t hash = chaos::kTraceHashSeed;
+  if (o.check_invariants) {
+    sim.trace().enable_all();
+    sim.trace().set_store(false);
+    sim.trace().set_observer([&](const sim::TraceEvent& e) {
+      hash = chaos::hash_event(hash, e);
+      invariants.on_event(e);
+    });
+  }
+
+  Tally tally;
+  for (int mid = 0; mid < o.nodes; ++mid) {
+    NodeConfig cfg;
+    if (o.fast) cfg.timing = TimingModel::fast();
+    cfg.timing.batched_timer_bookkeeping = o.optimized;
+    cfg.nic_pattern_filter = o.optimized;
+    Node& n = net.add_node(std::move(cfg));
+    n.install_client(make_scale_client(o, mid, &tally), n.mid());
+  }
+
+  if (o.loss > 0) {
+    net.bus().set_loss_filter([&sim, p = o.loss](const net::Frame&, Mid) {
+      return sim.rng().chance(p);
+    });
+  }
+
+  const int clients = o.nodes - o.servers;
+  const sim::Duration slice =
+      o.fast ? 2 * sim::kMillisecond : 20 * sim::kMillisecond;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t executed = 0;
+  while (tally.finished < clients && sim.now() < o.max_sim_time) {
+    executed += sim.run_until(sim.now() + slice);
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  net.check_clients();
+  if (o.check_invariants) invariants.finish(sim.now());
+
+  HarnessResult r;
+  r.sim_elapsed = sim.now();
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  r.events_executed = executed;
+  r.events_scheduled = sim.events_scheduled();
+  r.events_cancelled = sim.events_cancelled();
+  r.frames_sent = net.bus().frames_sent();
+  r.frames_filtered = net.bus().frames_filtered();
+  const auto& hub = sim.metrics();
+  r.requests_issued = hub.total(stats::Counter::kRequestsIssued);
+  r.requests_completed = hub.total(stats::Counter::kRequestsCompleted);
+  r.cpu_busy_micros = hub.total(stats::Counter::kCpuBusyMicros);
+  r.ops_done = tally.ops_done;
+  const std::uint64_t per_client =
+      o.workload == Workload::kNameStorm
+          ? 2 * static_cast<std::uint64_t>(o.ops_per_client)
+          : static_cast<std::uint64_t>(o.ops_per_client);
+  r.ops_expected = per_client * static_cast<std::uint64_t>(clients);
+  if (o.check_invariants) {
+    const auto v = invariants.violations();
+    r.violations = v.size();
+    if (!v.empty()) r.first_violation = v.front().invariant + ": " +
+                                        v.front().detail;
+    r.trace_hash = hash;
+    // The observer references locals of this frame; drop it before return.
+    sim.trace().set_observer(nullptr);
+  }
+  return r;
+}
+
+}  // namespace soda::scale

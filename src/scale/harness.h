@@ -1,0 +1,65 @@
+// N-node scaling harness: stand up star-RPC, all-to-all DISCOVER-storm,
+// replicated-store and name-service topologies of 8..64 nodes under the
+// sim engine and measure where the per-operation cost stops being flat.
+//
+// A harness run is a pure function of its options (same determinism
+// contract as soda::chaos): the invariant checkers ride along on the
+// trace stream, so the scaling bench doubles as a correctness sweep. The
+// `optimized` switch flips the three O(N) fixes this harness exposed —
+// NIC broadcast interest filtering (net::Bus), batched timer bookkeeping
+// (proto/core), and the indexed name-server table — so BENCH_scale.jsonl
+// carries honest before/after rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace soda::scale {
+
+enum class Workload : std::uint8_t {
+  kStarRpc,          // clients exchange with a few echo servers
+  kDiscoverStorm,    // every client repeatedly broadcasts DISCOVER
+  kReplicatedStore,  // multicast SET + read-any against replicas
+  kNameStorm,        // bind fan-out + directory LISTs at one name server
+};
+
+const char* to_string(Workload w);
+
+struct HarnessOptions {
+  Workload workload = Workload::kStarRpc;
+  int nodes = 8;
+  int servers = 1;          // stations running the server side
+  int ops_per_client = 20;  // blocking operations per load client
+  std::uint32_t payload = 64;
+  double loss = 0.0;        // uniform frame-loss probability
+  std::uint64_t seed = 1;
+  bool fast = true;       // TimingModel::fast() + BusConfig::fast()
+  bool optimized = true;  // the three O(N) fixes on/off (before/after)
+  bool check_invariants = true;
+  sim::Duration max_sim_time = 120 * sim::kSecond;  // hard stop
+};
+
+struct HarnessResult {
+  sim::Time sim_elapsed = 0;       // simulated time to quiescence
+  double wall_ms = 0;              // host wall-clock for the run
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;  // timer-churn proxy (deterministic)
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_filtered = 0;   // broadcast deliveries skipped by NIC
+  std::uint64_t requests_issued = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t ops_done = 0;      // workload-level successes
+  std::uint64_t ops_expected = 0;
+  std::uint64_t cpu_busy_micros = 0;   // summed over all node CPUs
+  std::uint64_t violations = 0;
+  std::uint64_t trace_hash = 0;
+  std::string first_violation;     // empty when clean
+};
+
+/// Execute one deterministic scaling run.
+HarnessResult run_harness(const HarnessOptions& opts);
+
+}  // namespace soda::scale

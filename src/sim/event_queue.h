@@ -36,11 +36,18 @@ class EventQueue {
     if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
     if (!cancelled_[id]) {
       cancelled_[id] = true;
+      ++cancelled_count_;
       if (live_ > 0) --live_;
     }
   }
 
   bool empty() const { return live_ == 0; }
+
+  /// Lifetime totals. Timer-churn optimisations (lazy Delta-t expiry,
+  /// the kernel probe wheel) show up here as fewer schedules/cancels for
+  /// the same protocol behaviour — a wall-clock-noise-immune metric.
+  std::uint64_t scheduled_total() const { return next_id_; }
+  std::uint64_t cancelled_total() const { return cancelled_count_; }
 
   /// Earliest pending event time; only valid when !empty().
   Time next_time() {
@@ -84,6 +91,7 @@ class EventQueue {
   std::vector<bool> cancelled_;
   EventId next_id_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t cancelled_count_ = 0;
 };
 
 }  // namespace soda::sim

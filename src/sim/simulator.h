@@ -72,6 +72,11 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
 
+  /// Lifetime scheduling totals (see EventQueue) — the bench harness uses
+  /// these as a deterministic proxy for timer-bookkeeping cost.
+  std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
+  std::uint64_t events_cancelled() const { return queue_.cancelled_total(); }
+
  private:
   void step() {
     auto [at, fn] = queue_.pop();

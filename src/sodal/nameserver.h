@@ -19,6 +19,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 #include "sodal/blocking.h"
 #include "sodal/util.h"
@@ -29,8 +30,14 @@ constexpr Pattern kNameServerPattern = kWellKnownBit | 0x4A3E;
 
 class NameServer : public SodalClient {
  public:
-  explicit NameServer(Pattern pattern = kNameServerPattern)
-      : pattern_(pattern) {}
+  /// `indexed` (the default) keeps bindings in a hash table with a
+  /// refcounted per-directory child index, so exact operations are O(1)
+  /// and LIST touches only the listed directory. `indexed = false` keeps
+  /// the original flat map whose LIST scans every binding — retained so
+  /// the scaling bench can measure the difference.
+  explicit NameServer(Pattern pattern = kNameServerPattern,
+                      bool indexed = true)
+      : pattern_(pattern), indexed_(indexed) {}
 
   sim::Task on_boot(Mid) override {
     advertise(pattern_);
@@ -47,7 +54,7 @@ class NameServer : public SodalClient {
         const std::string path = to_string(
             Bytes(payload.begin(), payload.end() - 12));
         Bytes sig(payload.end() - 12, payload.end());
-        bindings_[normalize(path)] = sig;
+        bind_path(normalize(path), std::move(sig));
         break;
       }
       case 2: {  // RESOLVE (stage 1)
@@ -88,15 +95,24 @@ class NameServer : public SodalClient {
           co_await reject_current();
           break;
         }
-        const std::string prefix =
-            sit->second.empty() ? "" : sit->second + "/";
+        const std::string dir = sit->second;
         staged_.erase(sit);
         std::set<std::string> children;
-        for (const auto& [path, sig] : bindings_) {
-          if (path.rfind(prefix, 0) != 0) continue;
-          const std::string rest = path.substr(prefix.size());
-          if (rest.empty()) continue;
-          children.insert(rest.substr(0, rest.find('/')));
+        if (indexed_) {
+          auto cit = children_.find(dir);
+          if (cit != children_.end()) {
+            for (const auto& [name, refs] : cit->second) {
+              children.insert(name);
+            }
+          }
+        } else {
+          const std::string prefix = dir.empty() ? "" : dir + "/";
+          for (const auto& [path, sig] : bindings_) {
+            if (path.rfind(prefix, 0) != 0) continue;
+            const std::string rest = path.substr(prefix.size());
+            if (rest.empty()) continue;
+            children.insert(rest.substr(0, rest.find('/')));
+          }
         }
         std::string listing;
         for (const auto& c : children) {
@@ -112,7 +128,7 @@ class NameServer : public SodalClient {
         Bytes path;
         auto r = co_await accept_current_put(0, &path, a.put_size);
         if (r.status == AcceptStatus::kSuccess) {
-          bindings_.erase(normalize(to_string(path)));
+          unbind_path(normalize(to_string(path)));
         }
         break;
       }
@@ -142,8 +158,56 @@ class NameServer : public SodalClient {
     return out;
   }
 
+  void bind_path(const std::string& path, Bytes sig) {
+    auto [it, inserted] = bindings_.try_emplace(path, std::move(sig));
+    if (!inserted) {
+      it->second = std::move(sig);  // rebind: index refcounts unchanged
+      return;
+    }
+    if (indexed_) index_add(path);
+  }
+
+  void unbind_path(const std::string& path) {
+    if (bindings_.erase(path) == 0) return;
+    if (indexed_) index_remove(path);
+  }
+
+  /// Every ancestor directory of `path` gains (or loses) a reference to
+  /// the child component below it, so binding "a/b/c" makes "b" listable
+  /// under "a" even though "a/b" itself is not bound — the same derived
+  /// children the legacy full scan produced.
+  void index_add(const std::string& path) {
+    std::string dir = path;
+    while (!dir.empty()) {
+      const auto slash = dir.rfind('/');
+      const std::string leaf =
+          slash == std::string::npos ? dir : dir.substr(slash + 1);
+      dir = slash == std::string::npos ? std::string() : dir.substr(0, slash);
+      ++children_[dir][leaf];
+    }
+  }
+
+  void index_remove(const std::string& path) {
+    std::string dir = path;
+    while (!dir.empty()) {
+      const auto slash = dir.rfind('/');
+      const std::string leaf =
+          slash == std::string::npos ? dir : dir.substr(slash + 1);
+      dir = slash == std::string::npos ? std::string() : dir.substr(0, slash);
+      auto cit = children_.find(dir);
+      if (cit == children_.end()) continue;
+      auto lit = cit->second.find(leaf);
+      if (lit == cit->second.end()) continue;
+      if (--lit->second == 0) cit->second.erase(lit);
+      if (cit->second.empty()) children_.erase(cit);
+    }
+  }
+
   Pattern pattern_;
-  std::map<std::string, Bytes> bindings_;
+  bool indexed_;
+  std::unordered_map<std::string, Bytes> bindings_;
+  // directory -> child name -> number of bindings contributing it
+  std::map<std::string, std::map<std::string, int>> children_;
   std::map<Mid, std::string> staged_;
 };
 

@@ -118,6 +118,37 @@ TEST(ChaosRunner, ShrinkerStripsIrrelevantFaults) {
   EXPECT_EQ(untouched.faults.size(), smoke->faults.size());
 }
 
+/// Sweep a builtin scenario across 200 seeds and demand a clean bill.
+void sweep_200(const char* name) {
+  auto s = builtin_scenario(name);
+  ASSERT_TRUE(s.has_value()) << name;
+  SweepOptions opts;
+  opts.first_seed = 1;
+  opts.seeds = 200;
+  auto sweep = sweep_scenario(*s, opts);
+  EXPECT_EQ(sweep.ran, 200) << name;
+  ASSERT_TRUE(sweep.ok())
+      << name << " seed " << sweep.failures.front().seed << " violated "
+      << first_violation(sweep.failures.front().violations);
+}
+
+TEST(ChaosScenarioLibrary, AsymmetricPartitionHolds200Seeds) {
+  sweep_200("asymmetric_partition");
+}
+
+TEST(ChaosScenarioLibrary, CrashDuringBootHolds200Seeds) {
+  sweep_200("crash_during_boot");
+}
+
+// skew_extreme sits at the edge of the Delta-t drift envelope
+// (record_lifetime / retransmit_span ~= 1.23x relative clock rate); see
+// the builtin's comment — beyond that ratio duplicate deliveries are the
+// *expected* protocol failure mode, so this sweep doubles as a regression
+// guard that the builtin stays inside the documented envelope.
+TEST(ChaosScenarioLibrary, SkewExtremeHolds200Seeds) {
+  sweep_200("skew_extreme");
+}
+
 TEST(ChaosScenario, JsonlRoundTripsEveryBuiltin) {
   for (const auto& name : builtin_scenario_names()) {
     auto s = builtin_scenario(name);

@@ -1,0 +1,197 @@
+// The scaling harness as a correctness gate: N-node workloads complete
+// exactly once within bounded simulated time under loss, with the O(N)
+// fixes both off and on; runs are bit-deterministic; the optimizations
+// provably reduce event-queue churn; and the bus-level corrupt/interest
+// filters behave per-(frame, receiver) deterministically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+#include "net/bus.h"
+#include "scale/harness.h"
+#include "sim/simulator.h"
+
+namespace soda {
+namespace {
+
+using scale::HarnessOptions;
+using scale::HarnessResult;
+using scale::Workload;
+
+HarnessOptions base_options(Workload w, int nodes, double loss) {
+  HarnessOptions o;
+  o.workload = w;
+  o.nodes = nodes;
+  o.servers = w == Workload::kReplicatedStore ? 3 : (nodes >= 16 ? 2 : 1);
+  o.ops_per_client = 8;
+  o.loss = loss;
+  o.seed = 11;
+  o.fast = true;
+  o.optimized = true;
+  return o;
+}
+
+// --- N-node invariant + bounded-completion tier ---
+
+TEST(ScaleHarness, SixteenNodesUnderLossComplete) {
+  auto o = base_options(Workload::kStarRpc, 16, 0.05);
+  const HarnessResult r = run_harness(o);
+  EXPECT_EQ(r.ops_done, r.ops_expected);
+  EXPECT_EQ(r.violations, 0u) << r.first_violation;
+  // Bounded completion: well under the 120 s hard stop (fast preset runs
+  // the whole workload in tens of simulated milliseconds).
+  EXPECT_LT(r.sim_elapsed, 5 * sim::kSecond);
+}
+
+TEST(ScaleHarness, ThirtyTwoNodesUnderLossCompleteInBothModes) {
+  for (const bool optimized : {false, true}) {
+    auto o = base_options(Workload::kStarRpc, 32, 0.05);
+    o.optimized = optimized;
+    const HarnessResult r = run_harness(o);
+    EXPECT_EQ(r.ops_done, r.ops_expected) << "optimized=" << optimized;
+    EXPECT_EQ(r.violations, 0u)
+        << "optimized=" << optimized << ": " << r.first_violation;
+    EXPECT_LT(r.sim_elapsed, 10 * sim::kSecond);
+  }
+}
+
+TEST(ScaleHarness, RunsAreBitDeterministic) {
+  const auto o = base_options(Workload::kReplicatedStore, 16, 0.03);
+  const HarnessResult a = run_harness(o);
+  const HarnessResult b = run_harness(o);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.events_scheduled, b.events_scheduled);
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.ops_done, b.ops_done);
+
+  auto o2 = o;
+  o2.seed = 12;
+  const HarnessResult c = run_harness(o2);
+  EXPECT_NE(a.trace_hash, c.trace_hash);  // seeds explore schedules
+}
+
+// --- the O(N) fixes must actually win, not just not break things ---
+
+TEST(ScaleHarness, BatchedTimersReduceEventChurn) {
+  auto o = base_options(Workload::kStarRpc, 32, 0.0);
+  o.optimized = false;
+  const HarnessResult base = run_harness(o);
+  o.optimized = true;
+  const HarnessResult opt = run_harness(o);
+  // Same workload outcome...
+  EXPECT_EQ(base.ops_done, base.ops_expected);
+  EXPECT_EQ(opt.ops_done, opt.ops_expected);
+  EXPECT_EQ(base.violations, 0u);
+  EXPECT_EQ(opt.violations, 0u);
+  // ...with measurably less timer bookkeeping in the event queue.
+  EXPECT_LT(opt.events_scheduled, base.events_scheduled);
+  EXPECT_LT(opt.events_cancelled, base.events_cancelled);
+}
+
+TEST(ScaleHarness, NicPatternFilterShieldsDiscoverStorm) {
+  auto o = base_options(Workload::kDiscoverStorm, 16, 0.0);
+  o.optimized = false;
+  const HarnessResult base = run_harness(o);
+  o.optimized = true;
+  const HarnessResult opt = run_harness(o);
+  EXPECT_EQ(base.ops_done, base.ops_expected);
+  EXPECT_EQ(opt.ops_done, opt.ops_expected);
+  // The filter suppresses non-matching broadcast deliveries wholesale.
+  EXPECT_GT(opt.frames_filtered, 0u);
+  EXPECT_EQ(base.frames_filtered, 0u);
+  EXPECT_LT(opt.events_executed, base.events_executed);
+}
+
+// --- the 32-node chaos regression gate ---
+
+TEST(ScaleSweep, Scale32HoldsInvariantsAcross200Seeds) {
+  auto s = chaos::builtin_scenario("scale_32");
+  ASSERT_TRUE(s.has_value());
+  chaos::SweepOptions opts;
+  opts.first_seed = 1;
+  opts.seeds = 200;
+  auto sweep = chaos::sweep_scenario(*s, opts);
+  EXPECT_EQ(sweep.ran, 200);
+  ASSERT_TRUE(sweep.ok())
+      << "seed " << sweep.failures.front().seed << " violated "
+      << (sweep.failures.front().violations.empty()
+              ? "(exception)"
+              : sweep.failures.front().violations.front().invariant);
+}
+
+// --- bus filter semantics the chaos engine relies on ---
+
+TEST(BusCorruptFilter, IsPerFrameReceiverDeterministic) {
+  sim::Simulator sim(5);
+  net::Bus bus(sim, net::BusConfig{});
+
+  std::vector<net::Mid> delivered;
+  for (net::Mid mid : {1, 2, 3}) {
+    bus.attach(mid, [&delivered, mid](const net::Frame&) {
+      delivered.push_back(mid);
+    });
+  }
+
+  std::vector<net::Mid> asked;  // every (frame, receiver) corruption decision
+  bus.set_corrupt_filter([&asked](const net::Frame&, net::Mid dst) {
+    asked.push_back(dst);
+    return dst == 2;  // only station 2's copy is CRC-damaged
+  });
+
+  net::Frame f;
+  f.src = 1;
+  f.dst = net::kBroadcastMid;
+  bus.send(f);
+  sim.run();
+
+  // The filter was consulted exactly once per receiver (sender excluded),
+  // and exactly the receiver it singled out lost its copy.
+  std::sort(asked.begin(), asked.end());
+  EXPECT_EQ(asked, (std::vector<net::Mid>{2, 3}));
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(delivered, (std::vector<net::Mid>{3}));
+  EXPECT_EQ(bus.frames_corrupted(), 1u);
+
+  // Re-running the identical send yields the identical decision pattern:
+  // nothing about the filter path consumes bus RNG state.
+  asked.clear();
+  delivered.clear();
+  bus.send(f);
+  sim.run();
+  std::sort(asked.begin(), asked.end());
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(asked, (std::vector<net::Mid>{2, 3}));
+  EXPECT_EQ(delivered, (std::vector<net::Mid>{3}));
+  EXPECT_EQ(bus.frames_corrupted(), 2u);
+}
+
+TEST(BusInterestFilter, SuppressesBroadcastsButNeverUnicast) {
+  sim::Simulator sim(5);
+  net::Bus bus(sim, net::BusConfig{});
+
+  int station1 = 0, station2 = 0;
+  bus.attach(1, [&station1](const net::Frame&) { ++station1; });
+  bus.attach(2, [&station2](const net::Frame&) { ++station2; });
+  bus.set_interest_filter(2, [](const net::Frame&) { return false; });
+
+  net::Frame broadcast;
+  broadcast.src = 0;
+  broadcast.dst = net::kBroadcastMid;
+  bus.send(broadcast);
+
+  net::Frame unicast;
+  unicast.src = 0;
+  unicast.dst = 2;
+  bus.send(unicast);
+  sim.run();
+
+  EXPECT_EQ(station1, 1);  // promiscuous station hears the broadcast
+  EXPECT_EQ(station2, 1);  // filtered station: unicast only
+  EXPECT_EQ(bus.frames_filtered(), 1u);
+}
+
+}  // namespace
+}  // namespace soda

@@ -1,0 +1,39 @@
+// soda_trend: summarize every BENCH_*.jsonl in a directory into one
+// trend report — paper-table stream ranges, chaos sweep pass/fail, and
+// the base->optimized scaling wins from BENCH_scale.jsonl.
+//
+// Usage:
+//   soda_trend [dir]          ingest BENCH_*.jsonl under dir (default .)
+//   soda_trend --files f...   ingest exactly the listed files
+//
+// Exit status is 1 when any chaos sweep recorded failures or any scale
+// row recorded an invariant violation, so CI can gate on it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchsupport/trend.h"
+
+int main(int argc, char** argv) {
+  using namespace soda::bench;
+
+  std::vector<std::string> paths;
+  if (argc > 1 && std::strcmp(argv[1], "--files") == 0) {
+    for (int i = 2; i < argc; ++i) paths.emplace_back(argv[i]);
+  } else {
+    paths = find_bench_files(argc > 1 ? argv[1] : ".");
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "soda_trend: no BENCH_*.jsonl files found\n");
+    return 2;
+  }
+
+  const TrendReport report = build_trend_report(paths);
+  std::fputs(format_trend_report(report).c_str(), stdout);
+
+  bool failing = false;
+  for (const auto& c : report.chaos) failing |= c.failures > 0;
+  for (const auto& t : report.scale) failing |= t.violations > 0;
+  return failing ? 1 : 0;
+}

@@ -21,6 +21,7 @@ int servers_for(Workload w, int nodes) {
     case Workload::kDiscoverStorm: return 2;
     case Workload::kReplicatedStore: return 3;
     case Workload::kNameStorm: return 1;
+    case Workload::kContention: return 1;
   }
   return 1;
 }
@@ -68,6 +69,11 @@ int main(int argc, char** argv) {
                    .set("cpu_busy_us", r.cpu_busy_micros)
                    .set("ops_done", r.ops_done)
                    .set("ops_expected", r.ops_expected)
+                   .set("ops_min", r.ops_min)
+                   .set("ops_max", r.ops_max)
+                   .set("goodput_ops_s", r.goodput_ops_per_s)
+                   .set("timedout", r.requests_timedout)
+                   .set("shed_offers", r.shed_offers)
                    .set("violations", r.violations)
                    .set("trace_hash", r.trace_hash));
   };
@@ -79,17 +85,24 @@ int main(int argc, char** argv) {
               "filter + batched timers + indexed name table.\n");
 
   const Workload all[] = {Workload::kStarRpc, Workload::kDiscoverStorm,
-                          Workload::kReplicatedStore, Workload::kNameStorm};
+                          Workload::kReplicatedStore, Workload::kNameStorm,
+                          Workload::kContention};
   const int sizes[] = {8, 16, 32, 64};
 
   for (Workload w : all) {
-    if (quick && w != Workload::kStarRpc) continue;
+    // --quick keeps star_rpc at 8/16 plus the 64-node contention pair —
+    // the overload row the trend gate watches.
+    if (quick && w != Workload::kStarRpc && w != Workload::kContention) {
+      continue;
+    }
     std::printf("\n[%s]\n", to_string(w));
     std::printf("  %5s %5s %9s %12s %12s %12s %10s %9s %4s\n", "nodes",
                 "mode", "sim_ms", "events", "sched", "filtered", "frames",
                 "ops", "viol");
     for (int nodes : sizes) {
-      if (quick && nodes > 16) continue;
+      if (quick && (w == Workload::kContention ? nodes != 64 : nodes > 16)) {
+        continue;
+      }
       const int servers = servers_for(w, nodes);
       for (bool optimized : {false, true}) {
         const HarnessResult r = run(w, nodes, optimized, /*loss=*/0.0,
@@ -106,6 +119,15 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.ops_done),
                     static_cast<unsigned long long>(r.ops_expected),
                     static_cast<unsigned long long>(r.violations));
+        if (w == Workload::kContention) {
+          std::printf("        %5s goodput=%.0f ops/s  fairness min/max="
+                      "%llu/%llu  timedout=%llu shed=%llu\n",
+                      "", r.goodput_ops_per_s,
+                      static_cast<unsigned long long>(r.ops_min),
+                      static_cast<unsigned long long>(r.ops_max),
+                      static_cast<unsigned long long>(r.requests_timedout),
+                      static_cast<unsigned long long>(r.shed_offers));
+        }
       }
     }
   }

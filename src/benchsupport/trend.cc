@@ -100,11 +100,21 @@ void aggregate_scale(TrendReport& r) {
       t.opt_frames = frames;
       t.opt_ops = ops;
       t.opt_filtered = row.num("frames_filtered").value_or(0);
+      t.opt_goodput = row.num("goodput_ops_s").value_or(0);
+      t.opt_ops_min = row.num("ops_min").value_or(0);
+      t.opt_ops_max = row.num("ops_max").value_or(0);
+      t.opt_timedout = row.num("timedout").value_or(0);
+      t.opt_shed = row.num("shed_offers").value_or(0);
     } else {
       t.base_events = events;
       t.base_scheduled = sched;
       t.base_frames = frames;
       t.base_ops = ops;
+      t.base_goodput = row.num("goodput_ops_s").value_or(0);
+      t.base_ops_min = row.num("ops_min").value_or(0);
+      t.base_ops_max = row.num("ops_max").value_or(0);
+      t.base_timedout = row.num("timedout").value_or(0);
+      t.base_shed = row.num("shed_offers").value_or(0);
     }
     t.ops_expected = row.num("ops_expected").value_or(t.ops_expected);
     t.violations += row.num("violations").value_or(0);
@@ -185,6 +195,134 @@ std::string format_trend_report(const TrendReport& r) {
           ScaleTrend::win(t.base_frames, t.opt_frames), t.opt_filtered,
           t.violations);
       out << buf;
+    }
+
+    // Goodput/fairness columns only mean something for the contention
+    // workload (per-client tallies); star_rpc et al. leave them zero.
+    bool any_goodput = false;
+    for (const auto& t : r.scale) {
+      any_goodput |= t.base_ops_max > 0 || t.opt_ops_max > 0;
+    }
+    if (any_goodput) {
+      out << "\nOverload goodput & fairness (base -> optimized)\n";
+      std::snprintf(buf, sizeof buf, "  %-18s %5s %18s %13s %13s %12s\n",
+                    "workload", "nodes", "goodput ops/s", "min/max base",
+                    "min/max opt", "timedout");
+      out << buf;
+      for (const auto& t : r.scale) {
+        if (t.base_ops_max <= 0 && t.opt_ops_max <= 0) continue;
+        std::snprintf(buf, sizeof buf,
+                      "  %-18s %5d %7.0f->%-8.0f %6.0f/%-6.0f %6.0f/%-6.0f "
+                      "%4.0f->%-5.0f\n",
+                      t.workload.c_str(), t.nodes, t.base_goodput,
+                      t.opt_goodput, t.base_ops_min, t.base_ops_max,
+                      t.opt_ops_min, t.opt_ops_max, t.base_timedout,
+                      t.opt_timedout);
+        out << buf;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string format_trend_diff(const TrendReport& before,
+                              const TrendReport& after) {
+  std::ostringstream out;
+  char buf[240];
+  out << "Trend diff: " << before.files.size() << " BENCH files before, "
+      << after.files.size() << " after\n";
+
+  // Chaos: failure-count movement per scenario.
+  {
+    std::map<std::string, std::pair<long, long>> merged;  // name -> (b, a)
+    for (const auto& c : before.chaos) merged[c.scenario].first = c.failures;
+    for (const auto& c : after.chaos) merged[c.scenario].second = c.failures;
+    if (!merged.empty()) {
+      out << "\nChaos failures (before -> after)\n";
+      for (const auto& [name, fa] : merged) {
+        const bool only_before = std::none_of(
+            after.chaos.begin(), after.chaos.end(),
+            [&name](const auto& c) { return c.scenario == name; });
+        const bool only_after = std::none_of(
+            before.chaos.begin(), before.chaos.end(),
+            [&name](const auto& c) { return c.scenario == name; });
+        std::snprintf(buf, sizeof buf, "  %-22s %ld -> %ld%s\n", name.c_str(),
+                      fa.first, fa.second,
+                      only_before   ? "  [REMOVED]"
+                      : only_after  ? "  [NEW]"
+                      : fa.second > fa.first ? "  [WORSE]"
+                      : fa.second < fa.first ? "  [better]"
+                                             : "");
+        out << buf;
+      }
+    }
+  }
+
+  // Paper streams: worst-case ms/op drift per operation.
+  {
+    std::map<std::string, std::pair<const TrendReport::StreamLine*,
+                                    const TrendReport::StreamLine*>>
+        merged;
+    for (const auto& s : before.streams) merged[s.op].first = &s;
+    for (const auto& s : after.streams) merged[s.op].second = &s;
+    if (!merged.empty()) {
+      out << "\nPaper streams, worst ms/op (before -> after)\n";
+      for (const auto& [op, ba] : merged) {
+        const double b = ba.first ? ba.first->worst_ms : 0;
+        const double a = ba.second ? ba.second->worst_ms : 0;
+        std::snprintf(buf, sizeof buf, "  %-10s %.1f -> %.1f%s\n", op.c_str(),
+                      b, a,
+                      !ba.first    ? "  [NEW]"
+                      : !ba.second ? "  [REMOVED]"
+                      : a > b * 1.05 ? "  [WORSE]"
+                      : a < b * 0.95 ? "  [better]"
+                                     : "");
+        out << buf;
+      }
+    }
+  }
+
+  // Scale: goodput / completion / churn movement per config.
+  {
+    std::map<std::tuple<std::string, int, double>,
+             std::pair<const ScaleTrend*, const ScaleTrend*>>
+        merged;
+    for (const auto& t : before.scale) {
+      merged[{t.workload, t.nodes, t.loss}].first = &t;
+    }
+    for (const auto& t : after.scale) {
+      merged[{t.workload, t.nodes, t.loss}].second = &t;
+    }
+    if (!merged.empty()) {
+      out << "\nScaling matrix (optimized mode, before -> after)\n";
+      std::snprintf(buf, sizeof buf, "  %-18s %5s %5s %20s %20s %18s\n",
+                    "workload", "nodes", "loss", "ops", "sched events",
+                    "goodput ops/s");
+      out << buf;
+      for (const auto& [key, ba] : merged) {
+        const auto& [workload, nodes, loss] = key;
+        if (!ba.first || !ba.second) {
+          std::snprintf(buf, sizeof buf, "  %-18s %5d %4.0f%% %s\n",
+                        workload.c_str(), nodes, loss * 100,
+                        ba.second ? "[NEW]" : "[REMOVED]");
+          out << buf;
+          continue;
+        }
+        const ScaleTrend& b = *ba.first;
+        const ScaleTrend& a = *ba.second;
+        const char* flag = "";
+        if (a.opt_ops < b.opt_ops || a.violations > b.violations ||
+            (b.opt_goodput > 0 && a.opt_goodput < b.opt_goodput * 0.95)) {
+          flag = "  [WORSE]";
+        }
+        std::snprintf(buf, sizeof buf,
+                      "  %-18s %5d %4.0f%% %8.0f->%-8.0f %9.0f->%-9.0f "
+                      "%7.0f->%-7.0f%s\n",
+                      workload.c_str(), nodes, loss * 100, b.opt_ops,
+                      a.opt_ops, b.opt_scheduled, a.opt_scheduled,
+                      b.opt_goodput, a.opt_goodput, flag);
+        out << buf;
+      }
     }
   }
   return out.str();

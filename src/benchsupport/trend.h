@@ -34,6 +34,14 @@ struct ScaleTrend {
   double base_frames = 0, opt_frames = 0;
   double opt_filtered = 0;  // broadcast deliveries the NIC filter skipped
   double base_ops = 0, opt_ops = 0, ops_expected = 0;
+  // Overload columns (contention workload, doc/OVERLOAD.md): goodput in
+  // ops per simulated second, per-client min/max ops (fairness), retry-
+  // budget exhaustions, admission-control sheds.
+  double base_goodput = 0, opt_goodput = 0;
+  double base_ops_min = 0, opt_ops_min = 0;
+  double base_ops_max = 0, opt_ops_max = 0;
+  double base_timedout = 0, opt_timedout = 0;
+  double base_shed = 0, opt_shed = 0;
   double violations = 0;  // summed over both modes — should stay 0
 
   /// Percent reduction of `base` -> `opt` (0 when base is 0).
@@ -76,5 +84,12 @@ std::vector<std::string> find_bench_files(const std::string& dir);
 
 /// Render the report as the human-readable summary the CLI prints.
 std::string format_trend_report(const TrendReport& r);
+
+/// Render a before/after comparison of two snapshots (e.g. the BENCH
+/// files from the base branch vs. this PR): chaos failure deltas, paper-
+/// stream ms/op drift, and scaling/goodput deltas per (workload, nodes,
+/// loss). Keys present in only one snapshot are flagged.
+std::string format_trend_diff(const TrendReport& before,
+                              const TrendReport& after);
 
 }  // namespace soda::bench

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -225,6 +226,8 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
     }
   });
 
+  std::vector<TimingModel> timings;
+  timings.reserve(static_cast<std::size_t>(scenario.nodes));
   for (int mid = 0; mid < scenario.nodes; ++mid) {
     NodeConfig cfg;
     if (scenario.fast) cfg.timing = TimingModel::fast();
@@ -233,9 +236,40 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
         apply_timer_skew(cfg.timing, f.factor);
       }
     }
+    timings.push_back(cfg.timing);
     Node& n = net.add_node(std::move(cfg));
     n.install_client(make_workload_client(scenario, static_cast<Mid>(mid)),
                      n.mid());
+  }
+
+  // Construction-time Delta-t validation: the workload only exchanges
+  // sequenced traffic between clients and servers, so check each such pair
+  // (both directions) against the bounded-drift envelope. Checking all
+  // pairs would falsely flag configurations like skew_extreme, where two
+  // skewed *clients* never talk to each other. Warn-and-trace rather than
+  // reject: riding outside the envelope is a legitimate experiment (it is
+  // how the seed-27 duplicate was found), it just must not be a surprise.
+  for (int c = scenario.servers; c < scenario.nodes; ++c) {
+    for (int sv = 0; sv < scenario.servers; ++sv) {
+      const int pairs[2][2] = {{c, sv}, {sv, c}};
+      for (const auto& p : pairs) {
+        const TimingModel& req = timings[static_cast<std::size_t>(p[0])];
+        const TimingModel& rcv = timings[static_cast<std::size_t>(p[1])];
+        if (TimingModel::at_most_once_safe(req, rcv)) continue;
+        result.warnings.push_back(
+            "timer skew outside the at-most-once envelope: node " +
+            std::to_string(p[0]) + "'s retransmit span (" +
+            std::to_string(req.retransmit_span()) + " us) exceeds node " +
+            std::to_string(p[1]) + "'s record lifetime (" +
+            std::to_string(rcv.record_lifetime()) +
+            " us); duplicate delivery is possible (doc/OVERLOAD.md)");
+        sim.trace().record(sim.now(), sim::TraceCategory::kOther,
+                           static_cast<Mid>(p[0]),
+                           sim::TracePayload{}
+                               .with_peer(static_cast<Mid>(p[1]))
+                               .with_status(sim::TraceStatus::kSkewWarning));
+      }
+    }
   }
 
   install_link_faults(net, scenario);

@@ -45,6 +45,10 @@ struct RunResult {
   std::uint64_t trace_hash = 0;
   RunStats stats;
   std::vector<Violation> violations;
+  /// Non-fatal configuration diagnostics — e.g. a timer-skew pair outside
+  /// the Delta-t at-most-once envelope (doc/OVERLOAD.md). The run still
+  /// executes; an at-most-once violation that follows is expected.
+  std::vector<std::string> warnings;
   std::vector<sim::TraceEvent> events;  // populated iff keep_events
 
   bool ok() const { return violations.empty(); }

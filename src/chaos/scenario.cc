@@ -434,6 +434,32 @@ std::optional<Scenario> builtin_scenario(std::string_view name) {
     return s;
   }
 
+  if (name == "overload") {
+    // The request storm: 24 clients hammer a single server back-to-back
+    // (request_interval well below the service time), so the server spends
+    // the whole run BUSY-NACKing and the admission watermarks trip. A
+    // partition cuts half the clients off mid-storm and releases them,
+    // which synchronizes their retries — exactly the thundering herd the
+    // adaptive backoff's decorrelated jitter has to break up. Background
+    // loss and duplication keep the retransmission machinery honest while
+    // the retry budget is draining. Swept across 200 seeds in CI.
+    Scenario s;
+    s.name = "overload";
+    s.nodes = 25;
+    s.servers = 1;
+    s.duration = 1 * kSecond;
+    s.drain = 800 * kMillisecond;
+    s.request_interval = 500;  // 500 us: far below the 1 ms service time
+    s.payload = 64;
+    s.accept_delay = 1 * kMillisecond;  // slow handler -> standing backlog
+    s.fast_timing()
+        .lose(0.03)
+        .duplicate(0.02)
+        .partition(/*group=*/0x1FFF, /*at=*/400 * kMillisecond,
+                   /*until=*/550 * kMillisecond);
+    return s;
+  }
+
   if (name == "scale_32") {
     // The scaling regression gate: 32 stations under the fast timing
     // preset, with loss, duplication, a server crash and a brief
@@ -465,7 +491,7 @@ std::vector<std::string> builtin_scenario_names() {
   return {"regression",      "smoke",
           "loss_storm",      "asymmetric_partition",
           "crash_during_boot", "skew_extreme",
-          "scale_32"};
+          "overload",        "scale_32"};
 }
 
 }  // namespace soda::chaos

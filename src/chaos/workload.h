@@ -81,6 +81,7 @@ class LoadClient final : public sodal::SodalClient {
 
   std::uint64_t completed() const { return completed_; }
   std::uint64_t crashed() const { return crashed_; }
+  std::uint64_t timedout() const { return timedout_; }
 
  private:
   Mid pick_server() {
@@ -94,6 +95,8 @@ class LoadClient final : public sodal::SodalClient {
       ++completed_;
     } else if (s == CompletionStatus::kCrashed) {
       ++crashed_;
+    } else if (s == CompletionStatus::kTimedOut) {
+      ++timedout_;  // retry budget exhausted: degraded, not dead
     }
   }
 
@@ -103,6 +106,7 @@ class LoadClient final : public sodal::SodalClient {
   std::uint32_t payload_;
   std::uint64_t completed_ = 0;
   std::uint64_t crashed_ = 0;
+  std::uint64_t timedout_ = 0;
 };
 
 /// The client a node boots (and re-boots after a crash fault): an echo

@@ -42,6 +42,20 @@ struct NodeConfig {
   /// they are hard to guess while staying network-wide unique.
   bool randomized_unique_ids = false;
 
+  /// --- admission control (overload shedding, doc/OVERLOAD.md) ---
+  /// Shed REQUEST offers with an early BUSY-NACK (before any section
+  /// processing) once the pending-accept backlog reaches this depth; the
+  /// NACK carries a shed hint the requester folds into its backoff floor.
+  /// 0 disables. The default never trips under the paper's workloads
+  /// (a serial handler keeps the backlog at 1-2).
+  std::size_t admit_backlog_watermark = 8;
+
+  /// Shed hint scale for the incoming-offer rate: when more than this
+  /// many REQUEST offers land within one admission window (eight busy
+  /// retry intervals, so the window tracks the timing preset), BUSY NACKs
+  /// start carrying a hint of offers/watermark (capped at 3). 0 disables.
+  int admit_offer_watermark = 48;
+
   /// Model the NIC's pattern-address filter (§5.3): the station tells the
   /// bus which broadcast DISCOVER queries it matches, and non-matching
   /// queries never interrupt the kernel at all. Without it every DISCOVER

@@ -604,6 +604,8 @@ void Kernel::reset_for_death(bool client_initiated) {
   load_pattern_ = 0;
   boot_min_tid_ = next_tid_;
   ++death_epoch_;
+  admit_window_start_ = 0;
+  admit_offers_ = 0;
   transport_.reset();
 }
 
@@ -631,6 +633,22 @@ proto::DispositionResult Kernel::classify(const net::Frame& f) {
     if (!host_.has_client() || !pattern_bound(p)) {
       return {proto::Disposition::kError, net::NackReason::kUnadvertised, tid};
     }
+    const std::uint8_t hint = note_offer_pressure();
+    if (config_.admit_backlog_watermark > 0 &&
+        delivered_.size() >= config_.admit_backlog_watermark) {
+      // Admission control: the pending-accept backlog is past the
+      // watermark, so shed this offer before any section processing and
+      // tell the requester how hard to back off.
+      metrics_.add(stats::Counter::kShedOffers);
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kOther, mid_,
+                          sim::TracePayload{}
+                              .with_peer(f.src)
+                              .with_status(sim::TraceStatus::kShed)
+                              .with_detail(static_cast<std::int64_t>(
+                                  delivered_.size())));
+      return {proto::Disposition::kBusy, {}, kNoTid,
+              std::max<std::uint8_t>(hint, 1)};
+    }
     if (handler_available_for_arrival() && !held_frame_) {
       return {proto::Disposition::kDeliver, {}, kNoTid};
     }
@@ -644,7 +662,8 @@ proto::DispositionResult Kernel::classify(const net::Frame& f) {
         return {proto::Disposition::kHold, {}, kNoTid};
       }
     }
-    return {proto::Disposition::kBusy, {}, kNoTid};
+    if (hint > 0) metrics_.add(stats::Counter::kShedOffers);
+    return {proto::Disposition::kBusy, {}, kNoTid, hint};
   }
 
   if (f.accept) {
@@ -669,6 +688,21 @@ proto::DispositionResult Kernel::classify(const net::Frame& f) {
 
   // Late DATA frames and CANCEL queries are kernel-level: always deliver.
   return {proto::Disposition::kDeliver, {}, kNoTid};
+}
+
+std::uint8_t Kernel::note_offer_pressure() {
+  if (config_.admit_offer_watermark <= 0) return 0;
+  // The window is eight busy-retry intervals so it scales with the timing
+  // preset (40 ms calibrated, 400 us fast) and with injected timer skew.
+  const sim::Duration window = 8 * config_.timing.busy_retry_interval;
+  if (window <= 0) return 0;
+  if (sim_.now() - admit_window_start_ >= window) {
+    admit_window_start_ = sim_.now();
+    admit_offers_ = 0;
+  }
+  ++admit_offers_;
+  const int level = admit_offers_ / config_.admit_offer_watermark;
+  return static_cast<std::uint8_t>(std::min(level, 3));
 }
 
 void Kernel::deliver(const net::Frame& f) {
@@ -818,9 +852,13 @@ void Kernel::on_failed(Mid peer, const net::Frame& sent,
   if (sent.request) {
     auto it = pending_.find(sent.request->tid);
     if (it != pending_.end()) {
-      fail_request(it->second, reason == net::NackReason::kUnadvertised
-                                   ? CompletionStatus::kUnadvertised
-                                   : CompletionStatus::kCrashed);
+      CompletionStatus st = CompletionStatus::kCrashed;
+      if (reason == net::NackReason::kUnadvertised) {
+        st = CompletionStatus::kUnadvertised;
+      } else if (reason == net::NackReason::kTimedOut) {
+        st = CompletionStatus::kTimedOut;
+      }
+      fail_request(it->second, st);
     }
   }
   if (sent.accept) {
@@ -975,6 +1013,7 @@ void Kernel::complete_request(PendingRequest& p, CompletionStatus status,
   if (status == CompletionStatus::kCrashed) ts = sim::TraceStatus::kCrashed;
   if (status == CompletionStatus::kUnadvertised)
     ts = sim::TraceStatus::kUnadvertised;
+  if (status == CompletionStatus::kTimedOut) ts = sim::TraceStatus::kTimedOut;
   sim_.trace().record(sim_.now(), TraceCategory::kRequestCompleted, mid_,
                       sim::TracePayload{}
                           .with_peer(p.server.mid)

@@ -250,6 +250,9 @@ class Kernel {
 
   // transport callbacks
   proto::DispositionResult classify(const net::Frame& f);
+  /// Admission control: account one incoming REQUEST offer and return the
+  /// shed hint for the current offer-rate window (0 = no overload).
+  std::uint8_t note_offer_pressure();
   void deliver(const net::Frame& f);
   void on_acked(Mid peer, const net::Frame& sent);
   void on_failed(Mid peer, const net::Frame& sent, net::NackReason reason);
@@ -338,6 +341,9 @@ class Kernel {
 
   // server state
   std::map<ServerKey, DeliveredRequest> delivered_;
+  // admission-control offer-rate window (classify-side, doc/OVERLOAD.md)
+  sim::Time admit_window_start_ = 0;
+  int admit_offers_ = 0;
   std::map<ServerKey, OngoingAccept> accepts_;
   std::deque<ServerKey> completed_lru_;  // recently finished (stale ACCEPTs)
 

@@ -16,6 +16,7 @@ const char* to_string(CompletionStatus s) {
     case CompletionStatus::kCompleted: return "REQUEST_COMPLETED";
     case CompletionStatus::kCrashed: return "REQUEST_CRASHED";
     case CompletionStatus::kUnadvertised: return "REQUEST_UNADVERTISED";
+    case CompletionStatus::kTimedOut: return "REQUEST_TIMEDOUT";
   }
   return "?";
 }

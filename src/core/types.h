@@ -33,6 +33,7 @@ enum class CompletionStatus : std::uint8_t {
   kCompleted,     // the server ACCEPTed; data was exchanged
   kCrashed,       // the server crashed / died / went silent
   kUnadvertised,  // the pattern was not advertised at the server
+  kTimedOut,      // the server stayed BUSY past the retry budget (overload)
 };
 
 /// Result of the server-side blocking ACCEPT (§3.3.2).

@@ -11,6 +11,7 @@ const char* to_string(NackReason r) {
     case NackReason::kCancelled: return "CANCELLED";
     case NackReason::kCrashed: return "CRASHED";
     case NackReason::kWrongClient: return "WRONG_CLIENT";
+    case NackReason::kTimedOut: return "TIMEDOUT";
   }
   return "?";
 }

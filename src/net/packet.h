@@ -63,6 +63,7 @@ enum class NackReason : std::uint8_t {
   kCancelled,     // ACCEPT named a request that completed or was cancelled
   kCrashed,       // ACCEPT named a request from a crashed/rebooted requester
   kWrongClient,   // ACCEPT issued by a machine other than the REQUEST's server
+  kTimedOut,      // local: BUSY retry budget exhausted; never sent on the wire
 };
 
 const char* to_string(NackReason r);
@@ -78,6 +79,10 @@ struct NackSection {
   NackReason reason = NackReason::kBusy;
   std::uint8_t seq = 0;
   Tid tid = kNoTid;
+  /// Overload-shed severity on BUSY NACKs (0 = plain busy handler). The
+  /// requester folds it into its backoff floor, closing the admission-
+  /// control loop (doc/OVERLOAD.md).
+  std::uint8_t hint = 0;
 };
 
 /// REQUEST header (§3.3.1): delivered to the server handler as the "tag".
@@ -175,7 +180,7 @@ struct Frame {
   std::size_t wire_size() const {
     std::size_t n = kHeaderBytes;
     if (ack) n += 2;
-    if (nack) n += 4;
+    if (nack) n += 5;
     if (request) n += kRequestHeaderBytes;
     if (accept) n += kAcceptHeaderBytes;
     if (probe) n += 10;

@@ -133,6 +133,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
     w.u8(static_cast<std::uint8_t>(f.nack->reason));
     w.u8(f.nack->seq);
     w.i64(f.nack->tid);
+    w.u8(f.nack->hint);
   }
   if (f.request) {
     w.i64(f.request->tid);
@@ -205,6 +206,7 @@ std::optional<Frame> decode_frame(const std::uint8_t* data,
     n.reason = static_cast<NackReason>(r.u8());
     n.seq = r.u8();
     n.tid = r.i64();
+    n.hint = r.u8();
     f.nack = n;
   }
   if (present & kHasRequest) {

@@ -33,7 +33,7 @@ inline std::optional<Frame> decode_frame(
 /// The checksum used by the codec (exposed for tests).
 std::uint16_t fletcher16(const std::uint8_t* data, std::size_t size);
 
-constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kWireVersion = 2;  // v2: NACK carries a shed-hint byte
 constexpr std::uint16_t kWireMagic = 0x50DA;
 
 }  // namespace soda::net

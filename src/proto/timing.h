@@ -68,9 +68,21 @@ struct TimingModel {
   /// copied out, serialized at 1 Mbit/s, copied in and answered, so the
   /// timeout must grow with size or large PUTs retransmit spuriously.
   sim::Duration retransmit_per_byte = 60;
-  sim::Duration busy_retry_interval = 5'000;    // retry pace against BUSY
-  sim::Duration busy_retry_growth = 1'000;      // slows with attempts (§5.2.2)
-  sim::Duration busy_retry_max = 40'000;
+  sim::Duration busy_retry_interval = 5'000;    // first retry pace against BUSY
+  sim::Duration busy_retry_growth = 1'000;      // legacy linear slowdown (§5.2.2)
+  sim::Duration busy_retry_max = 40'000;        // backoff cap, both schemes
+  /// Adaptive BUSY backoff: replace the fixed linear ramp with capped
+  /// exponential backoff using decorrelated jitter (next delay drawn from
+  /// [prev, 3*prev], floor raised by the server's shed hint). The linear
+  /// ramp synchronizes retries across contending requesters — at 64 nodes
+  /// every BUSY-NACKed client comes back in lockstep and the storm never
+  /// drains. Off reproduces the 1984-faithful fixed ramp.
+  bool adaptive_busy_backoff = true;
+  /// Consecutive BUSY NACKs on one frame before the sender gives up and
+  /// completes the request locally with TIMEDOUT (graceful degradation
+  /// instead of retrying forever). 0 = unlimited. Only enforced when
+  /// adaptive_busy_backoff is on; the 1984 model retried indefinitely.
+  int busy_retry_budget = 64;
   int max_ack_retries = 8;                // silence => peer declared dead
   sim::Duration probe_interval = 50'000;  // monitor delivered requests (§3.6.2)
   int max_probe_misses = 3;
@@ -89,6 +101,17 @@ struct TimingModel {
   sim::Duration record_lifetime() const { return mpl + delta_t(); }
   /// Quiet period a rebooted node observes before rejoining the network.
   sim::Duration crash_quarantine() const { return 2 * mpl + delta_t(); }
+
+  /// Delta-t's bounded-drift assumption: at-most-once delivery holds only
+  /// while a requester's retransmit span (scaled by its clock rate) fits
+  /// inside the receiver's record lifetime (scaled by *its* clock rate).
+  /// With the default calibration record_lifetime / retransmit_span =
+  /// 237k/192k ≈ 1.23, the measured envelope documented in doc/CHAOS.md;
+  /// 3x relative skew reproducibly yields duplicate delivery.
+  static bool at_most_once_safe(const TimingModel& requester,
+                                const TimingModel& receiver) {
+    return receiver.record_lifetime() >= requester.retransmit_span();
+  }
 
   // --- discover ---
   sim::Duration discover_window = 30'000;     // wait for broadcast replies
@@ -125,6 +148,7 @@ struct TimingModel {
     t.busy_retry_interval = 50;
     t.busy_retry_growth = 10;
     t.busy_retry_max = 400;
+    t.busy_retry_budget = 64;
     t.max_ack_retries = 8;
     t.probe_interval = 500;
     t.max_probe_misses = 3;

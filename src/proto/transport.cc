@@ -1,5 +1,6 @@
 #include "proto/transport.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -251,6 +252,7 @@ void Transport::clear_outstanding_and_advance(Mid peer, Record& r) {
   r.outstanding.reset();
   r.retransmitted_once = false;
   r.busy_attempts = 0;
+  r.busy_backoff_prev = 0;
   r.ack_attempts = 0;
   if (!r.queue.empty()) {
     auto [f, opts] = std::move(r.queue.front());
@@ -398,10 +400,28 @@ void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
       r.outstanding->data_tag = net::DataTag::kNone;
       if (r.outstanding->request) r.outstanding->request->carries_data = false;
     }
-    const sim::Duration pace =
-        std::min(timing_.busy_retry_interval +
-                     timing_.busy_retry_growth * r.busy_attempts,
-                 timing_.busy_retry_max);
+    if (timing_.adaptive_busy_backoff && timing_.busy_retry_budget > 0 &&
+        r.busy_attempts >= timing_.busy_retry_budget) {
+      // Retry budget spent against a peer that keeps answering BUSY:
+      // degrade gracefully instead of stalling the bus forever. Same
+      // record discipline as the crash give-up — advance past the
+      // abandoned sequence number before the callback runs.
+      disarm_retransmit(r);
+      Frame dead = std::move(*r.outstanding);
+      r.outstanding.reset();
+      ++r.send_bit;
+      clear_outstanding_and_advance(peer, r);
+      ++busy_give_ups_;
+      metrics_->add(stats::Counter::kBusyBudgetExhausted);
+      sim_.trace().record(sim_.now(), TraceCategory::kOther, mid_,
+                          sim::TracePayload{}
+                              .with_peer(peer)
+                              .with_status(sim::TraceStatus::kTimedOut));
+      cb_.on_failed(peer, dead, net::NackReason::kTimedOut);
+      return;
+    }
+    const sim::Duration pace = next_busy_pace(r, f.nack->hint);
+    metrics_->observe(stats::Latency::kBusyBackoff, pace);
     ++r.busy_attempts;
     arm_retransmit(peer, r, pace);
     return;
@@ -413,6 +433,40 @@ void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
   const net::NackReason reason = f.nack->reason;
   clear_outstanding_and_advance(peer, r);
   cb_.on_failed(peer, sent, reason);
+}
+
+sim::Duration Transport::next_busy_pace(Record& r, std::uint8_t hint) {
+  const sim::Duration base = std::max<sim::Duration>(1,
+                                                     timing_.busy_retry_interval);
+  const sim::Duration cap = std::max(base, timing_.busy_retry_max);
+  if (!timing_.adaptive_busy_backoff) {
+    // 1984-faithful fixed linear ramp. Every contending requester walks
+    // the identical delay sequence, so their retries stay synchronized.
+    return std::min(base + timing_.busy_retry_growth * r.busy_attempts, cap);
+  }
+  // Capped exponential backoff with decorrelated jitter: the first retry
+  // keeps the paper's deterministic pace, every later one is drawn from
+  // [prev, 3*prev]. An overloaded peer's shed hint raises the floor, so
+  // requesters back off harder for an admission-control NACK than for a
+  // merely busy handler. The floor is clamped to cap/2 so a band of
+  // randomness always survives at the cap — a deterministic cap would
+  // re-synchronize the very storm this exists to break up.
+  sim::Duration pace;
+  if (r.busy_attempts == 0 && hint == 0) {
+    pace = base;
+  } else {
+    sim::Duration lo = std::max(r.busy_backoff_prev, base);
+    lo = std::max(lo, base * static_cast<sim::Duration>(1 + hint));
+    lo = std::clamp(lo, base, std::max(base, cap / 2));
+    const sim::Duration hi = std::min(cap, 3 * lo);
+    pace = hi > lo ? static_cast<sim::Duration>(
+                         sim_.rng().next_range(
+                             static_cast<std::uint64_t>(lo),
+                             static_cast<std::uint64_t>(hi)))
+                   : lo;
+  }
+  r.busy_backoff_prev = pace;
+  return pace;
 }
 
 void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
@@ -465,7 +519,7 @@ void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
     case Disposition::kBusy: {
       Frame nackf;
       nackf.nack = net::NackSection{net::NackReason::kBusy, *f.seq,
-                                    net::kNoTid};
+                                    net::kNoTid, d.busy_hint};
       send_control(peer, std::move(nackf));
       break;
     }

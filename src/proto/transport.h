@@ -48,6 +48,7 @@ struct DispositionResult {
   Disposition disposition = Disposition::kDeliver;
   net::NackReason error = net::NackReason::kUnadvertised;
   net::Tid nack_tid = net::kNoTid;  // tid echoed in an error NACK
+  std::uint8_t busy_hint = 0;       // shed severity carried on a BUSY NACK
 };
 
 struct SendOptions {
@@ -134,6 +135,7 @@ class Transport {
 
   std::size_t retransmit_count() const { return retransmits_; }
   std::size_t busy_nacks_received() const { return busy_nacks_; }
+  std::size_t busy_give_ups() const { return busy_give_ups_; }
 
  private:
   struct Record {
@@ -164,6 +166,7 @@ class Transport {
     sim::Time last_activity = 0;  // drives the lazy expiry re-arm
     sim::Time opened_at = 0;           // for the record-lifetime histogram
     sim::Duration pending_backoff = 0;  // delay armed before a retransmit
+    sim::Duration busy_backoff_prev = 0;  // decorrelated-jitter state
   };
 
   Record& record(net::Mid peer);
@@ -177,6 +180,7 @@ class Transport {
   void process_nack(net::Mid peer, Record& r, const net::Frame& f);
   void process_sequenced(net::Mid peer, Record& r, const net::Frame& f);
 
+  sim::Duration next_busy_pace(Record& r, std::uint8_t hint);
   void transmit_outstanding(net::Mid peer, Record& r, bool is_retransmit);
   void arm_retransmit(net::Mid peer, Record& r, sim::Duration delay);
   void disarm_retransmit(Record& r);
@@ -200,6 +204,7 @@ class Transport {
   std::uint64_t epoch_ = 0;  // bumped on reset(); invalidates timers
   std::size_t retransmits_ = 0;
   std::size_t busy_nacks_ = 0;
+  std::size_t busy_give_ups_ = 0;
 };
 
 }  // namespace soda::proto

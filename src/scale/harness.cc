@@ -25,20 +25,27 @@ constexpr Pattern kScalePattern = kWellKnownBit | 0x5CA1;
 struct Tally {
   std::uint64_t ops_done = 0;
   int finished = 0;
+  std::vector<std::uint64_t> per_client;  // fairness (contention workload)
 };
 
 class ScaleEchoServer final : public sodal::SodalClient {
  public:
+  explicit ScaleEchoServer(sim::Duration dawdle = 0) : dawdle_(dawdle) {}
+
   sim::Task on_boot(Mid) override {
     advertise(kScalePattern);
     co_return;
   }
 
   sim::Task on_entry(HandlerArgs a) override {
+    if (dawdle_ > 0) co_await delay(dawdle_);
     Bytes in;
     co_await accept_current_exchange(a.arg, &in, a.put_size,
                                      Bytes(a.get_size));
   }
+
+ private:
+  sim::Duration dawdle_;
 };
 
 /// Star RPC: each client runs `ops_per_client` blocking exchanges,
@@ -147,10 +154,51 @@ class NameClient final : public sodal::SodalClient {
   Tally* tally_;
 };
 
+/// Contention: every client hammers the single slow server back-to-back —
+/// no think time between blocking exchanges — so the server spends the
+/// whole run BUSY-NACKing and goodput is set by how well the retry
+/// discipline shares the one handler. Per-client tallies expose fairness
+/// (max/min ops); a TIMEDOUT completion (retry budget exhausted) does not
+/// count as an op — that is the graceful-degradation path.
+class ContentionClient final : public sodal::SodalClient {
+ public:
+  ContentionClient(const HarnessOptions& o, Tally* tally, std::size_t slot)
+      : o_(o), tally_(tally), slot_(slot) {}
+
+  sim::Task on_task() override {
+    const ServerSignature server{0, kScalePattern};
+    for (int i = 0; i < o_.ops_per_client; ++i) {
+      Bytes in;
+      auto c = co_await b_exchange(server, i, Bytes(o_.payload), &in,
+                                   o_.payload);
+      if (c.ok()) {
+        ++tally_->ops_done;
+        ++tally_->per_client[slot_];
+      }
+    }
+    ++tally_->finished;
+    co_await park_forever();
+  }
+
+ private:
+  HarnessOptions o_;
+  Tally* tally_;
+  std::size_t slot_;
+};
+
 std::unique_ptr<Client> make_scale_client(const HarnessOptions& o, int mid,
                                           Tally* tally) {
   const bool is_server = mid < o.servers;
   switch (o.workload) {
+    case Workload::kContention:
+      // The server dawdles before accepting, so demand from N-1
+      // back-to-back clients always exceeds its service rate.
+      if (is_server) {
+        return std::make_unique<ScaleEchoServer>(
+            /*dawdle=*/o.fast ? 100 : 10'000);
+      }
+      return std::make_unique<ContentionClient>(
+          o, tally, static_cast<std::size_t>(mid - o.servers));
     case Workload::kStarRpc:
       if (is_server) return std::make_unique<ScaleEchoServer>();
       return std::make_unique<StarClient>(o, tally);
@@ -178,6 +226,7 @@ const char* to_string(Workload w) {
     case Workload::kDiscoverStorm: return "discover_storm";
     case Workload::kReplicatedStore: return "replicated_store";
     case Workload::kNameStorm: return "name_storm";
+    case Workload::kContention: return "contention";
   }
   return "unknown";
 }
@@ -187,6 +236,7 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   // the name storm has exactly one name server by construction.
   HarnessOptions o = opts;
   if (o.workload == Workload::kNameStorm) o.servers = 1;
+  if (o.workload == Workload::kContention) o.servers = 1;
   o.servers = std::clamp(o.servers, 1, std::max(1, o.nodes - 1));
 
   Network::Options nopts;
@@ -206,12 +256,21 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     });
   }
 
+  const int clients = o.nodes - o.servers;
   Tally tally;
+  tally.per_client.assign(static_cast<std::size_t>(clients), 0);
   for (int mid = 0; mid < o.nodes; ++mid) {
     NodeConfig cfg;
     if (o.fast) cfg.timing = TimingModel::fast();
     cfg.timing.batched_timer_bookkeeping = o.optimized;
     cfg.nic_pattern_filter = o.optimized;
+    // The overload-robustness pair rides the same before/after switch:
+    // base rows keep the 1984-faithful linear BUSY ramp with no shedding.
+    cfg.timing.adaptive_busy_backoff = o.optimized;
+    if (!o.optimized) {
+      cfg.admit_backlog_watermark = 0;
+      cfg.admit_offer_watermark = 0;
+    }
     Node& n = net.add_node(std::move(cfg));
     n.install_client(make_scale_client(o, mid, &tally), n.mid());
   }
@@ -222,7 +281,6 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     });
   }
 
-  const int clients = o.nodes - o.servers;
   const sim::Duration slice =
       o.fast ? 2 * sim::kMillisecond : 20 * sim::kMillisecond;
 
@@ -250,6 +308,18 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   r.requests_completed = hub.total(stats::Counter::kRequestsCompleted);
   r.cpu_busy_micros = hub.total(stats::Counter::kCpuBusyMicros);
   r.ops_done = tally.ops_done;
+  if (!tally.per_client.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(tally.per_client.begin(), tally.per_client.end());
+    r.ops_min = *lo;
+    r.ops_max = *hi;
+  }
+  if (sim.now() > 0) {
+    r.goodput_ops_per_s = static_cast<double>(tally.ops_done) * 1e6 /
+                          static_cast<double>(sim.now());
+  }
+  r.requests_timedout = hub.total(stats::Counter::kBusyBudgetExhausted);
+  r.shed_offers = hub.total(stats::Counter::kShedOffers);
   const std::uint64_t per_client =
       o.workload == Workload::kNameStorm
           ? 2 * static_cast<std::uint64_t>(o.ops_per_client)

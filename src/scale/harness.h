@@ -23,6 +23,10 @@ enum class Workload : std::uint8_t {
   kDiscoverStorm,    // every client repeatedly broadcasts DISCOVER
   kReplicatedStore,  // multicast SET + read-any against replicas
   kNameStorm,        // bind fan-out + directory LISTs at one name server
+  kContention,       // every client hammers ONE slow server back-to-back:
+                     //   the 64-node overload case (doc/OVERLOAD.md). The
+                     //   `optimized` switch flips adaptive BUSY backoff +
+                     //   kernel admission control on/off.
 };
 
 const char* to_string(Workload w);
@@ -53,6 +57,11 @@ struct HarnessResult {
   std::uint64_t requests_completed = 0;
   std::uint64_t ops_done = 0;      // workload-level successes
   std::uint64_t ops_expected = 0;
+  std::uint64_t ops_min = 0;       // fewest successes by any one client
+  std::uint64_t ops_max = 0;       // most successes by any one client
+  double goodput_ops_per_s = 0;    // ops_done per simulated second
+  std::uint64_t requests_timedout = 0;  // BUSY retry budget exhaustions
+  std::uint64_t shed_offers = 0;        // admission-control early NACKs
   std::uint64_t cpu_busy_micros = 0;   // summed over all node CPUs
   std::uint64_t violations = 0;
   std::uint64_t trace_hash = 0;

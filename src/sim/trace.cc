@@ -56,17 +56,20 @@ const char* to_string(TraceStatus s) {
     case TraceStatus::kCompleted: return "completed";
     case TraceStatus::kCrashed: return "crashed";
     case TraceStatus::kUnadvertised: return "unadvertised";
+    case TraceStatus::kTimedOut: return "timedout";
     case TraceStatus::kLateData: return "late_data";
     case TraceStatus::kBusyRetry: return "busy_retry";
     case TraceStatus::kTimeout: return "timeout";
     case TraceStatus::kDuplicated: return "duplicated";
     case TraceStatus::kCancelled: return "cancelled";
+    case TraceStatus::kShed: return "shed";
+    case TraceStatus::kSkewWarning: return "skew_warning";
   }
   return "unknown";
 }
 
 std::optional<TraceStatus> trace_status_from_string(std::string_view s) {
-  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kCancelled);
+  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kSkewWarning);
   for (std::size_t i = 0; i <= kLast; ++i) {
     const auto st = static_cast<TraceStatus>(i);
     if (s == to_string(st)) return st;

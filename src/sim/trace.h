@@ -80,6 +80,7 @@ enum class TraceStatus : std::uint8_t {
   kCompleted,
   kCrashed,
   kUnadvertised,
+  kTimedOut,       // BUSY retry budget exhausted; degraded locally
   // kRetransmit
   kLateData,       // data re-sent for an already-answered request
   kBusyRetry,      // retry paced by a BUSY NACK
@@ -88,6 +89,9 @@ enum class TraceStatus : std::uint8_t {
   kDuplicated,     // extra copy injected by the bus duplicate fault
   // kAcceptCompleted
   kCancelled,      // the ACCEPT failed: request completed/cancelled first
+  // kOther
+  kShed,           // admission control BUSY-NACKed before section processing
+  kSkewWarning,    // timer-skew config outside the at-most-once envelope
 };
 
 const char* to_string(TraceStatus s);

@@ -41,6 +41,8 @@ inline Status to_status(const Completion& c) {
       return Status::error(StatusCode::kCrashed);
     case CompletionStatus::kUnadvertised:
       return Status::error(StatusCode::kUnadvertised);
+    case CompletionStatus::kTimedOut:
+      return Status::error(StatusCode::kTimedOut);
   }
   return Status::error(StatusCode::kUnavailable);
 }

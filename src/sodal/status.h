@@ -22,6 +22,7 @@ enum class StatusCode : std::uint8_t {
   kUnadvertised,  // the pattern was not advertised at the server
   kNotFound,      // the named object does not exist (e.g. an unbound path)
   kUnavailable,   // could not issue / no server answered
+  kTimedOut,      // the server stayed BUSY past the retry budget (overload)
 };
 
 constexpr std::string_view to_string(StatusCode c) {
@@ -32,6 +33,7 @@ constexpr std::string_view to_string(StatusCode c) {
     case StatusCode::kUnadvertised: return "unadvertised";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kTimedOut: return "timedout";
   }
   return "?";
 }

@@ -29,6 +29,8 @@ const char* to_string(Counter c) {
     case Counter::kHandlerInvocations: return "handler_invocations";
     case Counter::kBoots: return "boots";
     case Counter::kCpuBusyMicros: return "cpu_busy_micros";
+    case Counter::kShedOffers: return "shed_offers";
+    case Counter::kBusyBudgetExhausted: return "busy_budget_exhausted";
     case Counter::kCounterCount: break;
   }
   return "unknown";
@@ -40,6 +42,7 @@ const char* to_string(Latency l) {
     case Latency::kAcceptWait: return "accept_wait_us";
     case Latency::kRecordLifetime: return "record_lifetime_us";
     case Latency::kRetransmitBackoff: return "retransmit_backoff_us";
+    case Latency::kBusyBackoff: return "busy_backoff_us";
     case Latency::kLatencyCount: break;
   }
   return "unknown";

@@ -43,6 +43,8 @@ enum class Counter : std::uint8_t {
   kHandlerInvocations,
   kBoots,
   kCpuBusyMicros,       // accumulated NodeCpu busy time
+  kShedOffers,          // REQUEST offers BUSY-NACKed by admission control
+  kBusyBudgetExhausted, // frames abandoned after the BUSY retry budget
   kCounterCount,        // sentinel, keep last
 };
 
@@ -57,6 +59,7 @@ enum class Latency : std::uint8_t {
   kAcceptWait,          // ACCEPT issue -> matching request arrival
   kRecordLifetime,      // Delta-t record open -> expiry
   kRetransmitBackoff,   // delay before a retransmission / busy retry
+  kBusyBackoff,         // effective pace chosen after each BUSY NACK
   kLatencyCount,        // sentinel, keep last
 };
 

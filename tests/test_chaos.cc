@@ -149,6 +149,51 @@ TEST(ChaosScenarioLibrary, SkewExtremeHolds200Seeds) {
   sweep_200("skew_extreme");
 }
 
+TEST(ChaosScenarioLibrary, OverloadHolds200Seeds) {
+  sweep_200("overload");
+}
+
+// The rejected configuration behind the envelope rule: crank the
+// skew_extreme factors from the documented ~1.2x edge to 3x/0.33x and the
+// runner must (a) warn at construction that the pair is outside the
+// at-most-once envelope and (b) still execute — where the duplicate
+// delivery the warning predicts shows up within a short sweep (seed 27
+// was the original reproduction).
+TEST(ChaosScenarioLibrary, SkewBeyondEnvelopeWarnsAndDuplicates) {
+  auto s = builtin_scenario("skew_extreme");
+  ASSERT_TRUE(s.has_value());
+  for (Fault& f : s->faults) {
+    if (f.kind != FaultKind::kTimerSkew) continue;
+    f.factor = f.factor > 1.0 ? 3.0 : 0.33;
+  }
+  auto r = run_scenario(*s, 27);
+  ASSERT_FALSE(r.warnings.empty());
+  EXPECT_NE(r.warnings.front().find("at-most-once envelope"),
+            std::string::npos);
+
+  SweepOptions opts;
+  opts.first_seed = 1;
+  opts.seeds = 40;
+  auto sweep = sweep_scenario(*s, opts);
+  bool duplicate_seen = false;
+  for (const auto& fail : sweep.failures) {
+    for (const auto& v : fail.violations) {
+      duplicate_seen |= v.invariant == "at-most-once-delivery";
+    }
+  }
+  EXPECT_TRUE(duplicate_seen)
+      << "3x relative skew should break at-most-once within 40 seeds";
+}
+
+TEST(ChaosScenarioLibrary, InEnvelopeSkewDoesNotWarn) {
+  auto s = builtin_scenario("skew_extreme");
+  ASSERT_TRUE(s.has_value());
+  auto r = run_scenario(*s, 1);
+  EXPECT_TRUE(r.warnings.empty())
+      << "the builtin rides the documented edge and must stay inside it: "
+      << r.warnings.front();
+}
+
 TEST(ChaosScenario, JsonlRoundTripsEveryBuiltin) {
   for (const auto& name : builtin_scenario_names()) {
     auto s = builtin_scenario(name);

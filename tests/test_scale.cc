@@ -57,6 +57,33 @@ TEST(ScaleHarness, ThirtyTwoNodesUnderLossCompleteInBothModes) {
   }
 }
 
+TEST(ScaleHarness, ContentionDegradesGracefullyAndAdaptiveBackoffWins) {
+  // 24 clients hammer one slow server back-to-back. In both modes the run
+  // must stay invariant-clean and make progress; the adaptive-backoff +
+  // admission mode (optimized) must not do worse than the 1984 linear
+  // ramp on either goodput or fairness.
+  auto o = base_options(Workload::kContention, 25, 0.0);
+  o.ops_per_client = 6;
+  o.optimized = false;
+  const HarnessResult base = run_harness(o);
+  o.optimized = true;
+  const HarnessResult opt = run_harness(o);
+
+  for (const HarnessResult* r : {&base, &opt}) {
+    EXPECT_EQ(r->violations, 0u) << r->first_violation;
+    EXPECT_GT(r->ops_done, 0u);
+    EXPECT_LE(r->ops_done, r->ops_expected);
+  }
+  // Graceful degradation accounting: every op either succeeded or timed
+  // out; the base mode has no retry budget, so it never times out.
+  EXPECT_EQ(base.requests_timedout, 0u);
+  EXPECT_GE(opt.ops_done + opt.requests_timedout, opt.ops_done);
+  // The whole point of the PR: adaptive backoff completes at least as
+  // much useful work, at least as fairly.
+  EXPECT_GE(opt.ops_done, base.ops_done);
+  EXPECT_GE(opt.ops_min, base.ops_min);
+}
+
 TEST(ScaleHarness, RunsAreBitDeterministic) {
   const auto o = base_options(Workload::kReplicatedStore, 16, 0.03);
   const HarnessResult a = run_harness(o);

@@ -78,6 +78,7 @@ class ChaosClient : public SodalClient {
         case CompletionStatus::kCompleted: ++ok; break;
         case CompletionStatus::kCrashed: ++crashed; break;
         case CompletionStatus::kUnadvertised: ++unadvertised; break;
+        case CompletionStatus::kTimedOut: ++timedout; break;
       }
     }
     slot_cv.notify_all();
@@ -120,7 +121,8 @@ class ChaosClient : public SodalClient {
   std::set<Tid> live_;
   std::deque<Bytes> get_bufs_;
   sim::CondVar slot_cv;
-  int resolved = 0, ok = 0, crashed = 0, unadvertised = 0, cancelled = 0;
+  int resolved = 0, ok = 0, crashed = 0, unadvertised = 0, cancelled = 0,
+      timedout = 0;
   int spurious_completions = 0;
   bool drained = false;
 };

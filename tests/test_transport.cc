@@ -3,6 +3,7 @@
 // record lifecycle and post-crash quarantine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,7 @@ struct StubKernel {
 
   Disposition next_disposition = Disposition::kDeliver;
   net::NackReason error_reason = net::NackReason::kUnadvertised;
+  std::uint8_t busy_hint = 0;  // shed hint attached to BUSY dispositions
   std::vector<Frame> delivered;
   std::vector<Frame> acked;
   std::vector<std::pair<Frame, net::NackReason>> failed;
@@ -45,7 +47,8 @@ struct StubKernel {
               }
               return DispositionResult{next_disposition, error_reason,
                                        f.request ? f.request->tid
-                                                 : net::kNoTid};
+                                                 : net::kNoTid,
+                                       busy_hint};
             },
             [this](const Frame& f) { delivered.push_back(f); },
             [this](Mid, const Frame& sent) { acked.push_back(sent); },
@@ -153,6 +156,128 @@ TEST_F(TransportTest, BusyNackCausesPacedRetry) {
   sim->run_until(sim->now() + sim::kSecond);
   ASSERT_EQ(b.delivered.size(), 1u);  // eventually landed
   EXPECT_EQ(a.failed.size(), 0u);     // busy is not death
+}
+
+/// Run one sender against a permanently-BUSY peer under simulator seed
+/// `seed` and return the sequence of armed busy-retry delays (the detail
+/// field of each kBusyRetry retransmit trace).
+std::vector<sim::Duration> busy_delay_sequence(std::uint64_t seed,
+                                               const TimingModel& timing,
+                                               sim::Duration run_for) {
+  sim::Simulator s(seed);
+  net::Bus bus(s, net::BusConfig{});
+  StubKernel a, b;
+  a.init(s, bus, 1, timing);
+  b.init(s, bus, 2, timing);
+  s.trace().enable_all();
+  s.trace().set_store(true);
+  b.next_disposition = Disposition::kBusy;
+  a.tp->send_sequenced(2, request_frame(1));
+  s.run_until(run_for);
+  std::vector<sim::Duration> delays;
+  for (const auto& e : s.trace().events()) {
+    if (e.category == sim::TraceCategory::kRetransmit &&
+        e.status == sim::TraceStatus::kBusyRetry && e.node == 1) {
+      delays.push_back(static_cast<sim::Duration>(e.detail_i64(0)));
+    }
+  }
+  return delays;
+}
+
+TEST_F(TransportTest, AdaptiveBusyBackoffBoundedMonotoneJittered) {
+  const auto delays = busy_delay_sequence(5, timing, 2 * sim::kSecond);
+  ASSERT_GT(delays.size(), 4u);
+  // First retry keeps the paper's deterministic pace.
+  EXPECT_EQ(delays[0], timing.busy_retry_interval);
+  // Monotone-bounded: never past the cap, and never below the previous
+  // delay until the jitter band at the cap (floor clamps to cap/2).
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_LE(delays[i], timing.busy_retry_max) << "delay " << i;
+    if (i > 0) {
+      EXPECT_GE(delays[i],
+                std::min(delays[i - 1], timing.busy_retry_max / 2))
+          << "delay " << i;
+    }
+  }
+  // Jittered: a different seed must not reproduce the identical sequence
+  // (the whole point — decorrelating contending requesters).
+  const auto other = busy_delay_sequence(6, timing, 2 * sim::kSecond);
+  ASSERT_GT(other.size(), 4u);
+  const std::size_t n = std::min(delays.size(), other.size());
+  EXPECT_NE(std::vector<sim::Duration>(delays.begin(),
+                                       delays.begin() +
+                                           static_cast<std::ptrdiff_t>(n)),
+            std::vector<sim::Duration>(other.begin(),
+                                       other.begin() +
+                                           static_cast<std::ptrdiff_t>(n)));
+}
+
+TEST_F(TransportTest, LegacyLinearRampWhenAdaptiveOff) {
+  TimingModel legacy = timing;
+  legacy.adaptive_busy_backoff = false;
+  const auto delays = busy_delay_sequence(5, legacy, 2 * sim::kSecond);
+  ASSERT_GT(delays.size(), 3u);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const auto expect =
+        std::min(legacy.busy_retry_interval +
+                     legacy.busy_retry_growth * static_cast<sim::Duration>(i),
+                 legacy.busy_retry_max);
+    EXPECT_EQ(delays[i], expect) << "delay " << i;
+  }
+}
+
+TEST_F(TransportTest, ShedHintRaisesBackoffFloor) {
+  TimingModel t = timing;
+  sim::Simulator s(5);
+  net::Bus bus2(s, net::BusConfig{});
+  StubKernel c, d;
+  c.init(s, bus2, 1, t);
+  d.init(s, bus2, 2, t);
+  s.trace().enable_all();
+  s.trace().set_store(true);
+  d.next_disposition = Disposition::kBusy;
+  d.busy_hint = 3;  // admission control shedding hard
+  c.tp->send_sequenced(2, request_frame(1));
+  s.run_until(sim::kSecond);
+  std::vector<sim::Duration> delays;
+  for (const auto& e : s.trace().events()) {
+    if (e.category == sim::TraceCategory::kRetransmit &&
+        e.status == sim::TraceStatus::kBusyRetry && e.node == 1) {
+      delays.push_back(static_cast<sim::Duration>(e.detail_i64(0)));
+    }
+  }
+  ASSERT_GT(delays.size(), 0u);
+  // hint=3 raises the floor to base*(1+3), clamped to cap/2 — far above
+  // the deterministic first-retry pace an unhinted BUSY gets.
+  const auto floor = std::min(4 * t.busy_retry_interval, t.busy_retry_max / 2);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_GE(delays[i], floor) << "delay " << i;
+  }
+}
+
+TEST_F(TransportTest, BusyBudgetExhaustionFailsExactlyOnceWithTimedOut) {
+  TimingModel t = timing;
+  t.busy_retry_budget = 3;
+  sim::Simulator s(5);
+  net::Bus bus2(s, net::BusConfig{});
+  StubKernel c, d;
+  c.init(s, bus2, 1, t);
+  d.init(s, bus2, 2, t);
+  d.next_disposition = Disposition::kBusy;
+  c.tp->send_sequenced(2, request_frame(1));
+  s.run_until(10 * sim::kSecond);
+  ASSERT_EQ(c.failed.size(), 1u);  // exactly one terminal report
+  EXPECT_EQ(c.failed[0].first.request->tid, 1);
+  EXPECT_EQ(c.failed[0].second, net::NackReason::kTimedOut);
+  EXPECT_EQ(c.tp->busy_give_ups(), 1u);
+  EXPECT_EQ(d.delivered.size(), 0u);
+  // The record advanced past the abandoned frame: traffic still flows.
+  d.next_disposition = Disposition::kDeliver;
+  c.tp->send_sequenced(2, request_frame(2));
+  s.run_until(s.now() + sim::kSecond);
+  ASSERT_EQ(d.delivered.size(), 1u);
+  EXPECT_EQ(d.delivered[0].request->tid, 2);
+  EXPECT_EQ(c.failed.size(), 1u);  // and nothing failed twice
 }
 
 TEST_F(TransportTest, BusyStripsDataOncePolicySet) {

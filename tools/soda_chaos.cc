@@ -116,6 +116,9 @@ int single_run(const chaos::Scenario& scenario, std::uint64_t seed, bool dump,
               static_cast<unsigned long long>(r.stats.requests_completed),
               static_cast<unsigned long long>(r.stats.crashed_completions),
               r.ok() ? "OK" : "VIOLATIONS");
+  for (const auto& w : r.warnings) {
+    std::printf("  warning: %s\n", w.c_str());
+  }
   print_violations(r);
   report.row(run_row(scenario, r));
 

@@ -5,9 +5,14 @@
 // Usage:
 //   soda_trend [dir]          ingest BENCH_*.jsonl under dir (default .)
 //   soda_trend --files f...   ingest exactly the listed files
+//   soda_trend --diff OLD NEW compare two snapshot directories
+//                             (before/after a PR) and flag regressions
 //
-// Exit status is 1 when any chaos sweep recorded failures or any scale
-// row recorded an invariant violation, so CI can gate on it.
+// Exit status is 1 when any chaos sweep recorded failures, any scale row
+// recorded an invariant violation, or the 64-node contention workload
+// regressed (optimized goodput below base, or starvation: some client
+// finished zero ops while the base mode starved nobody), so CI can gate
+// on it. --diff exits 1 when any [WORSE] line is printed.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -15,8 +20,36 @@
 
 #include "benchsupport/trend.h"
 
+namespace {
+
+int run_diff(const char* old_dir, const char* new_dir) {
+  using namespace soda::bench;
+  const auto old_paths = find_bench_files(old_dir);
+  const auto new_paths = find_bench_files(new_dir);
+  if (old_paths.empty() || new_paths.empty()) {
+    std::fprintf(stderr, "soda_trend: no BENCH_*.jsonl files under %s\n",
+                 old_paths.empty() ? old_dir : new_dir);
+    return 2;
+  }
+  const TrendReport before = build_trend_report(old_paths);
+  const TrendReport after = build_trend_report(new_paths);
+  const std::string diff = format_trend_diff(before, after);
+  std::fputs(diff.c_str(), stdout);
+  return diff.find("[WORSE]") != std::string::npos ? 1 : 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace soda::bench;
+
+  if (argc > 1 && std::strcmp(argv[1], "--diff") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: soda_trend --diff OLD_DIR NEW_DIR\n");
+      return 2;
+    }
+    return run_diff(argv[2], argv[3]);
+  }
 
   std::vector<std::string> paths;
   if (argc > 1 && std::strcmp(argv[1], "--files") == 0) {
@@ -34,6 +67,27 @@ int main(int argc, char** argv) {
 
   bool failing = false;
   for (const auto& c : report.chaos) failing |= c.failures > 0;
-  for (const auto& t : report.scale) failing |= t.violations > 0;
+  for (const auto& t : report.scale) {
+    failing |= t.violations > 0;
+    // Overload gate: at 64 nodes the adaptive-backoff + admission mode
+    // must beat the legacy ramp on goodput and must not starve a client
+    // the legacy mode didn't starve.
+    if (t.workload == "contention" && t.nodes >= 64 && t.base_goodput > 0) {
+      if (t.opt_goodput < t.base_goodput) {
+        std::fprintf(stderr,
+                     "soda_trend: contention@%d goodput regression: "
+                     "opt %.0f < base %.0f ops/s\n",
+                     t.nodes, t.opt_goodput, t.base_goodput);
+        failing = true;
+      }
+      if (t.opt_ops_min <= 0 && t.base_ops_min > 0) {
+        std::fprintf(stderr,
+                     "soda_trend: contention@%d fairness regression: "
+                     "a client starved (opt min %.0f, base min %.0f)\n",
+                     t.nodes, t.opt_ops_min, t.base_ops_min);
+        failing = true;
+      }
+    }
+  }
   return failing ? 1 : 0;
 }

@@ -2,7 +2,10 @@
 // storm, replicated-store and name-storm workloads at 8..64 nodes under
 // the fast timing preset, with the O(N) fixes switched off ("legacy") and
 // on ("optimized"), and report the deterministic cost counters side by
-// side. Rows land in BENCH_scale.jsonl for the trend tooling.
+// side, then push contention and star-RPC to 128/256 nodes with
+// exponential retransmit backoff. Rows land in BENCH_scale.jsonl for the
+// trend tooling; wall-clock columns (wall_ms, events_per_wall_s,
+// peak_rss_kb) are host-dependent and gated only loosely.
 #include <cstdio>
 #include <cstring>
 
@@ -27,7 +30,7 @@ int servers_for(Workload w, int nodes) {
 }
 
 HarnessResult run(Workload w, int nodes, bool optimized, double loss,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, bool backoff = false) {
   HarnessOptions o;
   o.workload = w;
   o.nodes = nodes;
@@ -37,6 +40,7 @@ HarnessResult run(Workload w, int nodes, bool optimized, double loss,
   o.seed = seed;
   o.fast = true;
   o.optimized = optimized;
+  o.retransmit_backoff = backoff;
   o.check_invariants = true;
   return run_harness(o);
 }
@@ -49,16 +53,20 @@ int main(int argc, char** argv) {
 
   JsonlReport report("scale");
   auto emit = [&report](Workload w, int nodes, int servers, bool optimized,
-                        double loss, const HarnessResult& r) {
+                        double loss, const HarnessResult& r,
+                        bool backoff = false) {
     report.row(stats::JsonObject()
                    .set("kind", "scale")
                    .set("workload", to_string(w))
                    .set("nodes", nodes)
                    .set("servers", servers)
                    .set("optimized", optimized)
+                   .set("retransmit_backoff", backoff)
                    .set("loss", loss)
                    .set("sim_ms", sim::to_ms(r.sim_elapsed))
                    .set("wall_ms", r.wall_ms)
+                   .set("events_per_wall_s", r.events_per_wall_s)
+                   .set("peak_rss_kb", r.peak_rss_kb)
                    .set("events_executed", r.events_executed)
                    .set("events_scheduled", r.events_scheduled)
                    .set("events_cancelled", r.events_cancelled)
@@ -129,6 +137,51 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(r.shed_offers));
         }
       }
+    }
+  }
+
+  // 128/256-node tiers: contention and star-RPC on the optimized engine
+  // with exponential retransmit backoff — the fixed silence window is
+  // what collapses these sizes (a queue-saturated but healthy server gets
+  // declared CRASHED en masse). One backoff-off 128-node contention row
+  // rides along so the before/after stays on record.
+  std::printf("\n[beyond 64 nodes]\n");
+  std::printf("  %5s %10s %6s %9s %12s %10s %9s %4s %12s\n", "nodes",
+              "workload", "bkoff", "sim_ms", "events", "frames", "ops",
+              "viol", "ev/wall_s");
+  const struct {
+    Workload w;
+    int nodes;
+  } big[] = {
+      {Workload::kContention, 128},
+      {Workload::kStarRpc, 128},
+      {Workload::kContention, 256},
+      {Workload::kStarRpc, 256},
+  };
+  for (const auto& tier : big) {
+    if (quick && !(tier.w == Workload::kContention && tier.nodes == 128)) {
+      continue;
+    }
+    for (bool backoff : {false, true}) {
+      if (!backoff &&
+          !(tier.w == Workload::kContention && tier.nodes == 128)) {
+        continue;  // base row only at the 128-node contention tier
+      }
+      const HarnessResult r =
+          run(tier.w, tier.nodes, /*optimized=*/true, /*loss=*/0.0,
+              /*seed=*/1, backoff);
+      emit(tier.w, tier.nodes, servers_for(tier.w, tier.nodes),
+           /*optimized=*/true, 0.0, r, backoff);
+      std::printf("  %5d %10s %6s %9.1f %12llu %10llu %5llu/%-3llu %4llu"
+                  " %12.0f\n",
+                  tier.nodes, to_string(tier.w), backoff ? "on" : "off",
+                  sim::to_ms(r.sim_elapsed),
+                  static_cast<unsigned long long>(r.events_executed),
+                  static_cast<unsigned long long>(r.frames_sent),
+                  static_cast<unsigned long long>(r.ops_done),
+                  static_cast<unsigned long long>(r.ops_expected),
+                  static_cast<unsigned long long>(r.violations),
+                  r.events_per_wall_s);
     }
   }
 

@@ -2,16 +2,61 @@
 // itself: how fast the reproduction executes on the host. All other
 // benches report *simulated* milliseconds; this one keeps us honest about
 // the cost of running them.
+//
+// `--check-allocs` runs an allocation audit instead of the benchmarks:
+// it exercises steady-state schedule/cancel/pop on a warmed timer wheel
+// with the global operator-new hook counting, and exits 1 loudly if the
+// hot path performed ANY heap allocation. This pins the zero-alloc claim
+// in doc/PERFORMANCE.md §1 against regressions (a callback outgrowing the
+// SBO buffer, a container resize leaking into steady state, ...).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
 
 #include "benchsupport/stream.h"
 #include "core/network.h"
 #include "sim/event_queue.h"
 #include "sodal/sodal.h"
 
+// ---------------------------------------------------------------- alloc hook
+//
+// Counting is gated on a flag so the hook costs one predictable branch
+// when disarmed; the counter is a plain (non-atomic) word — the audit and
+// the benchmarks are single-threaded.
+namespace {
+bool g_count_allocs = false;
+std::size_t g_allocs = 0;
+std::size_t g_frees = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_count_allocs) ++g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+// free() pairs with the malloc() in our replacement operator new; GCC
+// can't see that and assumes a library new.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept {
+  if (g_count_allocs && p) ++g_frees;
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
 namespace {
 
 using namespace soda;
+
+// ------------------------------------------------------------ benchmarks
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -26,6 +71,79 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// Steady-state schedule+pop on a warmed wheel: the queue (and its slab)
+// live across iterations, so this measures the pure hot path — bitmap
+// scan, slot insert, free-list recycle — with no construction cost.
+void BM_WheelSteadySchedulePop(benchmark::State& state) {
+  sim::EventQueue q;
+  int sink = 0;
+  sim::Time t = 0;
+  // Keep a standing population so pops interleave with occupied slots.
+  for (int i = 0; i < 256; ++i) {
+    q.schedule(t + 1 + (i * 37) % 500, [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(t + 1 + (i * 37) % 500, [&sink] { ++sink; });
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();
+    }
+  }
+  while (!q.empty()) q.pop().second();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WheelSteadySchedulePop);
+
+// Schedule+cancel churn: the retransmit-timer pattern (arm a timer, the
+// ACK lands, cancel it) dominates protocol traffic; cancel must be O(1)
+// and recycle cells without growing anything.
+void BM_WheelScheduleCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  int sink = 0;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      auto id = q.schedule(t + 100 + i % 50, [&sink] { ++sink; });
+      q.cancel(id);
+    }
+    // Drain the lazily-reclaimed cells so the slab stays bounded.
+    q.schedule(t + 1000, [] {});
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_WheelScheduleCancel);
+
+// Far-future events: exercise the cascade path (levels 1+, occasional
+// overflow rebase), the part a flat calendar queue gets wrong.
+void BM_WheelCascadeFar(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    sim::Time t = 0;
+    for (int i = 0; i < 500; ++i) {
+      // Spread across ~3 wheel levels: 1 us .. ~16 s.
+      q.schedule(t + 1 + (static_cast<sim::Time>(i) * 33554) % 16000000,
+                 [&sink] { ++sink; });
+    }
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_WheelCascadeFar);
 
 void BM_SimulatorTimerWheel(benchmark::State& state) {
   for (auto _ : state) {
@@ -80,6 +198,86 @@ void BM_NetworkSetupTeardown(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSetupTeardown);
 
+// ---------------------------------------------------------- alloc audit
+
+/// Steady-state allocation audit. Returns the number of heap allocations
+/// observed in the audited region (0 = pass).
+std::size_t audit_steady_state() {
+  sim::EventQueue q;
+  int sink = 0;
+  sim::Time t = 0;
+
+  // Warm-up: grow the slab, the per-slot machinery, and the free list to
+  // the peak standing population the audited loop will use. Everything
+  // allocated here is legitimate one-time capacity.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 512; ++i) {
+      q.schedule(t + 1 + (i * 37) % 500, [&sink] { ++sink; });
+    }
+    for (int i = 0; i < 256; ++i) {
+      auto id = q.schedule(t + 600 + i, [&sink] { ++sink; });
+      q.cancel(id);
+    }
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();
+    }
+  }
+
+  // Audited region: the same mix — schedule, cancel, pop — at the same
+  // standing population. Every cell comes off the free list, every
+  // callback fits the SBO buffer: zero heap traffic expected.
+  g_allocs = g_frees = 0;
+  g_count_allocs = true;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 512; ++i) {
+      q.schedule(t + 1 + (i * 37) % 500, [&sink] { ++sink; });
+    }
+    for (int i = 0; i < 256; ++i) {
+      auto id = q.schedule(t + 600 + i, [&sink] { ++sink; });
+      q.cancel(id);
+    }
+    while (!q.empty()) {
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();
+    }
+  }
+  g_count_allocs = false;
+  benchmark::DoNotOptimize(sink);
+  return g_allocs;
+}
+
+int run_check_allocs() {
+  const std::size_t allocs = audit_steady_state();
+  if (allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state schedule/cancel/pop performed %zu heap "
+                 "allocation(s); the timer wheel hot path must be "
+                 "allocation-free (doc/PERFORMANCE.md).\n"
+                 "Likely causes: a callback outgrew EventFn's inline "
+                 "buffer (check sbo_spill_total()), or a queue container "
+                 "resizes in steady state.\n",
+                 allocs);
+    return 1;
+  }
+  std::printf("OK: zero heap allocations across 4096 steady-state "
+              "schedule/pop + 2048 schedule/cancel operations.\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-allocs") == 0) {
+      return run_check_allocs();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -77,17 +77,20 @@ void aggregate_streams(TrendReport& r) {
 }
 
 void aggregate_scale(TrendReport& r) {
-  // key: workload | nodes | loss
-  std::map<std::tuple<std::string, int, double>, ScaleTrend> pairs;
+  // key: workload | nodes | loss | retransmit_backoff
+  std::map<std::tuple<std::string, int, double, bool>, ScaleTrend> pairs;
   for (const TrendRow& row : r.rows) {
     if (row.str("kind") != "scale") continue;
     const std::string workload = row.str("workload");
     const int nodes = static_cast<int>(row.num("nodes").value_or(0));
     const double loss = row.num("loss").value_or(0);
-    ScaleTrend& t = pairs[{workload, nodes, loss}];
+    const bool backoff = row.str("retransmit_backoff") == "true" ||
+                         row.num("retransmit_backoff").value_or(0) != 0;
+    ScaleTrend& t = pairs[{workload, nodes, loss, backoff}];
     t.workload = workload;
     t.nodes = nodes;
     t.loss = loss;
+    t.backoff = backoff;
     const bool opt = row.str("optimized") == "true" ||
                      row.num("optimized").value_or(0) != 0;
     const double events = row.num("events_executed").value_or(0);
@@ -105,6 +108,8 @@ void aggregate_scale(TrendReport& r) {
       t.opt_ops_max = row.num("ops_max").value_or(0);
       t.opt_timedout = row.num("timedout").value_or(0);
       t.opt_shed = row.num("shed_offers").value_or(0);
+      t.opt_ev_wall = row.num("events_per_wall_s").value_or(0);
+      t.opt_rss_kb = row.num("peak_rss_kb").value_or(0);
     } else {
       t.base_events = events;
       t.base_scheduled = sched;
@@ -115,6 +120,7 @@ void aggregate_scale(TrendReport& r) {
       t.base_ops_max = row.num("ops_max").value_or(0);
       t.base_timedout = row.num("timedout").value_or(0);
       t.base_shed = row.num("shed_offers").value_or(0);
+      t.base_ev_wall = row.num("events_per_wall_s").value_or(0);
     }
     t.ops_expected = row.num("ops_expected").value_or(t.ops_expected);
     t.violations += row.num("violations").value_or(0);
@@ -185,16 +191,37 @@ std::string format_trend_report(const TrendReport& r) {
                   "filtered", "viol");
     out << buf;
     for (const auto& t : r.scale) {
+      const std::string label =
+          t.backoff ? t.workload + "+bkoff" : t.workload;
       std::snprintf(
           buf, sizeof buf,
           "  %-18s %5d %4.0f%% %9.0f->%-7.0f %2.0f%% %9.0f->%-7.0f %2.0f%% "
           "%10.0f %6.0f\n",
-          t.workload.c_str(), t.nodes, t.loss * 100, t.base_scheduled,
+          label.c_str(), t.nodes, t.loss * 100, t.base_scheduled,
           t.opt_scheduled, ScaleTrend::win(t.base_scheduled, t.opt_scheduled),
           t.base_frames, t.opt_frames,
           ScaleTrend::win(t.base_frames, t.opt_frames), t.opt_filtered,
           t.violations);
       out << buf;
+    }
+
+    // Engine throughput: host-dependent, so reported but never compared
+    // tightly. Only rows that carried the column (newer harness) print.
+    bool any_ev_wall = false;
+    for (const auto& t : r.scale) any_ev_wall |= t.opt_ev_wall > 0;
+    if (any_ev_wall) {
+      out << "\nEngine throughput (optimized rows; host-dependent)\n";
+      std::snprintf(buf, sizeof buf, "  %-18s %5s %14s %12s\n", "workload",
+                    "nodes", "events/wall-s", "peak RSS kB");
+      out << buf;
+      for (const auto& t : r.scale) {
+        if (t.opt_ev_wall <= 0) continue;
+        const std::string label =
+            t.backoff ? t.workload + "+bkoff" : t.workload;
+        std::snprintf(buf, sizeof buf, "  %-18s %5d %14.0f %12.0f\n",
+                      label.c_str(), t.nodes, t.opt_ev_wall, t.opt_rss_kb);
+        out << buf;
+      }
     }
 
     // Goodput/fairness columns only mean something for the contention
@@ -284,26 +311,27 @@ std::string format_trend_diff(const TrendReport& before,
 
   // Scale: goodput / completion / churn movement per config.
   {
-    std::map<std::tuple<std::string, int, double>,
+    std::map<std::tuple<std::string, int, double, bool>,
              std::pair<const ScaleTrend*, const ScaleTrend*>>
         merged;
     for (const auto& t : before.scale) {
-      merged[{t.workload, t.nodes, t.loss}].first = &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff}].first = &t;
     }
     for (const auto& t : after.scale) {
-      merged[{t.workload, t.nodes, t.loss}].second = &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff}].second = &t;
     }
     if (!merged.empty()) {
       out << "\nScaling matrix (optimized mode, before -> after)\n";
-      std::snprintf(buf, sizeof buf, "  %-18s %5s %5s %20s %20s %18s\n",
+      std::snprintf(buf, sizeof buf, "  %-18s %5s %5s %20s %20s %18s %16s\n",
                     "workload", "nodes", "loss", "ops", "sched events",
-                    "goodput ops/s");
+                    "goodput ops/s", "events/wall-s");
       out << buf;
       for (const auto& [key, ba] : merged) {
-        const auto& [workload, nodes, loss] = key;
+        const auto& [workload, nodes, loss, backoff] = key;
+        const std::string label = backoff ? workload + "+bkoff" : workload;
         if (!ba.first || !ba.second) {
           std::snprintf(buf, sizeof buf, "  %-18s %5d %4.0f%% %s\n",
-                        workload.c_str(), nodes, loss * 100,
+                        label.c_str(), nodes, loss * 100,
                         ba.second ? "[NEW]" : "[REMOVED]");
           out << buf;
           continue;
@@ -315,12 +343,22 @@ std::string format_trend_diff(const TrendReport& before,
             (b.opt_goodput > 0 && a.opt_goodput < b.opt_goodput * 0.95)) {
           flag = "  [WORSE]";
         }
+        // Wall-clock throughput is host- and load-dependent, so the gate
+        // only fires on a >3x collapse — a real engine regression, not a
+        // noisy neighbour on the CI box — and only for rows big enough
+        // (>=100k events) that the wall time isn't startup noise.
+        if (flag[0] == '\0' && b.opt_events >= 100000 &&
+            b.opt_ev_wall > 0 && a.opt_ev_wall > 0 &&
+            a.opt_ev_wall * 3 < b.opt_ev_wall) {
+          flag = "  [WORSE]";
+        }
         std::snprintf(buf, sizeof buf,
                       "  %-18s %5d %4.0f%% %8.0f->%-8.0f %9.0f->%-9.0f "
-                      "%7.0f->%-7.0f%s\n",
-                      workload.c_str(), nodes, loss * 100, b.opt_ops,
+                      "%7.0f->%-7.0f %7.0f->%-7.0f%s\n",
+                      label.c_str(), nodes, loss * 100, b.opt_ops,
                       a.opt_ops, b.opt_scheduled, a.opt_scheduled,
-                      b.opt_goodput, a.opt_goodput, flag);
+                      b.opt_goodput, a.opt_goodput, b.opt_ev_wall,
+                      a.opt_ev_wall, flag);
         out << buf;
       }
     }

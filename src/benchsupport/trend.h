@@ -29,6 +29,9 @@ struct ScaleTrend {
   std::string workload;
   int nodes = 0;
   double loss = 0;
+  // 128/256-node tiers run twice with exponential retransmit backoff
+  // off/on; the flag is part of the aggregation key so they don't merge.
+  bool backoff = false;
   double base_events = 0, opt_events = 0;        // events executed
   double base_scheduled = 0, opt_scheduled = 0;  // timer churn
   double base_frames = 0, opt_frames = 0;
@@ -42,6 +45,11 @@ struct ScaleTrend {
   double base_ops_max = 0, opt_ops_max = 0;
   double base_timedout = 0, opt_timedout = 0;
   double base_shed = 0, opt_shed = 0;
+  // Host-dependent engine-throughput columns (events / wall-second and
+  // VmHWM). Informational in reports; the diff gate only flags a >3x
+  // collapse so machine noise never fails CI.
+  double base_ev_wall = 0, opt_ev_wall = 0;
+  double opt_rss_kb = 0;
   double violations = 0;  // summed over both modes — should stay 0
 
   /// Percent reduction of `base` -> `opt` (0 when base is 0).

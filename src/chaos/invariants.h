@@ -14,6 +14,8 @@
 // reproduces the trace bit-identically.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -36,6 +38,12 @@ class Invariant {
   virtual ~Invariant() = default;
   virtual std::string_view name() const = 0;
   virtual void on_event(const sim::TraceEvent& e) = 0;
+  /// Bitmask of TraceCategory values this checker wants to see (bit
+  /// `1 << category`). InvariantSet uses it to skip the virtual on_event
+  /// call for the categories a checker ignores — packet events dominate a
+  /// trace stream and most checkers only watch request/boot milestones.
+  /// Default: everything (always safe; merely slower).
+  virtual std::uint64_t category_mask() const { return ~0ull; }
   /// Called once after the run has quiesced (network drained, no load).
   virtual void finish(sim::Time end) { (void)end; }
 
@@ -49,6 +57,10 @@ class Invariant {
   }
   static constexpr std::size_t kMaxViolations = 16;
 
+  static constexpr std::uint64_t cat_bit(sim::TraceCategory c) {
+    return 1ull << static_cast<unsigned>(c);
+  }
+
  private:
   std::vector<Violation> violations_;
 };
@@ -61,6 +73,11 @@ class ExactlyOnceTermination final : public Invariant {
  public:
   std::string_view name() const override { return "exactly-once-termination"; }
   void on_event(const sim::TraceEvent& e) override;
+  std::uint64_t category_mask() const override {
+    return cat_bit(sim::TraceCategory::kBoot) |
+           cat_bit(sim::TraceCategory::kRequestIssued) |
+           cat_bit(sim::TraceCategory::kRequestCompleted);
+  }
   void finish(sim::Time end) override;
 
  private:
@@ -77,6 +94,10 @@ class AtMostOnceDelivery final : public Invariant {
  public:
   std::string_view name() const override { return "at-most-once-delivery"; }
   void on_event(const sim::TraceEvent& e) override;
+  std::uint64_t category_mask() const override {
+    return cat_bit(sim::TraceCategory::kBoot) |
+           cat_bit(sim::TraceCategory::kRequestDelivered);
+  }
 
  private:
   std::map<int, int> deaths_;  // node -> incarnation epoch
@@ -95,6 +116,12 @@ class NoStaleAccept final : public Invariant {
  public:
   std::string_view name() const override { return "no-stale-accept"; }
   void on_event(const sim::TraceEvent& e) override;
+  std::uint64_t category_mask() const override {
+    return cat_bit(sim::TraceCategory::kBoot) |
+           cat_bit(sim::TraceCategory::kHandlerInvoked) |
+           cat_bit(sim::TraceCategory::kRequestIssued) |
+           cat_bit(sim::TraceCategory::kAcceptCompleted);
+  }
 
  private:
   std::map<int, int> deaths_;  // node -> death count
@@ -109,6 +136,11 @@ class HandlerNeverNests final : public Invariant {
  public:
   std::string_view name() const override { return "handler-never-nests"; }
   void on_event(const sim::TraceEvent& e) override;
+  std::uint64_t category_mask() const override {
+    return cat_bit(sim::TraceCategory::kBoot) |
+           cat_bit(sim::TraceCategory::kHandlerInvoked) |
+           cat_bit(sim::TraceCategory::kHandlerEnded);
+  }
 
  private:
   std::map<int, bool> busy_;
@@ -125,11 +157,20 @@ class InvariantSet {
   static InvariantSet standard();
 
   void add(std::unique_ptr<Invariant> inv) {
+    const std::uint64_t mask = inv->category_mask();
+    for (std::size_t c = 0; c < sim::kNumTraceCategories; ++c) {
+      if (mask & (1ull << c)) by_category_[c].push_back(inv.get());
+    }
     checkers_.push_back(std::move(inv));
   }
 
+  /// Dispatches only to the checkers whose category_mask() covers the
+  /// event's category. Packet events (the bulk of any trace) match none of
+  /// the standard checkers, so the common case is an empty loop.
   void on_event(const sim::TraceEvent& e) {
-    for (auto& c : checkers_) c->on_event(e);
+    for (auto* c : by_category_[static_cast<std::size_t>(e.category)]) {
+      c->on_event(e);
+    }
   }
   void finish(sim::Time end) {
     for (auto& c : checkers_) c->finish(end);
@@ -141,6 +182,9 @@ class InvariantSet {
 
  private:
   std::vector<std::unique_ptr<Invariant>> checkers_;
+  // Raw views into checkers_, one list per category. Moving the set moves
+  // the vectors; the pointed-to checkers live on the heap and stay put.
+  std::array<std::vector<Invariant*>, sim::kNumTraceCategories> by_category_{};
 };
 
 }  // namespace soda::chaos

@@ -15,14 +15,6 @@ namespace soda::chaos {
 
 namespace {
 
-std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xff;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 /// A fault window resolved against the scenario (until=0 already expanded).
 struct Window {
   sim::Time at = 0;
@@ -168,21 +160,6 @@ RunResult run_guarded(const Scenario& scenario, std::uint64_t seed,
 }
 
 }  // namespace
-
-std::uint64_t hash_event(std::uint64_t h, const sim::TraceEvent& e) {
-  h = fnv_u64(h, static_cast<std::uint64_t>(e.at));
-  h = fnv_u64(h, static_cast<std::uint64_t>(e.category));
-  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
-  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.peer)));
-  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.tid)));
-  h = fnv_u64(h,
-              static_cast<std::uint64_t>(static_cast<std::int64_t>(e.pattern)));
-  h = fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.size)));
-  h = fnv_u64(h, static_cast<std::uint64_t>(e.sections));
-  h = fnv_u64(h, static_cast<std::uint64_t>(e.status));
-  h = fnv_u64(h, static_cast<std::uint64_t>(e.detail_i64(-1)));
-  return h;
-}
 
 RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
                        const InvariantFactory& extra,

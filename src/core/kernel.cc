@@ -1073,8 +1073,10 @@ void Kernel::probe_wheel_schedule(sim::Time at) {
 void Kernel::probe_wheel_fire() {
   probe_wheel_armed_ = false;
   // Collect due TIDs first: probe_tick may fail a request and erase it
-  // from pending_ mid-scan.
-  std::vector<Tid> due;
+  // from pending_ mid-scan. The scratch vector is a member so steady-state
+  // probe churn reuses its buffer instead of allocating per fire.
+  std::vector<Tid>& due = probe_due_scratch_;
+  due.clear();
   for (auto& [tid, p] : pending_) {
     if (p.probe_active && p.next_probe_at <= sim_.now()) due.push_back(tid);
   }

@@ -336,6 +336,7 @@ class Kernel {
   sim::EventId probe_wheel_timer_ = 0;
   bool probe_wheel_armed_ = false;
   sim::Time probe_wheel_at_ = 0;
+  std::vector<Tid> probe_due_scratch_;  // reused by probe_wheel_fire
   Tid next_tid_ = 1;      // monotone across reboots (§5.4)
   Tid boot_min_tid_ = 1;  // TIDs below this predate the current incarnation
 

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/frame_pool.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "stats/metrics.h"
@@ -58,6 +59,11 @@ struct BusConfig {
 /// Receiver callback installed by a NIC.
 using FrameSink = std::function<void(const Frame&)>;
 
+/// Zero-copy receiver callback: the station shares the pooled frame and
+/// may retain the ref past the callback (e.g. into a deferred CPU work
+/// item) without copying the frame.
+using FrameRefSink = std::function<void(const FrameRef&)>;
+
 /// Deterministic loss predicate: return true to drop this (frame, receiver)
 /// delivery. When installed it replaces the random loss draw entirely.
 using LossFilter = std::function<bool(const Frame&, Mid dst)>;
@@ -94,17 +100,30 @@ class Bus {
   /// delivered to `sink` after serialization + propagation delay. The
   /// station's per-node MetricsRegistry is bound here.
   void attach(Mid mid, FrameSink sink) {
-    stations_[mid] = Station{std::move(sink), &sim_.metrics().node(mid), {}};
+    stations_[mid] =
+        Station{std::move(sink), {}, &sim_.metrics().node(mid), {}};
+  }
+
+  /// Attach a station with a zero-copy sink: the pooled frame is shared,
+  /// not copied, and the sink may keep the ref alive past the call.
+  void attach_ref(Mid mid, FrameRefSink sink) {
+    stations_[mid] =
+        Station{{}, std::move(sink), &sim_.metrics().node(mid), {}};
   }
 
   void detach(Mid mid) { stations_.erase(mid); }
 
-  /// Serialize a frame onto the bus. Each addressed receiver gets its own
-  /// independent loss/corruption draw (broadcast frames can reach a subset,
-  /// which is why the paper declines to make DISCOVER reliable, §3.4.4).
-  /// Virtual so alternative media (the posix/ UDP backend) can carry the
-  /// same kernels over real sockets.
-  virtual void send(Frame frame) {
+  /// Move `frame` into the pool and serialize it onto the bus.
+  void send(Frame frame) { send_ref(pool_.make(std::move(frame))); }
+
+  /// Serialize a pooled frame onto the bus. Each addressed receiver gets
+  /// its own independent loss/corruption draw (broadcast frames can reach
+  /// a subset, which is why the paper declines to make DISCOVER reliable,
+  /// §3.4.4) but shares the one immutable frame — corruption is carried as
+  /// per-delivery metadata, never a mutation. Virtual so alternative media
+  /// (the posix/ UDP backend) can carry the same kernels over real sockets.
+  virtual void send_ref(FrameRef fref) {
+    const Frame& frame = *fref;
     const std::size_t size = frame.wire_size();
     const sim::Duration wire =
         config_.propagation +
@@ -130,13 +149,9 @@ class Bus {
         if (auto* m = metrics_for(mid)) m->add(stats::Counter::kFramesDropped);
         return;
       }
-      Frame copy = frame;
       const bool damaged =
           corrupt_filter_ ? corrupt_filter_(frame, mid)
                           : sim_.rng().chance(config_.corruption_probability);
-      if (damaged) {
-        copy.corrupted = true;  // receiver NIC discards after CRC check
-      }
       sim::Duration jitter = 0;
       if (config_.delivery_jitter > 0) {
         jitter = sim_.rng().next_range(0, config_.delivery_jitter);
@@ -157,10 +172,10 @@ class Bus {
                                                config_.delivery_jitter, 0));
         ++frames_duplicated_;
       }
-      schedule_delivery(mid, copy, wire + jitter + shaped, false);
+      schedule_delivery(mid, fref, wire + jitter + shaped, false, damaged);
       if (duplicated) {
-        schedule_delivery(mid, std::move(copy),
-                          wire + jitter + shaped + dup_lag, true);
+        schedule_delivery(mid, fref, wire + jitter + shaped + dup_lag, true,
+                          damaged);
       }
     };
 
@@ -225,30 +240,34 @@ class Bus {
     if (it != stations_.end()) it->second.interest = std::move(filter);
   }
 
+  /// The frame pool backing this bus. Subclasses (and senders that build
+  /// frames themselves) pool frames here before send_ref().
+  FramePool& pool() { return pool_; }
+
  protected:
   /// For subclasses delivering frames that arrived from elsewhere.
-  void deliver_to_station(const Frame& f) {
-    if (f.dst == kBroadcastMid) {
+  void deliver_to_station(const FrameRef& f) {
+    if (f->dst == kBroadcastMid) {
       for (const auto& [mid, station] : stations_) {
-        if (mid == f.src) continue;
-        if (station.interest && !station.interest(f)) {
+        if (mid == f->src) continue;
+        if (station.interest && !station.interest(*f)) {
           ++frames_filtered_;
           continue;
         }
-        station.sink(f);
+        dispatch(station, f);
       }
       return;
     }
-    auto it = stations_.find(f.dst);
-    if (it != stations_.end()) it->second.sink(f);
+    auto it = stations_.find(f->dst);
+    if (it != stations_.end()) dispatch(it->second, f);
   }
 
   /// Deliver a frame to one specific station's sink, leaving the frame's
   /// own dst untouched (a per-station broadcast datagram keeps its
   /// broadcast address so kernels can recognise DISCOVER queries).
-  void deliver_to_one(Mid station, const Frame& f) {
+  void deliver_to_one(Mid station, const FrameRef& f) {
     auto it = stations_.find(station);
-    if (it != stations_.end()) it->second.sink(f);
+    if (it != stations_.end()) dispatch(it->second, f);
   }
 
   bool station_attached(Mid mid) const { return stations_.count(mid) > 0; }
@@ -267,21 +286,31 @@ class Bus {
 
  private:
   struct Station {
-    FrameSink sink;
+    FrameSink sink;           // legacy copying sink
+    FrameRefSink sink_ref;    // zero-copy sink; wins when installed
     stats::MetricsRegistry* metrics = nullptr;
     InterestFilter interest;  // empty = promiscuous (receive everything)
   };
 
-  /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted copies.
-  void schedule_delivery(Mid mid, Frame f, sim::Duration delay,
-                         bool duplicate) {
-    sim_.after(delay, [this, mid, duplicate, f = std::move(f)]() {
+  static void dispatch(const Station& s, const FrameRef& f) {
+    if (s.sink_ref) {
+      s.sink_ref(f);
+    } else {
+      s.sink(*f);
+    }
+  }
+
+  /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted
+  /// deliveries (`damaged` is per-delivery — the shared frame is immutable).
+  void schedule_delivery(Mid mid, FrameRef f, sim::Duration delay,
+                         bool duplicate, bool damaged) {
+    sim_.after(delay, [this, mid, duplicate, damaged, f = std::move(f)]() {
       auto it = stations_.find(mid);
       if (it == stations_.end()) return;  // station powered off
-      if (f.corrupted) {
+      if (damaged) {
         sim_.trace().record(
             sim_.now(), sim::TraceCategory::kPacketDropped, mid,
-            trace_payload(f).with_status(sim::TraceStatus::kCrcDropped));
+            trace_payload(*f).with_status(sim::TraceStatus::kCrcDropped));
         ++frames_corrupted_;
         if (auto* m = it->second.metrics) {
           m->add(stats::Counter::kFramesDropped);
@@ -289,18 +318,19 @@ class Bus {
         }
         return;
       }
-      auto payload = trace_payload(f);
+      auto payload = trace_payload(*f);
       if (duplicate) payload.with_status(sim::TraceStatus::kDuplicated);
       sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
                           mid, payload);
       if (auto* m = it->second.metrics)
         m->add(stats::Counter::kFramesReceived);
-      it->second.sink(f);
+      dispatch(it->second, f);
     });
   }
 
   sim::Simulator& sim_;
   BusConfig config_;
+  FramePool pool_;
   std::unordered_map<Mid, Station> stations_;
   LossFilter loss_filter_;
   DupFilter dup_filter_;

@@ -169,8 +169,6 @@ struct Frame {
   /// it carries its own acknowledgement.
   Tid data_ack = kNoTid;
 
-  bool corrupted = false;  // set by the bus when injecting a CRC error
-
   /// True when this frame needs reliable (sequenced) delivery.
   bool sequenced() const { return seq.has_value(); }
 

@@ -43,7 +43,8 @@ bool UdpBus::open_station(net::Mid mid) {
   return true;
 }
 
-void UdpBus::send(net::Frame frame) {
+void UdpBus::send_ref(net::FrameRef fref) {
+  const net::Frame& frame = *fref;
   const auto wire = net::encode_frame(frame);
   auto send_to = [&](const Station& st) {
     sockaddr_in addr{};
@@ -98,7 +99,7 @@ int UdpBus::pump() {
       simulator().trace().record(simulator().now(),
                                  sim::TraceCategory::kPacketReceived, mid,
                                  net::trace_payload(*frame));
-      deliver_to_one(mid, *frame);
+      deliver_to_one(mid, pool().make(std::move(*frame)));
       ++delivered;
     }
   }

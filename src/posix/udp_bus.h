@@ -40,7 +40,7 @@ class UdpBus final : public net::Bus {
 
   /// Encode and transmit over UDP (unicast, or one datagram per station
   /// for broadcast — loopback needs no real multicast configuration).
-  void send(net::Frame frame) override;
+  void send_ref(net::FrameRef frame) override;
 
   /// Drain every socket; decode and deliver arrivals to the attached
   /// sinks at the current simulated time. Returns frames delivered.

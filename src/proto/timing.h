@@ -22,6 +22,7 @@
 // protocol state machines.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -84,6 +85,18 @@ struct TimingModel {
   /// adaptive_busy_backoff is on; the 1984 model retried indefinitely.
   int busy_retry_budget = 64;
   int max_ack_retries = 8;                // silence => peer declared dead
+  /// Exponential retransmit backoff: the k-th consecutive unanswered
+  /// transmission of one frame waits 2^min(k-1, max_doublings) times the
+  /// base interval before retrying. The 1984 model's fixed interval makes
+  /// the crash detector's total silence window a constant — at 128+
+  /// stations a healthy but queue-saturated server falls behind that
+  /// window and gets declared CRASHED en masse. Doubling stretches the
+  /// window to cover CPU queueing delay that grows with N while keeping
+  /// the first retry latency unchanged. Off by default: the fixed
+  /// interval is the paper-faithful calibration (and what the pinned
+  /// trace hashes were recorded under).
+  bool exponential_retransmit_backoff = false;
+  int retransmit_backoff_max_doublings = 4;
   sim::Duration probe_interval = 50'000;  // monitor delivered requests (§3.6.2)
   int max_probe_misses = 3;
 
@@ -91,8 +104,19 @@ struct TimingModel {
   sim::Duration mpl = 20'000;  // maximum packet lifetime
   sim::Duration max_ack_delay() const { return ack_delay_window + 3'000; }
   sim::Duration retransmit_span() const {
-    return static_cast<sim::Duration>(max_ack_retries) *
-           (retransmit_interval + retransmit_jitter);
+    if (!exponential_retransmit_backoff) {
+      return static_cast<sim::Duration>(max_ack_retries) *
+             (retransmit_interval + retransmit_jitter);
+    }
+    // Sum of the doubling series: attempt k waits interval << min(k-1,
+    // cap) plus up to one jitter draw. Delta-t safety arithmetic
+    // (at_most_once_safe, record_lifetime) sees the stretched span.
+    sim::Duration span = 0;
+    for (int attempt = 0; attempt < max_ack_retries; ++attempt) {
+      const int doublings = std::min(attempt, retransmit_backoff_max_doublings);
+      span += (retransmit_interval << doublings) + retransmit_jitter;
+    }
+    return span;
   }
   sim::Duration delta_t() const {
     return mpl + retransmit_span() + max_ack_delay();
@@ -194,11 +218,14 @@ class NodeCpu {
   void bind_metrics(stats::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Occupy the CPU for `d` microseconds of `cat` work, then run `fn`.
-  void run(sim::Duration d, CostCategory cat, std::function<void()> fn) {
+  /// Templated so small completion closures ride the event queue's inline
+  /// callback storage instead of being boxed into a std::function first.
+  template <typename F>
+  void run(sim::Duration d, CostCategory cat, F&& fn) {
     account(d, cat);
     const sim::Time start = std::max(sim_->now(), free_at_);
     free_at_ = start + d;
-    sim_->at(free_at_, std::move(fn));
+    sim_->at(free_at_, std::forward<F>(fn));
   }
 
   /// Charge CPU time with no completion action (bookkeeping overhead that

@@ -20,7 +20,7 @@ Transport::Transport(sim::Simulator& sim, net::Bus& bus, net::Mid mid,
       cpu_(cpu),
       metrics_(&sim.metrics().node(mid)),
       cb_(std::move(callbacks)) {
-  bus_.attach(mid_, [this](const Frame& f) { on_bus_frame(f); });
+  bus_.attach_ref(mid_, [this](const net::FrameRef& f) { on_bus_frame(f); });
 }
 
 Transport::~Transport() { bus_.detach(mid_); }
@@ -160,10 +160,14 @@ void Transport::send_now(Frame f, bool sequenced_costs) {
     copy = static_cast<sim::Duration>(f.data.size()) * timing_.copy_per_byte;
   }
   const auto epoch = epoch_;
-  cpu_.run(copy, CostCategory::kDataCopy, [this, epoch, f = std::move(f)]() {
-    if (stale(epoch)) return;
-    bus_.send(f);
-  });
+  // Pool the frame now; the deferred CPU completion carries only a ref, so
+  // the send path does no further frame copies.
+  net::FrameRef ref = bus_.pool().make(std::move(f));
+  cpu_.run(copy, CostCategory::kDataCopy,
+           [this, epoch, ref = std::move(ref)]() mutable {
+             if (stale(epoch)) return;
+             bus_.send_ref(std::move(ref));
+           });
 }
 
 void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
@@ -197,9 +201,20 @@ void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
   const sim::Duration size_allowance =
       static_cast<sim::Duration>(f.data.size()) * timing_.retransmit_per_byte +
       r.outstanding_opts.response_allowance;
+  // With exponential backoff on, the k-th consecutive unanswered attempt
+  // waits 2^min(k-1, cap) base intervals: a server that is merely slow
+  // (CPU queue at high fan-in) gets quiet room to answer before the crash
+  // detector's budget runs out. The jitter draw is taken either way, so
+  // toggling the knob never shifts another stream's RNG sequence.
+  sim::Duration interval = timing_.retransmit_interval;
+  if (timing_.exponential_retransmit_backoff && r.ack_attempts > 1) {
+    const int doublings = std::min(r.ack_attempts - 1,
+                                   timing_.retransmit_backoff_max_doublings);
+    interval <<= doublings;
+  }
   send_now(std::move(f), /*sequenced_costs=*/true);
   arm_retransmit(peer, r,
-                 timing_.retransmit_interval + size_allowance +
+                 interval + size_allowance +
                      sim_.rng().next_range(0, timing_.retransmit_jitter));
 }
 
@@ -323,22 +338,24 @@ void Transport::reject_held(const net::Frame& frame) {
 
 // --------------------------------------------------------------- receiving
 
-void Transport::on_bus_frame(const Frame& f) {
+void Transport::on_bus_frame(const net::FrameRef& f) {
   if (quarantined()) return;  // the interface is silent after a crash
   cpu_.charge(timing_.protocol_recv, CostCategory::kProtocol);
   cpu_.charge(timing_.conn_timer_recv, CostCategory::kConnectionTimers);
   sim::Duration copy = 0;
-  if (!f.data.empty()) {
-    copy = static_cast<sim::Duration>(f.data.size()) * timing_.copy_per_byte;
+  if (!f->data.empty()) {
+    copy = static_cast<sim::Duration>(f->data.size()) * timing_.copy_per_byte;
   }
   const auto epoch = epoch_;
+  // The deferred protocol work shares the pooled frame — no copy into the
+  // completion closure, and the closure fits EventFn's inline storage.
   cpu_.run(copy, CostCategory::kDataCopy, [this, epoch, f]() {
     if (stale(epoch)) return;
-    process_frame(f);
+    process_frame(*f);
   });
 }
 
-void Transport::process_frame(Frame f) {
+void Transport::process_frame(const Frame& f) {
   // Broadcast queries carry no connection state; hand straight to the
   // kernel (DISCOVER handling) without touching records.
   if (f.dst == net::kBroadcastMid) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +22,30 @@ namespace {
 
 /// The pattern the scaling servers advertise (well-known, like kEchoPattern).
 constexpr Pattern kScalePattern = kWellKnownBit | 0x5CA1;
+
+/// Process peak RSS (VmHWM) in KiB from /proc/self/status; 0 when the
+/// field is unavailable (non-Linux). A process-wide high-water mark, so
+/// within one bench process only the largest run's row is meaningful —
+/// bench_scale orders its matrix smallest-first, which is what we want
+/// the 128/256-node memory story measured against.
+std::uint64_t read_peak_rss_kb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
 
 /// Shared scoreboard the load clients report into. Single-threaded sim, so
 /// plain counters suffice.
@@ -267,6 +294,7 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     // The overload-robustness pair rides the same before/after switch:
     // base rows keep the 1984-faithful linear BUSY ramp with no shedding.
     cfg.timing.adaptive_busy_backoff = o.optimized;
+    cfg.timing.exponential_retransmit_backoff = o.retransmit_backoff;
     if (!o.optimized) {
       cfg.admit_backlog_watermark = 0;
       cfg.admit_offer_watermark = 0;
@@ -299,6 +327,10 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   r.wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
   r.events_executed = executed;
+  if (r.wall_ms > 0) {
+    r.events_per_wall_s = static_cast<double>(executed) * 1e3 / r.wall_ms;
+  }
+  r.peak_rss_kb = read_peak_rss_kb();
   r.events_scheduled = sim.events_scheduled();
   r.events_cancelled = sim.events_cancelled();
   r.frames_sent = net.bus().frames_sent();

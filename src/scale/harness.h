@@ -41,6 +41,11 @@ struct HarnessOptions {
   std::uint64_t seed = 1;
   bool fast = true;       // TimingModel::fast() + BusConfig::fast()
   bool optimized = true;  // the three O(N) fixes on/off (before/after)
+  /// Exponential retransmit backoff (TimingModel knob). Off by default —
+  /// the fixed 1984 interval — so existing rows and pinned hashes stand;
+  /// the 128/256-node tiers turn it on (the crash detector's constant
+  /// silence window is what collapses there, EXPERIMENTS.md).
+  bool retransmit_backoff = false;
   bool check_invariants = true;
   sim::Duration max_sim_time = 120 * sim::kSecond;  // hard stop
 };
@@ -48,6 +53,8 @@ struct HarnessOptions {
 struct HarnessResult {
   sim::Time sim_elapsed = 0;       // simulated time to quiescence
   double wall_ms = 0;              // host wall-clock for the run
+  double events_per_wall_s = 0;    // engine throughput: executed / wall
+  std::uint64_t peak_rss_kb = 0;   // VmHWM after the run (0 off-Linux)
   std::uint64_t events_executed = 0;
   std::uint64_t events_scheduled = 0;  // timer-churn proxy (deterministic)
   std::uint64_t events_cancelled = 0;

@@ -33,16 +33,19 @@ class Simulator {
   stats::MetricsHub& metrics() { return metrics_; }
   const stats::MetricsHub& metrics() const { return metrics_; }
 
-  /// Schedule `fn` to run `delay` microseconds from now.
-  EventId after(Duration delay, std::function<void()> fn) {
+  /// Schedule `fn` to run `delay` microseconds from now. Callables whose
+  /// captures fit EventFn::kInlineBytes are stored without allocating.
+  template <typename F>
+  EventId after(Duration delay, F&& fn) {
     assert(delay >= 0);
-    return queue_.schedule(now_ + delay, std::move(fn));
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedule `fn` at an absolute simulated time (must be >= now()).
-  EventId at(Time when, std::function<void()> fn) {
+  template <typename F>
+  EventId at(Time when, F&& fn) {
     if (when < now_) throw std::logic_error("scheduling into the past");
-    return queue_.schedule(when, std::move(fn));
+    return queue_.schedule(when, std::forward<F>(fn));
   }
 
   void cancel(EventId id) { queue_.cancel(id); }

@@ -198,7 +198,21 @@ class Trace {
     if (observer_) observer_(e);
     if (store_) events_.push_back(e);
     ++totals_[static_cast<std::size_t>(c)];
-    ++node_counts_[node_key(c, node)];
+    // Per-(category, node) counts live in a dense array indexed by node id
+    // (node -1 maps to row 0); arbitrary ids fall back to the map. This is
+    // once-per-event — a hash-map increment here shows up in profiles.
+    const int row = node + 1;
+    if (row >= 0 && row < kDenseNodeRows) {
+      auto idx = static_cast<std::size_t>(row) * kNumTraceCategories +
+                 static_cast<std::size_t>(c);
+      if (idx >= node_counts_dense_.size()) {
+        node_counts_dense_.resize((static_cast<std::size_t>(row) + 1) *
+                                  kNumTraceCategories);
+      }
+      ++node_counts_dense_[idx];
+    } else {
+      ++node_counts_[node_key(c, node)];
+    }
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -206,12 +220,19 @@ class Trace {
   void clear() {
     events_.clear();
     totals_ = {};
+    node_counts_dense_.clear();
     node_counts_.clear();
   }
 
   /// Count events in a category, optionally filtered by node. O(1).
   std::size_t count(TraceCategory c, int node = -1) const {
     if (node < 0) return totals_[static_cast<std::size_t>(c)];
+    const int row = node + 1;
+    if (row >= 0 && row < kDenseNodeRows) {
+      auto idx = static_cast<std::size_t>(row) * kNumTraceCategories +
+                 static_cast<std::size_t>(c);
+      return idx < node_counts_dense_.size() ? node_counts_dense_[idx] : 0;
+    }
     auto it = node_counts_.find(node_key(c, node));
     return it == node_counts_.end() ? 0 : it->second;
   }
@@ -225,12 +246,16 @@ class Trace {
             << 8) |
            static_cast<std::uint64_t>(c);
   }
+  /// Nodes with ids below this threshold use the dense count array.
+  static constexpr int kDenseNodeRows = 4096;
+
   std::uint64_t mask_ = 0;
   bool store_ = true;
   TraceObserver observer_;
   std::vector<TraceEvent> events_;
   std::array<std::size_t, kNumTraceCategories> totals_{};
-  std::unordered_map<std::uint64_t, std::size_t> node_counts_;
+  std::vector<std::size_t> node_counts_dense_;  // [(node+1) * ncat + cat]
+  std::unordered_map<std::uint64_t, std::size_t> node_counts_;  // odd ids
 };
 
 }  // namespace soda::sim

@@ -59,6 +59,117 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), 9);
 }
 
+// The timer wheel's levels span 64, 64^2, ... ticks; events parked on an
+// upper level must cascade down and interleave correctly with near ones.
+TEST(EventQueue, CascadeAcrossLevelBoundaries) {
+  EventQueue q;
+  std::vector<Time> expect;
+  // Straddle the level-0 (64), level-1 (4096) and level-2 (262144) spans,
+  // including exact boundary slots and their neighbours.
+  for (Time t : {Time{1}, Time{63}, Time{64}, Time{65}, Time{4095},
+                 Time{4096}, Time{4097}, Time{262143}, Time{262144},
+                 Time{262145}, Time{16777216}}) {
+    q.schedule(t, [] {});
+    expect.push_back(t);
+  }
+  std::vector<Time> fired;
+  while (!q.empty()) fired.push_back(q.pop().first);
+  EXPECT_EQ(fired, expect);
+}
+
+// A schedule placed while the wheel cursor sits mid-rotation must not
+// alias into a slot the cursor already passed (the raw-delta bug class):
+// pop far enough to rotate level 0, then schedule one full rotation out.
+TEST(EventQueue, RolloverAfterPartialRotation) {
+  EventQueue q;
+  q.schedule(40, [] {});
+  EXPECT_EQ(q.pop().first, 40);  // cursor now mid-way through level 0
+  q.schedule(40 + 64, [] {});    // same slot index, next rotation
+  q.schedule(41, [] {});
+  EXPECT_EQ(q.pop().first, 41);
+  EXPECT_EQ(q.pop().first, 104);
+  EXPECT_TRUE(q.empty());
+}
+
+// Events beyond the wheel horizon live in an overflow list and re-enter
+// the wheel when the base advances; order must survive the rebase.
+TEST(EventQueue, OverflowBeyondHorizonReenters) {
+  EventQueue q;
+  const Time horizon = Time{1} << 36;
+  std::vector<Time> expect = {5, horizon + 7, horizon + 7 + 1,
+                              (Time{1} << 40) + 3};
+  for (std::size_t i = expect.size(); i-- > 0;) {
+    q.schedule(expect[i], [] {});
+  }
+  // FIFO tie-break is on schedule order, but these times are distinct, so
+  // pop order must be purely by time even though three sat in overflow.
+  std::vector<Time> fired;
+  while (!q.empty()) fired.push_back(q.pop().first);
+  EXPECT_EQ(fired, expect);
+}
+
+// Scheduling AT the time just popped (now) is legal and fires next.
+TEST(EventQueue, ScheduleAtCurrentTimeAfterOvershoot) {
+  EventQueue q;
+  q.schedule(100'000, [] {});
+  EXPECT_EQ(q.pop().first, 100'000);  // base overshoots to 100000
+  q.schedule(100'000, [] {});
+  q.schedule(100'001, [] {});
+  EXPECT_EQ(q.pop().first, 100'000);
+  EXPECT_EQ(q.pop().first, 100'001);
+}
+
+// Pop order is a pure function of the schedule/cancel sequence: replay a
+// seeded churn of schedules and cancels against a reference model sorted
+// by (time, sequence) and demand identical firing order.
+TEST(EventQueue, MatchesReferenceModelUnderChurn) {
+  Rng rng(2026);
+  EventQueue q;
+  struct Ref {
+    Time at;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  std::vector<Ref> ref;
+  std::vector<EventId> ids;
+  Time now = 0;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const auto act = rng.next_range(0, 9);
+    if (act < 6 || q.empty()) {
+      const Time at = now + static_cast<Time>(rng.next_range(0, 70000));
+      const std::uint64_t s = seq++;
+      ids.push_back(q.schedule(at, [] {}));
+      ref.push_back({at, s});
+    } else if (act < 8) {
+      const auto pick = static_cast<std::size_t>(rng.next_range(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      q.cancel(ids[pick]);  // may be spent — must stay a no-op
+      ref[pick].cancelled = true;
+    } else {
+      auto [t, fn] = q.pop();
+      now = t;
+      // Find the reference event: earliest (at, seq) not yet fired.
+      std::size_t best = ref.size();
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].cancelled) continue;
+        if (best == ref.size() || ref[i].at < ref[best].at ||
+            (ref[i].at == ref[best].at && ref[i].seq < ref[best].seq)) {
+          best = i;
+        }
+      }
+      ASSERT_LT(best, ref.size());
+      EXPECT_EQ(t, ref[best].at);
+      ref[best].cancelled = true;  // consumed
+    }
+  }
+  while (!q.empty()) {
+    const Time t = q.pop().first;
+    EXPECT_GE(t, now);
+    now = t;
+  }
+}
+
 TEST(Rng, DeterministicFromSeed) {
   Rng a(42), b(42), c(43);
   bool all_equal = true;

@@ -30,11 +30,13 @@ int servers_for(Workload w, int nodes) {
 }
 
 HarnessResult run(Workload w, int nodes, bool optimized, double loss,
-                  std::uint64_t seed, bool backoff = false) {
+                  std::uint64_t seed, bool backoff = false,
+                  int pool_size = 0) {
   HarnessOptions o;
   o.workload = w;
   o.nodes = nodes;
   o.servers = servers_for(w, nodes);
+  o.pool_size = pool_size;
   o.ops_per_client = 12;
   o.loss = loss;
   o.seed = seed;
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
   JsonlReport report("scale");
   auto emit = [&report](Workload w, int nodes, int servers, bool optimized,
                         double loss, const HarnessResult& r,
-                        bool backoff = false) {
+                        bool backoff = false, int pool_size = 0) {
     report.row(stats::JsonObject()
                    .set("kind", "scale")
                    .set("workload", to_string(w))
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
                    .set("servers", servers)
                    .set("optimized", optimized)
                    .set("retransmit_backoff", backoff)
+                   .set("pool_size", pool_size)
                    .set("loss", loss)
                    .set("sim_ms", sim::to_ms(r.sim_elapsed))
                    .set("wall_ms", r.wall_ms)
@@ -183,6 +186,31 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.violations),
                   r.events_per_wall_s);
     }
+  }
+
+  // Anycast pool sweep: the 128-node contention storm re-run with the
+  // clients addressing a server *pool* ({kAnycastMid, pattern}) instead
+  // of one machine, pool sizes 1/2/4/8, adaptive admission on. This is
+  // the shed-cliff headline (doc/OVERLOAD.md §4): goodput should scale
+  // with pool size where the single server could only degrade gracefully
+  // toward zero. The trend gate asserts pool8 >= 4x pool1.
+  std::printf("\n[contention, 128 nodes, anycast pool sweep]\n");
+  std::printf("  %5s %9s %9s %9s %13s %9s %4s\n", "pool", "sim_ms",
+              "goodput", "ops", "min/max", "timedout", "viol");
+  for (int pool : {1, 2, 4, 8}) {
+    const HarnessResult r =
+        run(Workload::kContention, 128, /*optimized=*/true, /*loss=*/0.0,
+            /*seed=*/1, /*backoff=*/true, pool);
+    emit(Workload::kContention, 128, pool, /*optimized=*/true, 0.0, r,
+         /*backoff=*/true, pool);
+    std::printf("  %5d %9.1f %9.0f %5llu/%-3llu %6llu/%-6llu %9llu %4llu\n",
+                pool, sim::to_ms(r.sim_elapsed), r.goodput_ops_per_s,
+                static_cast<unsigned long long>(r.ops_done),
+                static_cast<unsigned long long>(r.ops_expected),
+                static_cast<unsigned long long>(r.ops_min),
+                static_cast<unsigned long long>(r.ops_max),
+                static_cast<unsigned long long>(r.requests_timedout),
+                static_cast<unsigned long long>(r.violations));
   }
 
   // One lossy row pair at 32 nodes: the optimizations must not change

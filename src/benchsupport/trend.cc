@@ -77,8 +77,9 @@ void aggregate_streams(TrendReport& r) {
 }
 
 void aggregate_scale(TrendReport& r) {
-  // key: workload | nodes | loss | retransmit_backoff
-  std::map<std::tuple<std::string, int, double, bool>, ScaleTrend> pairs;
+  // key: workload | nodes | loss | retransmit_backoff | pool_size
+  std::map<std::tuple<std::string, int, double, bool, int>, ScaleTrend>
+      pairs;
   for (const TrendRow& row : r.rows) {
     if (row.str("kind") != "scale") continue;
     const std::string workload = row.str("workload");
@@ -86,11 +87,13 @@ void aggregate_scale(TrendReport& r) {
     const double loss = row.num("loss").value_or(0);
     const bool backoff = row.str("retransmit_backoff") == "true" ||
                          row.num("retransmit_backoff").value_or(0) != 0;
-    ScaleTrend& t = pairs[{workload, nodes, loss, backoff}];
+    const int pool = static_cast<int>(row.num("pool_size").value_or(0));
+    ScaleTrend& t = pairs[{workload, nodes, loss, backoff, pool}];
     t.workload = workload;
     t.nodes = nodes;
     t.loss = loss;
     t.backoff = backoff;
+    t.pool_size = pool;
     const bool opt = row.str("optimized") == "true" ||
                      row.num("optimized").value_or(0) != 0;
     const double events = row.num("events_executed").value_or(0);
@@ -126,6 +129,14 @@ void aggregate_scale(TrendReport& r) {
     t.violations += row.num("violations").value_or(0);
   }
   for (auto& [key, t] : pairs) r.scale.push_back(t);
+}
+
+std::string scale_label(const std::string& workload, bool backoff,
+                        int pool_size) {
+  std::string label = workload;
+  if (backoff) label += "+bkoff";
+  if (pool_size > 0) label += "+pool" + std::to_string(pool_size);
+  return label;
 }
 
 }  // namespace
@@ -191,8 +202,8 @@ std::string format_trend_report(const TrendReport& r) {
                   "filtered", "viol");
     out << buf;
     for (const auto& t : r.scale) {
-      const std::string label =
-          t.backoff ? t.workload + "+bkoff" : t.workload;
+      const std::string label = scale_label(t.workload, t.backoff,
+                                            t.pool_size);
       std::snprintf(
           buf, sizeof buf,
           "  %-18s %5d %4.0f%% %9.0f->%-7.0f %2.0f%% %9.0f->%-7.0f %2.0f%% "
@@ -216,8 +227,8 @@ std::string format_trend_report(const TrendReport& r) {
       out << buf;
       for (const auto& t : r.scale) {
         if (t.opt_ev_wall <= 0) continue;
-        const std::string label =
-            t.backoff ? t.workload + "+bkoff" : t.workload;
+        const std::string label = scale_label(t.workload, t.backoff,
+                                              t.pool_size);
         std::snprintf(buf, sizeof buf, "  %-18s %5d %14.0f %12.0f\n",
                       label.c_str(), t.nodes, t.opt_ev_wall, t.opt_rss_kb);
         out << buf;
@@ -238,10 +249,12 @@ std::string format_trend_report(const TrendReport& r) {
       out << buf;
       for (const auto& t : r.scale) {
         if (t.base_ops_max <= 0 && t.opt_ops_max <= 0) continue;
+        const std::string label = scale_label(t.workload, t.backoff,
+                                              t.pool_size);
         std::snprintf(buf, sizeof buf,
                       "  %-18s %5d %7.0f->%-8.0f %6.0f/%-6.0f %6.0f/%-6.0f "
                       "%4.0f->%-5.0f\n",
-                      t.workload.c_str(), t.nodes, t.base_goodput,
+                      label.c_str(), t.nodes, t.base_goodput,
                       t.opt_goodput, t.base_ops_min, t.base_ops_max,
                       t.opt_ops_min, t.opt_ops_max, t.base_timedout,
                       t.opt_timedout);
@@ -311,14 +324,16 @@ std::string format_trend_diff(const TrendReport& before,
 
   // Scale: goodput / completion / churn movement per config.
   {
-    std::map<std::tuple<std::string, int, double, bool>,
+    std::map<std::tuple<std::string, int, double, bool, int>,
              std::pair<const ScaleTrend*, const ScaleTrend*>>
         merged;
     for (const auto& t : before.scale) {
-      merged[{t.workload, t.nodes, t.loss, t.backoff}].first = &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size}].first =
+          &t;
     }
     for (const auto& t : after.scale) {
-      merged[{t.workload, t.nodes, t.loss, t.backoff}].second = &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size}].second =
+          &t;
     }
     if (!merged.empty()) {
       out << "\nScaling matrix (optimized mode, before -> after)\n";
@@ -327,8 +342,8 @@ std::string format_trend_diff(const TrendReport& before,
                     "goodput ops/s", "events/wall-s");
       out << buf;
       for (const auto& [key, ba] : merged) {
-        const auto& [workload, nodes, loss, backoff] = key;
-        const std::string label = backoff ? workload + "+bkoff" : workload;
+        const auto& [workload, nodes, loss, backoff, pool] = key;
+        const std::string label = scale_label(workload, backoff, pool);
         if (!ba.first || !ba.second) {
           std::snprintf(buf, sizeof buf, "  %-18s %5d %4.0f%% %s\n",
                         label.c_str(), nodes, loss * 100,

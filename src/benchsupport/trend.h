@@ -32,6 +32,10 @@ struct ScaleTrend {
   // 128/256-node tiers run twice with exponential retransmit backoff
   // off/on; the flag is part of the aggregation key so they don't merge.
   bool backoff = false;
+  // Anycast pool size for the contention workload (0 = the legacy single
+  // server). Part of the aggregation key: the pool sweep emits one row
+  // per size and the CI gate compares goodput across them.
+  int pool_size = 0;
   double base_events = 0, opt_events = 0;        // events executed
   double base_scheduled = 0, opt_scheduled = 0;  // timer churn
   double base_frames = 0, opt_frames = 0;

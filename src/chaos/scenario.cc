@@ -118,6 +118,11 @@ Scenario& Scenario::fast_timing() {
   return *this;
 }
 
+Scenario& Scenario::anycast_pool() {
+  anycast = true;
+  return *this;
+}
+
 void apply_timer_skew(TimingModel& t, double factor) {
   auto scale = [factor](sim::Duration& d) {
     d = static_cast<sim::Duration>(static_cast<double>(d) * factor + 0.5);
@@ -148,6 +153,7 @@ std::string to_jsonl(const Scenario& s) {
       .set("payload", s.payload)
       .set("accept_delay", static_cast<std::int64_t>(s.accept_delay));
   if (s.fast) header.set("fast", 1);
+  if (s.anycast) header.set("anycast", 1);
   out += header.str();
   out += '\n';
   for (const Fault& f : s.faults) {
@@ -257,6 +263,9 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
       int fast_flag = 0;
       if (!read_int(*fields, "fast", fast_flag)) return std::nullopt;
       s.fast = fast_flag != 0;
+      int anycast_flag = 0;
+      if (!read_int(*fields, "anycast", anycast_flag)) return std::nullopt;
+      s.anycast = anycast_flag != 0;
       continue;
     }
 
@@ -460,6 +469,35 @@ std::optional<Scenario> builtin_scenario(std::string_view name) {
     return s;
   }
 
+  if (name == "pool_failover") {
+    // Anycast pool failover: 12 clients address a 4-server pool
+    // ({kAnycastMid, kEchoPattern}) instead of picking MIDs. Two members
+    // crash mid-storm — one comes back, one stays down — and a brief
+    // partition hides a third. A client's kernel must route around the
+    // casualties: a CRASHED completion drops the member from the pool,
+    // shed hints steer load toward the survivors, and the run still
+    // quiesces with zero invariant violations. Background loss keeps the
+    // retransmission machinery honest while members disappear.
+    Scenario s;
+    s.name = "pool_failover";
+    s.nodes = 16;
+    s.servers = 4;
+    s.duration = 3 * kSecond;
+    s.drain = 2 * kSecond;
+    s.request_interval = 5 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;  // 200 us dawdle -> standing contention
+    s.fast_timing();
+    s.anycast_pool();
+    s.lose(0.05)
+        .crash(/*node=*/1, /*at=*/800 * kMillisecond,
+               /*reboot_after=*/600 * kMillisecond)
+        .crash(/*node=*/3, /*at=*/1500 * kMillisecond)  // stays down
+        .partition(/*group=*/0b0100, /*at=*/2200 * kMillisecond,
+                   /*until=*/2600 * kMillisecond);  // node 2 cut off
+    return s;
+  }
+
   if (name == "scale_32") {
     // The scaling regression gate: 32 stations under the fast timing
     // preset, with loss, duplication, a server crash and a brief
@@ -491,7 +529,8 @@ std::vector<std::string> builtin_scenario_names() {
   return {"regression",      "smoke",
           "loss_storm",      "asymmetric_partition",
           "crash_during_boot", "skew_extreme",
-          "overload",        "scale_32"};
+          "overload",        "scale_32",
+          "pool_failover"};
 }
 
 }  // namespace soda::chaos

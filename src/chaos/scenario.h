@@ -68,6 +68,12 @@ struct Scenario {
   /// Run under TimingModel::fast() + BusConfig::fast() instead of the
   /// 1984 calibration — dozens-of-node scenarios stay affordable.
   bool fast = false;
+  /// Load clients address the echo *pool* ({kAnycastMid, kEchoPattern})
+  /// instead of picking a server MID per request: each request goes to the
+  /// member the client's kernel currently rates least shed, and crashed
+  /// members are dropped from the pool on the CRASHED completion
+  /// (doc/OVERLOAD.md §4). This is the pool_failover scenario's switch.
+  bool anycast = false;
   std::vector<Fault> faults;
 
   bool operator==(const Scenario&) const = default;
@@ -85,6 +91,7 @@ struct Scenario {
   Scenario& crash(int node, sim::Time at, sim::Duration reboot_after = 0);
   Scenario& skew_timers(int node, double factor);
   Scenario& fast_timing();
+  Scenario& anycast_pool();
 
   /// End of the simulated run (load + quiesce).
   sim::Time end_time() const { return duration + drain; }
@@ -111,8 +118,10 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text);
 /// (small and fast, for tests), "loss_storm" (heavy uniform loss),
 /// "asymmetric_partition" (one-way link blackouts), "crash_during_boot"
 /// (a node crashes again right after its reboot lands), "skew_extreme"
-/// (3x fast and 3x slow Delta-t clocks side by side), and "scale_32"
-/// (32 nodes under the fast timing preset — the scaling regression gate).
+/// (3x fast and 3x slow Delta-t clocks side by side), "scale_32"
+/// (32 nodes under the fast timing preset — the scaling regression gate),
+/// and "pool_failover" (clients target a 4-server anycast pool while two
+/// members crash mid-run — the pool must route around them).
 std::optional<Scenario> builtin_scenario(std::string_view name);
 std::vector<std::string> builtin_scenario_names();
 

@@ -49,14 +49,26 @@ class LoadClient final : public sodal::SodalClient {
  public:
   explicit LoadClient(const Scenario& s)
       : servers_(s.servers),
+        anycast_(s.anycast),
         stop_at_(s.duration),
         interval_(s.request_interval),
         payload_(s.payload) {}
 
   sim::Task on_task() override {
+    if (anycast_) {
+      // Pool mode: seed this kernel's anycast member set with one
+      // DISCOVER round (jittered so the boot broadcasts don't share a
+      // bus slot), then address the pool — the kernel picks the member
+      // it currently rates least shed and drops members whose requests
+      // complete CRASHED (doc/OVERLOAD.md §4).
+      co_await delay(static_cast<sim::Duration>(
+          sim().rng().next_below(static_cast<std::uint64_t>(interval_) + 1)));
+      co_await discover(kEchoPattern);
+    }
     int op = 0;
     while (sim().now() < stop_at_) {
-      const ServerSignature target{pick_server(), kEchoPattern};
+      const ServerSignature target{anycast_ ? kAnycastMid : pick_server(),
+                                   kEchoPattern};
       // Every third op, float an extra non-blocking PUT so several
       // requests are in flight at once (completion lands in on_completion).
       if (++op % 3 == 0) {
@@ -101,6 +113,7 @@ class LoadClient final : public sodal::SodalClient {
   }
 
   int servers_;
+  bool anycast_;
   sim::Time stop_at_;
   sim::Duration interval_;
   std::uint32_t payload_;

@@ -133,6 +133,13 @@ class Client {
   bool advertise(Pattern p) { return k().advertise(p); }
   bool unadvertise(Pattern p) { return k().unadvertise(p); }
   Pattern unique_id() { return k().get_unique_id(); }
+
+  /// Anycast pool view (doc/OVERLOAD.md §4): the pool members this
+  /// kernel has discovered for `p`, and its current least-shed pick.
+  std::vector<Mid> anycast_members(Pattern p) const {
+    return k().anycast_members(p);
+  }
+  std::optional<Mid> anycast_resolve(Pattern p) { return k().anycast_pick(p); }
   void open() { k().open(); }
   void close() { k().close(); }
   void die() { k().die(); }

@@ -56,6 +56,16 @@ struct NodeConfig {
   /// start carrying a hint of offers/watermark (capped at 3). 0 disables.
   int admit_offer_watermark = 48;
 
+  /// Load-adaptive admission (doc/OVERLOAD.md §3.2): derive the two
+  /// watermarks above from EWMAs of measured per-accept service time and
+  /// per-window offered load instead of using them as fixed constants.
+  /// Capacity per window C = window / ewma_service; the effective backlog
+  /// watermark is clamp(C, 2, 64) and the effective offer watermark is
+  /// clamp(2*C, 8, 512). The fixed values act as the pre-measurement
+  /// seed. Off by default: the constants are what the pinned trace hashes
+  /// were recorded under.
+  bool adaptive_admission = false;
+
   /// Model the NIC's pattern-address filter (§5.3): the station tells the
   /// bus which broadcast DISCOVER queries it matches, and non-matching
   /// queries never interrupt the kernel at all. Without it every DISCOVER

@@ -47,6 +47,9 @@ Kernel::Kernel(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
               [this](Mid peer, const Frame& sent) { on_acked(peer, sent); },
               [this](Mid peer, const Frame& sent, net::NackReason reason) {
                 on_failed(peer, sent, reason);
+              },
+              [this](Mid peer, const Frame& sent, std::uint8_t hint) {
+                on_busy(peer, sent, hint);
               }}) {
   boot_patterns_.insert(kDefaultBootPattern);
   if (config_.nic_pattern_filter) {
@@ -134,6 +137,18 @@ std::optional<Tid> Kernel::request(RequestParams params) {
     return std::nullopt;
   }
 
+  bool anycast_unresolved = false;
+  if (params.server.mid == net::kAnycastMid) {
+    // Anycast (doc/OVERLOAD.md §4): pick the least-shed pool member for
+    // this pattern. Resolution happens before the trace record so the
+    // traced peer is the concrete server chosen.
+    if (auto m = anycast_pick(params.server.pattern & kPatternMask)) {
+      params.server.mid = *m;
+    } else {
+      anycast_unresolved = true;  // empty pool: fail like unknown pattern
+    }
+  }
+
   const Tid tid = next_tid_++;
   PendingRequest p;
   p.tid = tid;
@@ -163,9 +178,10 @@ std::optional<Tid> Kernel::request(RequestParams params) {
     return tid;
   }
 
-  if (params.server.mid == mid_) {
+  if (params.server.mid == mid_ || anycast_unresolved) {
     // "There is no provision for local messages" (§3.3): fail the request
-    // the same way an unknown pattern would.
+    // the same way an unknown pattern would. An anycast request against an
+    // empty pool (no DISCOVER reply seen yet) fails identically.
     pending_.emplace(tid, std::move(p));
     sim_.after(0, [this, tid]() {
       auto it = pending_.find(tid);
@@ -287,6 +303,7 @@ sim::Future<AcceptResult> Kernel::accept(AcceptParams params) {
     Frame af;
     af.accept = net::AcceptSection{rs.tid, params.arg, put_n, 0, false, false};
     transport_.send_control(rs.mid, std::move(af), /*store_as_response=*/true);
+    note_service_sample(sim_.now() - dit->second.delivered_at);
     delivered_.erase(dit);
     note_completed(key);
     metrics_.add(stats::Counter::kAcceptsCompleted);
@@ -374,7 +391,10 @@ void Kernel::finish_accept(ServerKey key, OngoingAccept& oa) {
   AcceptResult result = oa.result;
   auto promise = std::move(oa.promise);
   auto kernel_done = std::move(oa.kernel_done);
-  delivered_.erase(key);
+  if (auto dit = delivered_.find(key); dit != delivered_.end()) {
+    note_service_sample(sim_.now() - dit->second.delivered_at);
+    delivered_.erase(dit);
+  }
   note_completed(key);
   accepts_.erase(key);
   if (promise) promise->set(result);
@@ -606,6 +626,9 @@ void Kernel::reset_for_death(bool client_initiated) {
   ++death_epoch_;
   admit_window_start_ = 0;
   admit_offers_ = 0;
+  anycast_.clear();
+  ewma_service_ = 0;
+  ewma_offers_ = 0;
   transport_.reset();
 }
 
@@ -635,7 +658,7 @@ proto::DispositionResult Kernel::classify(const net::Frame& f) {
     }
     const std::uint8_t hint = note_offer_pressure();
     if (config_.admit_backlog_watermark > 0 &&
-        delivered_.size() >= config_.admit_backlog_watermark) {
+        delivered_.size() >= effective_backlog_watermark()) {
       // Admission control: the pending-accept backlog is past the
       // watermark, so shed this offer before any section processing and
       // tell the requester how hard to back off.
@@ -697,12 +720,161 @@ std::uint8_t Kernel::note_offer_pressure() {
   const sim::Duration window = 8 * config_.timing.busy_retry_interval;
   if (window <= 0) return 0;
   if (sim_.now() - admit_window_start_ >= window) {
+    if (config_.adaptive_admission) {
+      // Fold the closing window's offered load into the EWMA before the
+      // counter resets (doc/OVERLOAD.md §3.2, alpha = 1/8).
+      if (ewma_offers_ == 0) {
+        ewma_offers_ = admit_offers_;
+      } else {
+        int delta = (admit_offers_ - ewma_offers_) / 8;
+        if (delta == 0 && admit_offers_ != ewma_offers_) {
+          delta = admit_offers_ > ewma_offers_ ? 1 : -1;
+        }
+        ewma_offers_ += delta;
+      }
+    }
     admit_window_start_ = sim_.now();
     admit_offers_ = 0;
   }
   ++admit_offers_;
-  const int level = admit_offers_ / config_.admit_offer_watermark;
-  return static_cast<std::uint8_t>(std::min(level, 3));
+  const int watermark = effective_offer_watermark();
+  const int level = admit_offers_ / watermark;
+  std::uint8_t hint = static_cast<std::uint8_t>(std::min(level, 3));
+  if (config_.adaptive_admission && hint == 0 && ewma_offers_ >= watermark) {
+    // Sustained pressure remembered from earlier windows keeps a floor
+    // under the hint even right after the counter reset.
+    hint = 1;
+  }
+  return hint;
+}
+
+std::size_t Kernel::effective_backlog_watermark() const {
+  if (!config_.adaptive_admission || ewma_service_ <= 0) {
+    return config_.admit_backlog_watermark;
+  }
+  // Capacity per admission window: how many accepts this node completed
+  // per window at the measured service rate. Clamped so a pathological
+  // sample can neither close admission entirely nor disable shedding.
+  const sim::Duration window = 8 * config_.timing.busy_retry_interval;
+  const sim::Duration capacity =
+      window / std::max<sim::Duration>(ewma_service_, 1);
+  return static_cast<std::size_t>(
+      std::clamp<sim::Duration>(capacity, 2, 64));
+}
+
+int Kernel::effective_offer_watermark() const {
+  if (!config_.adaptive_admission || ewma_service_ <= 0) {
+    return config_.admit_offer_watermark;
+  }
+  const sim::Duration window = 8 * config_.timing.busy_retry_interval;
+  const sim::Duration capacity =
+      window / std::max<sim::Duration>(ewma_service_, 1);
+  return static_cast<int>(std::clamp<sim::Duration>(2 * capacity, 8, 512));
+}
+
+void Kernel::note_service_sample(sim::Duration d) {
+  if (!config_.adaptive_admission || d < 0) return;
+  if (ewma_service_ <= 0) {
+    ewma_service_ = d;
+    return;
+  }
+  sim::Duration delta = (d - ewma_service_) / 8;
+  if (delta == 0 && d != ewma_service_) {
+    // Integer division must not stick the EWMA short of a small target.
+    delta = d > ewma_service_ ? 1 : -1;
+  }
+  ewma_service_ += delta;
+}
+
+// ===================================================================
+// Anycast pool directory (doc/OVERLOAD.md §4)
+//
+// The directory is observational state: DISCOVER replies add members,
+// BUSY-NACK shed hints and completion outcomes adjust per-member shed
+// scores. It never touches timers, the RNG, or the trace, so seeding it
+// cannot perturb trace hashes of workloads that never issue an anycast
+// request.
+
+namespace {
+constexpr std::uint32_t kShedScoreCap = 1024;
+}  // namespace
+
+std::vector<Mid> Kernel::anycast_members(Pattern pattern) const {
+  auto it = anycast_.find(pattern & kPatternMask);
+  if (it == anycast_.end()) return {};
+  return it->second.members;
+}
+
+std::optional<Mid> Kernel::anycast_pick(Pattern pattern) {
+  auto it = anycast_.find(pattern & kPatternMask);
+  if (it == anycast_.end() || it->second.members.empty()) return std::nullopt;
+  AnycastPool& pool = it->second;
+  const std::size_t n = pool.members.size();
+  // Scan starting one past the previous pick so equal-score members are
+  // visited round-robin; the first strictly-smaller score wins outright.
+  std::size_t best = (pool.cursor + 1) % n;
+  for (std::size_t step = 1; step < n; ++step) {
+    const std::size_t i = (pool.cursor + 1 + step) % n;
+    if (pool.shed[i] < pool.shed[best]) best = i;
+  }
+  pool.cursor = best;
+  return pool.members[best];
+}
+
+void Kernel::anycast_note_member(Pattern pattern, Mid server) {
+  if (server < 0 || server == mid_) return;  // never pool ourselves (§3.3)
+  AnycastPool& pool = anycast_[pattern & kPatternMask];
+  auto it = std::lower_bound(pool.members.begin(), pool.members.end(), server);
+  if (it != pool.members.end() && *it == server) return;
+  const auto idx = static_cast<std::size_t>(it - pool.members.begin());
+  pool.members.insert(it, server);
+  pool.shed.insert(pool.shed.begin() + static_cast<std::ptrdiff_t>(idx), 0);
+}
+
+void Kernel::anycast_note_shed(Pattern pattern, Mid server,
+                               std::uint8_t hint) {
+  auto it = anycast_.find(pattern & kPatternMask);
+  if (it == anycast_.end()) return;
+  AnycastPool& pool = it->second;
+  auto mit = std::lower_bound(pool.members.begin(), pool.members.end(),
+                              server);
+  if (mit == pool.members.end() || *mit != server) return;
+  const auto idx = static_cast<std::size_t>(mit - pool.members.begin());
+  pool.shed[idx] = std::min<std::uint32_t>(
+      pool.shed[idx] + 1 + hint, kShedScoreCap);
+}
+
+void Kernel::anycast_note_result(Pattern pattern, Mid server,
+                                 CompletionStatus status) {
+  auto it = anycast_.find(pattern & kPatternMask);
+  if (it == anycast_.end()) return;
+  AnycastPool& pool = it->second;
+  auto mit = std::lower_bound(pool.members.begin(), pool.members.end(),
+                              server);
+  if (mit == pool.members.end() || *mit != server) return;
+  const auto idx = static_cast<std::size_t>(mit - pool.members.begin());
+  switch (status) {
+    case CompletionStatus::kCompleted:
+      pool.shed[idx] /= 2;  // success decays accumulated pressure quickly
+      break;
+    case CompletionStatus::kCrashed:
+      // Drop the member; the next DISCOVER after its reboot re-seeds it.
+      pool.members.erase(mit);
+      pool.shed.erase(pool.shed.begin() + static_cast<std::ptrdiff_t>(idx));
+      if (pool.cursor >= pool.members.size()) pool.cursor = 0;
+      break;
+    case CompletionStatus::kTimedOut:
+      pool.shed[idx] =
+          std::min<std::uint32_t>(pool.shed[idx] + 16, kShedScoreCap);
+      break;
+    default:
+      break;  // cancel / unadvertised say nothing about the member's load
+  }
+}
+
+void Kernel::on_busy(Mid peer, const net::Frame& sent, std::uint8_t hint) {
+  if (!sent.request) return;  // only REQUEST offers feed pool shed scores
+  anycast_note_shed(sent.request->pattern & kPatternMask, peer, hint);
 }
 
 void Kernel::deliver(const net::Frame& f) {
@@ -725,6 +897,10 @@ void Kernel::deliver(const net::Frame& f) {
         });
       }
     } else {
+      // Every DISCOVER reply seeds the anycast directory for its pattern,
+      // even when the originating request already completed: a reply is
+      // positive evidence that `src` serves the pattern right now.
+      anycast_note_member(d.pattern & kPatternMask, f.src);
       auto it = pending_.find(d.tid);
       if (it != pending_.end() && it->second.discover) {
         auto& mids = it->second.discovered;
@@ -1019,6 +1195,7 @@ void Kernel::complete_request(PendingRequest& p, CompletionStatus status,
                           .with_peer(p.server.mid)
                           .with_tid(static_cast<std::int32_t>(p.tid))
                           .with_status(ts));
+  anycast_note_result(p.server.pattern & kPatternMask, p.server.mid, status);
   pending_.erase(p.tid);
   post_completion(args);
 }
@@ -1152,6 +1329,7 @@ void Kernel::on_request_delivered(const net::Frame& f) {
   dr.arg = f.request->arg;
   dr.put_size = f.request->put_size;
   dr.get_size = f.request->get_size;
+  dr.delivered_at = sim_.now();
   if (f.request->carries_data) {
     dr.data_present = true;
     dr.data = f.data;

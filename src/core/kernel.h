@@ -179,6 +179,26 @@ class Kernel {
 
   std::uint64_t boots() const { return boots_; }
 
+  // ---- anycast pool directory (doc/OVERLOAD.md §4) ----
+  // A REQUEST addressed to {net::kAnycastMid, pattern} is routed to one
+  // member of the responding-server set this kernel has learned for the
+  // pattern: seeded by DISCOVER replies, scored by BUSY-NACK shed hints,
+  // decayed on successful completions. Selection is deterministic (least
+  // shed score, ties broken by a rotating cursor) so traces stay a pure
+  // function of the seed.
+
+  /// Members currently known for `pattern`, sorted by MID.
+  std::vector<Mid> anycast_members(Pattern pattern) const;
+  /// Resolve one concrete member for an anycast request. nullopt when the
+  /// directory is empty — callers seed it with a DISCOVER first. Advances
+  /// the tie-break cursor, so repeated calls round-robin an idle pool.
+  std::optional<Mid> anycast_pick(Pattern pattern);
+
+  /// Admission watermarks actually in force (fixed config values, or the
+  /// EWMA-derived ones under config.adaptive_admission).
+  std::size_t effective_backlog_watermark() const;
+  int effective_offer_watermark() const;
+
  private:
   struct PendingRequest {
     Tid tid = kNoTid;
@@ -230,6 +250,7 @@ class Kernel {
     bool data_present = false;
     Bytes data;
     bool accepting = false;  // an ACCEPT for it is in progress
+    sim::Time delivered_at = 0;  // feeds the adaptive-admission EWMA
   };
 
   struct OngoingAccept {
@@ -256,6 +277,16 @@ class Kernel {
   void deliver(const net::Frame& f);
   void on_acked(Mid peer, const net::Frame& sent);
   void on_failed(Mid peer, const net::Frame& sent, net::NackReason reason);
+  void on_busy(Mid peer, const net::Frame& sent, std::uint8_t hint);
+
+  // anycast directory bookkeeping (no-ops for unknown patterns/members)
+  void anycast_note_member(Pattern pattern, Mid server);
+  void anycast_note_shed(Pattern pattern, Mid server, std::uint8_t hint);
+  void anycast_note_result(Pattern pattern, Mid server,
+                           CompletionStatus status);
+
+  // adaptive admission (config_.adaptive_admission)
+  void note_service_sample(sim::Duration d);
 
   // requester side
   void fail_request(PendingRequest& p, CompletionStatus status);
@@ -340,11 +371,23 @@ class Kernel {
   Tid next_tid_ = 1;      // monotone across reboots (§5.4)
   Tid boot_min_tid_ = 1;  // TIDs below this predate the current incarnation
 
+  // anycast pool directory (requester side, doc/OVERLOAD.md §4)
+  struct AnycastPool {
+    std::vector<Mid> members;         // sorted by MID
+    std::vector<std::uint32_t> shed;  // parallel shed scores
+    std::size_t cursor = 0;           // rotating tie-break
+  };
+  std::map<Pattern, AnycastPool> anycast_;
+
   // server state
   std::map<ServerKey, DeliveredRequest> delivered_;
   // admission-control offer-rate window (classify-side, doc/OVERLOAD.md)
   sim::Time admit_window_start_ = 0;
   int admit_offers_ = 0;
+  // adaptive-admission EWMAs (alpha = 1/8): per-accept service time and
+  // per-window offered load. Zero until the first sample.
+  sim::Duration ewma_service_ = 0;
+  int ewma_offers_ = 0;
   std::map<ServerKey, OngoingAccept> accepts_;
   std::deque<ServerKey> completed_lru_;  // recently finished (stale ACCEPTs)
 

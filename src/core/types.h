@@ -13,6 +13,7 @@ using net::Pattern;
 using net::RequesterSignature;
 using net::ServerSignature;
 using net::Tid;
+using net::kAnycastMid;
 using net::kBroadcastMid;
 using net::kNoTid;
 using net::kPatternMask;

@@ -22,6 +22,11 @@ namespace soda::net {
 /// Machine id. The paper gives MID 0 administrative privilege (§3.5.4).
 using Mid = std::int32_t;
 constexpr Mid kBroadcastMid = -1;
+/// Anycast sentinel: a REQUEST whose server MID is kAnycastMid is routed
+/// by the requester kernel to one concrete member of the pool of servers
+/// advertising the pattern (seeded by DISCOVER, refreshed by shed hints).
+/// Never appears on the wire — the kernel resolves it before sending.
+constexpr Mid kAnycastMid = -2;
 
 /// Transaction id: unique per requester kernel across all time (§3.3.1).
 using Tid = std::int64_t;

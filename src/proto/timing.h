@@ -96,24 +96,61 @@ struct TimingModel {
   /// interval is the paper-faithful calibration (and what the pinned
   /// trace hashes were recorded under).
   bool exponential_retransmit_backoff = false;
-  int retransmit_backoff_max_doublings = 4;
+  /// Ceiling on the retransmit doublings. -1 (the default) derives the
+  /// ceiling from the Delta-t envelope: the longest single silence gap
+  /// between two transmissions of one frame, (interval << c) + jitter,
+  /// must stay inside the receiver's record lifetime — otherwise the
+  /// receiver ages out the connection record mid-backoff (take-any-SN)
+  /// and the late retransmission is accepted as a *new* frame, breaking
+  /// at-most-once delivery. Because exponential backoff is a per-node
+  /// flag, a peer cannot be assumed to stretch its own record lifetime,
+  /// so the envelope uses the fixed (non-doubled) span: the lifetime any
+  /// 1984-faithful receiver is guaranteed to hold records for. Explicit
+  /// non-negative values override the derivation (tests_timing.cc pins
+  /// the boundary).
+  int retransmit_backoff_max_doublings = -1;
   sim::Duration probe_interval = 50'000;  // monitor delivered requests (§3.6.2)
   int max_probe_misses = 3;
 
   // --- Delta-t parameters (§5.2.2) ---
   sim::Duration mpl = 20'000;  // maximum packet lifetime
   sim::Duration max_ack_delay() const { return ack_delay_window + 3'000; }
-  sim::Duration retransmit_span() const {
-    if (!exponential_retransmit_backoff) {
-      return static_cast<sim::Duration>(max_ack_retries) *
-             (retransmit_interval + retransmit_jitter);
+  /// The retransmission span of the 1984 fixed-interval model — also the
+  /// floor of every receiver's record lifetime, which is why the backoff
+  /// ceiling derivation below measures against it.
+  sim::Duration fixed_retransmit_span() const {
+    return static_cast<sim::Duration>(max_ack_retries) *
+           (retransmit_interval + retransmit_jitter);
+  }
+  /// Record lifetime a receiver holds with exponential backoff OFF; the
+  /// conservative envelope a doubled silence gap must fit inside.
+  sim::Duration fixed_record_lifetime() const {
+    return 2 * mpl + fixed_retransmit_span() + max_ack_delay();
+  }
+  /// The backoff ceiling actually in force: the explicit override when
+  /// retransmit_backoff_max_doublings >= 0, else the largest c whose
+  /// worst single gap (interval << c) + jitter fits fixed_record_lifetime.
+  int effective_backoff_doublings() const {
+    if (retransmit_backoff_max_doublings >= 0) {
+      return retransmit_backoff_max_doublings;
     }
+    const sim::Duration lifetime = fixed_record_lifetime();
+    int c = 0;
+    while (c < 16 &&
+           (retransmit_interval << (c + 1)) + retransmit_jitter <= lifetime) {
+      ++c;
+    }
+    return c;
+  }
+  sim::Duration retransmit_span() const {
+    if (!exponential_retransmit_backoff) return fixed_retransmit_span();
     // Sum of the doubling series: attempt k waits interval << min(k-1,
     // cap) plus up to one jitter draw. Delta-t safety arithmetic
     // (at_most_once_safe, record_lifetime) sees the stretched span.
     sim::Duration span = 0;
+    const int cap = effective_backoff_doublings();
     for (int attempt = 0; attempt < max_ack_retries; ++attempt) {
-      const int doublings = std::min(attempt, retransmit_backoff_max_doublings);
+      const int doublings = std::min(attempt, cap);
       span += (retransmit_interval << doublings) + retransmit_jitter;
     }
     return span;

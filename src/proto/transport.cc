@@ -209,7 +209,7 @@ void Transport::transmit_outstanding(Mid peer, Record& r, bool is_retransmit) {
   sim::Duration interval = timing_.retransmit_interval;
   if (timing_.exponential_retransmit_backoff && r.ack_attempts > 1) {
     const int doublings = std::min(r.ack_attempts - 1,
-                                   timing_.retransmit_backoff_max_doublings);
+                                   timing_.effective_backoff_doublings());
     interval <<= doublings;
   }
   send_now(std::move(f), /*sequenced_costs=*/true);
@@ -408,6 +408,7 @@ void Transport::process_nack(Mid peer, Record& r, const Frame& f) {
     // slower busy pace (§5.2.2: "the rate of REQUEST retransmission
     // decreases with the number of retransmission attempts").
     r.ack_attempts = 0;  // we heard from the peer; it is not dead
+    if (cb_.on_busy) cb_.on_busy(peer, *r.outstanding, f.nack->hint);
     // The offered data block was discarded by the busy peer.
     if (r.outstanding_opts.strip_data_on_retransmit &&
         !r.outstanding->data.empty() &&

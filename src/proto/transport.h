@@ -77,6 +77,13 @@ struct TransportCallbacks {
   std::function<void(net::Mid peer, const net::Frame& sent,
                      net::NackReason reason)>
       on_failed;
+  /// Optional: the peer BUSY-NACKed our outstanding frame, carrying shed
+  /// severity `hint` (0 = plain busy handler). Observational only — the
+  /// transport's own backoff handling is unchanged whether or not this is
+  /// set. The kernel uses it to refresh anycast pool shed scores.
+  std::function<void(net::Mid peer, const net::Frame& sent,
+                     std::uint8_t hint)>
+      on_busy;
 };
 
 class Transport {

@@ -164,10 +164,10 @@ class NameClient final : public sodal::SodalClient {
     const ServerSignature self{my_mid(), kScalePattern};
     const std::string dir = "n" + std::to_string(my_mid());
     for (int i = 0; i < o_.ops_per_client; ++i) {
-      auto st = co_await sodal::ns_bind_status(
+      auto st = co_await sodal::ns_bind(
           *this, ns, dir + "/k" + std::to_string(i), self);
       if (st.ok()) ++tally_->ops_done;
-      auto ls = co_await sodal::ns_list_status(*this, ns, dir);
+      auto ls = co_await sodal::ns_list(*this, ns, dir);
       if (ls.ok() && static_cast<int>(ls->size()) == i + 1) {
         ++tally_->ops_done;
       }
@@ -193,7 +193,18 @@ class ContentionClient final : public sodal::SodalClient {
       : o_(o), tally_(tally), slot_(slot) {}
 
   sim::Task on_task() override {
-    const ServerSignature server{0, kScalePattern};
+    ServerSignature server{0, kScalePattern};
+    if (o_.pool_size > 0) {
+      // Pool mode: one DISCOVER round seeds this kernel's member set,
+      // then every exchange addresses the pool and the kernel routes it
+      // to the least-shed member (NACK shed hints keep the scores live).
+      // Stagger the boot-time broadcasts: a hundred-plus stations firing
+      // DISCOVER in the same bus slot collide, and the blocking helper's
+      // fixed 20 ms retry keeps the fleet synchronized forever.
+      co_await delay(static_cast<sim::Duration>(slot_) * 150);
+      co_await discover(kScalePattern);
+      server = sodal::ServiceHandle::pool(kScalePattern).signature();
+    }
     for (int i = 0; i < o_.ops_per_client; ++i) {
       Bytes in;
       auto c = co_await b_exchange(server, i, Bytes(o_.payload), &in,
@@ -263,7 +274,12 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   // the name storm has exactly one name server by construction.
   HarnessOptions o = opts;
   if (o.workload == Workload::kNameStorm) o.servers = 1;
-  if (o.workload == Workload::kContention) o.servers = 1;
+  if (o.workload == Workload::kContention) {
+    // Legacy single-server storm unless an anycast pool was asked for.
+    o.servers = std::max(1, o.pool_size);
+  } else {
+    o.pool_size = 0;  // pools are a contention-workload concept
+  }
   o.servers = std::clamp(o.servers, 1, std::max(1, o.nodes - 1));
 
   Network::Options nopts;
@@ -299,6 +315,9 @@ HarnessResult run_harness(const HarnessOptions& opts) {
       cfg.admit_backlog_watermark = 0;
       cfg.admit_offer_watermark = 0;
     }
+    // Pool runs measure the full anycast + load-adaptive stack; non-pool
+    // rows keep the fixed watermarks their baselines were recorded under.
+    cfg.adaptive_admission = o.pool_size > 0 && o.optimized;
     Node& n = net.add_node(std::move(cfg));
     n.install_client(make_scale_client(o, mid, &tally), n.mid());
   }

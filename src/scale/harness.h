@@ -35,6 +35,13 @@ struct HarnessOptions {
   Workload workload = Workload::kStarRpc;
   int nodes = 8;
   int servers = 1;          // stations running the server side
+  /// Contention only: size of the anycast server pool. 0 keeps the legacy
+  /// shape (one server, clients address it by MID). N > 0 boots N servers
+  /// all advertising kScalePattern, turns on load-adaptive admission at
+  /// every node, and the storm clients address the *pool*
+  /// ({kAnycastMid, kScalePattern}) so each request goes to the member
+  /// the client's kernel currently rates least shed (doc/OVERLOAD.md §4).
+  int pool_size = 0;
   int ops_per_client = 20;  // blocking operations per load client
   std::uint32_t payload = 64;
   double loss = 0.0;        // uniform frame-loss probability

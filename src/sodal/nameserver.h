@@ -213,10 +213,13 @@ class NameServer : public SodalClient {
 
 // ---- client-side helpers ----
 //
-// The *_status forms are canonical: every operation reports through
-// soda::Status / StatusOr, so callers branch on one code enum instead of
-// Completion quirks and sentinel signatures. The Completion-returning
-// originals remain as deprecated shims.
+// Every operation reports through soda::Status / StatusOr, so callers
+// branch on one code enum instead of Completion quirks and sentinel
+// signatures: kNotFound is "the path is unbound", kCrashed /
+// kUnadvertised / kTimedOut are transport-level failures reaching the
+// name server itself. A binding whose signature mid is kAnycastMid names
+// an anycast pool (sodal/service.h); the 12-byte wire signature carries
+// it unchanged.
 
 namespace detail {
 inline Bytes ns_bind_payload(const std::string& path, ServerSignature sig) {
@@ -295,9 +298,9 @@ sim::Future<T> via_caller(SodalClient& c, sim::Promise<T>& pr) {
 }  // namespace detail
 
 /// Bind `path` to `sig` at the name server.
-inline sim::Future<Status> ns_bind_status(SodalClient& c, ServerSignature ns,
-                                          const std::string& path,
-                                          ServerSignature sig) {
+inline sim::Future<Status> ns_bind(SodalClient& c, ServerSignature ns,
+                                   const std::string& path,
+                                   ServerSignature sig) {
   sim::Promise<Status> pr;
   auto fut = detail::via_caller(c, pr);
   detail::ns_status_loop(c.b_put(ns, 1, detail::ns_bind_payload(path, sig)),
@@ -307,8 +310,8 @@ inline sim::Future<Status> ns_bind_status(SodalClient& c, ServerSignature ns,
 }
 
 /// Remove the binding for `path`, if any.
-inline sim::Future<Status> ns_unbind_status(SodalClient& c, ServerSignature ns,
-                                            const std::string& path) {
+inline sim::Future<Status> ns_unbind(SodalClient& c, ServerSignature ns,
+                                     const std::string& path) {
   sim::Promise<Status> pr;
   auto fut = detail::via_caller(c, pr);
   detail::ns_status_loop(c.b_put(ns, 6, to_bytes(path)), pr).detach();
@@ -316,7 +319,7 @@ inline sim::Future<Status> ns_unbind_status(SodalClient& c, ServerSignature ns,
 }
 
 /// Resolve a path to a signature (kNotFound when unbound).
-inline sim::Future<StatusOr<ServerSignature>> ns_resolve_status(
+inline sim::Future<StatusOr<ServerSignature>> ns_resolve(
     SodalClient& c, ServerSignature ns, const std::string& path) {
   sim::Promise<StatusOr<ServerSignature>> pr;
   auto fut = detail::via_caller(c, pr);
@@ -325,61 +328,11 @@ inline sim::Future<StatusOr<ServerSignature>> ns_resolve_status(
 }
 
 /// List the immediate children of a directory path.
-inline sim::Future<StatusOr<std::vector<std::string>>> ns_list_status(
+inline sim::Future<StatusOr<std::vector<std::string>>> ns_list(
     SodalClient& c, ServerSignature ns, const std::string& path) {
   sim::Promise<StatusOr<std::vector<std::string>>> pr;
   auto fut = detail::via_caller(c, pr);
   detail::ns_list_loop(c, ns, path, pr).detach();
-  return fut;
-}
-
-// ---- deprecated shims (pre-Status API) ----
-
-inline sim::Future<Completion> ns_bind(SodalClient& c, ServerSignature ns,
-                                       const std::string& path,
-                                       ServerSignature sig) {
-  return c.b_put(ns, 1, detail::ns_bind_payload(path, sig));
-}
-
-inline sim::Future<Completion> ns_unbind(SodalClient& c, ServerSignature ns,
-                                         const std::string& path) {
-  return c.b_put(ns, 6, to_bytes(path));
-}
-
-namespace detail {
-inline sim::Task ns_resolve_compat_loop(SodalClient& c, ServerSignature ns,
-                                        std::string path,
-                                        sim::Promise<ServerSignature> pr) {
-  StatusOr<ServerSignature> r = co_await ns_resolve_status(c, ns, path);
-  pr.set(r.value_or(ServerSignature{kBroadcastMid, 0}));
-}
-
-inline sim::Task ns_list_compat_loop(
-    SodalClient& c, ServerSignature ns, std::string path,
-    sim::Promise<std::vector<std::string>> pr) {
-  StatusOr<std::vector<std::string>> r = co_await ns_list_status(c, ns, path);
-  pr.set(r.value_or({}));
-}
-}  // namespace detail
-
-/// Deprecated: resolve with kBroadcastMid as the "unbound" sentinel.
-/// Prefer ns_resolve_status.
-inline sim::Future<ServerSignature> ns_resolve(SodalClient& c,
-                                               ServerSignature ns,
-                                               const std::string& path) {
-  sim::Promise<ServerSignature> pr;
-  auto fut = detail::via_caller(c, pr);
-  detail::ns_resolve_compat_loop(c, ns, path, pr).detach();
-  return fut;
-}
-
-/// Deprecated: listing failure collapses to an empty vector. Prefer
-/// ns_list_status.
-inline sim::Future<std::vector<std::string>> ns_list(
-    SodalClient& c, ServerSignature ns, const std::string& path) {
-  sim::Promise<std::vector<std::string>> pr;
-  auto fut = detail::via_caller(c, pr);
-  detail::ns_list_compat_loop(c, ns, path, pr).detach();
   return fut;
 }
 

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "sodal/blocking.h"
+#include "sodal/service.h"
 
 namespace soda::sodal {
 
@@ -69,18 +70,6 @@ class RpcServer : public SodalClient {
   std::size_t calls_ = 0;
 };
 
-/// Result of a caller-side RPC (deprecated: prefer rpc_invoke, which
-/// reports the failure reason through StatusOr instead of a bare bool).
-struct RpcResult {
-  bool ok = false;
-  Bytes out;
-};
-
-inline sim::Future<StatusOr<Bytes>> rpc_invoke(SodalClient& c,
-                                               ServerSignature proc,
-                                               Bytes in_params,
-                                               std::uint32_t max_result);
-
 namespace detail {
 inline sim::Task rpc_invoke_loop(SodalClient& c, ServerSignature proc,
                                  Bytes in_params, std::uint32_t max_result,
@@ -99,16 +88,19 @@ inline sim::Task rpc_invoke_loop(SodalClient& c, ServerSignature proc,
   pr.set(StatusOr<Bytes>(std::move(out)));
 }
 
-inline sim::Task rpc_call_loop(SodalClient& c, ServerSignature proc,
-                               Bytes in_params, std::uint32_t max_result,
-                               sim::Promise<RpcResult> pr) {
-  StatusOr<Bytes> r = co_await rpc_invoke(c, proc, std::move(in_params),
-                                          max_result);
-  if (r.ok()) {
-    pr.set(RpcResult{true, std::move(*r)});
-  } else {
-    pr.set(RpcResult{false, {}});
+inline sim::Task rpc_invoke_handle_loop(SodalClient& c, ServiceHandle proc,
+                                        Bytes in_params,
+                                        std::uint32_t max_result,
+                                        sim::Promise<StatusOr<Bytes>> pr) {
+  // Pin the pool to one member first: the PUT carries the arguments and
+  // the GET fetches the results, and RpcServer keys its session on the
+  // calling machine — both halves of the call must land on one server.
+  StatusOr<ServerSignature> target = co_await service_resolve(c, proc);
+  if (!target.ok()) {
+    pr.set(StatusOr<Bytes>(target.status()));
+    co_return;
   }
+  co_await rpc_invoke_loop(c, *target, std::move(in_params), max_result, pr);
 }
 }  // namespace detail
 
@@ -128,15 +120,19 @@ inline sim::Future<StatusOr<Bytes>> rpc_invoke(SodalClient& c,
   return fut;
 }
 
-/// Deprecated shim over rpc_invoke; kept for callers that predate
-/// soda::Status.
-inline sim::Future<RpcResult> rpc_call(SodalClient& c, ServerSignature proc,
-                                       Bytes in_params,
-                                       std::uint32_t max_result = 2000) {
-  sim::Promise<RpcResult> pr;
+/// Pool-aware overload: call the procedure on whichever pool member the
+/// kernel currently rates least shed. The whole call is sticky to that
+/// member; the next call may pick another.
+inline sim::Future<StatusOr<Bytes>> rpc_invoke(SodalClient& c,
+                                               ServiceHandle proc,
+                                               Bytes in_params,
+                                               std::uint32_t max_result =
+                                                   2000) {
+  sim::Promise<StatusOr<Bytes>> pr;
   auto fut = pr.future();
   fut.set_executor(c.executor_for_current_context());
-  detail::rpc_call_loop(c, proc, std::move(in_params), max_result, pr)
+  detail::rpc_invoke_handle_loop(c, proc, std::move(in_params), max_result,
+                                 pr)
       .detach();
   return fut;
 }

@@ -4,6 +4,7 @@
 #include "sodal/blocking.h"
 #include "sodal/connector.h"
 #include "sodal/csp.h"
+#include "sodal/directory.h"
 #include "sodal/links.h"
 #include "sodal/multicast.h"
 #include "sodal/multiprog.h"
@@ -12,6 +13,7 @@
 #include "sodal/queue.h"
 #include "sodal/rmr.h"
 #include "sodal/rpc.h"
+#include "sodal/service.h"
 #include "sodal/switchboard.h"
 #include "sodal/timeserver.h"
 #include "sodal/util.h"

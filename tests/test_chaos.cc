@@ -153,6 +153,29 @@ TEST(ChaosScenarioLibrary, OverloadHolds200Seeds) {
   sweep_200("overload");
 }
 
+// pool_failover: the load clients address the 4-server anycast pool while
+// two members crash mid-storm and a partition hides a third. Kernel-side
+// member tracking must route around the casualties without tripping any
+// standard invariant.
+TEST(ChaosScenarioLibrary, PoolFailoverHolds200Seeds) {
+  sweep_200("pool_failover");
+}
+
+// A single run on record: the pool keeps serving through the member
+// crashes (plenty of completions), and at least one in-flight request
+// died with a crashed member — i.e. the scenario really exercises the
+// failover path, not just a quiet pool.
+TEST(ChaosScenarioLibrary, PoolFailoverRoutesAroundCrashes) {
+  auto s = builtin_scenario("pool_failover");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->anycast);
+  auto r = run_scenario(*s, 3);
+  EXPECT_TRUE(r.violations.empty())
+      << first_violation(r.violations);
+  EXPECT_GT(r.stats.requests_completed, 100u);
+  EXPECT_GT(r.stats.crashed_completions, 0u);
+}
+
 // The rejected configuration behind the envelope rule: crank the
 // skew_extreme factors from the documented ~1.2x edge to 3x/0.33x and the
 // runner must (a) warn at construction that the pair is outside the

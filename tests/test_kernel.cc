@@ -150,6 +150,57 @@ TEST(Handler, SelfRequestFailsUnadvertised) {
   EXPECT_EQ(net.node(1).kernel().live_requests(), 0);
 }
 
+// --- anycast pools (doc/OVERLOAD.md §4) ---
+
+TEST(Anycast, EmptyPoolFailsUnadvertised) {
+  Network net;
+  auto& r = net.spawn<Recorder>(NodeConfig{});
+  net.run_for(5 * sim::kMillisecond);
+  // No DISCOVER has seeded any pool, so the anycast address resolves to
+  // nobody and the request fails exactly like an unknown pattern would.
+  auto tid = net.node(0).kernel().request(
+      Kernel::RequestParams::signal(ServerSignature{kAnycastMid, kP}));
+  ASSERT_TRUE(tid.has_value());
+  net.run_for(100 * sim::kMillisecond);
+  net.check_clients();
+  ASSERT_EQ(r.completions.size(), 1u);
+  EXPECT_EQ(r.completions[0].status, CompletionStatus::kUnadvertised);
+  EXPECT_EQ(net.node(0).kernel().live_requests(), 0);
+}
+
+TEST(Anycast, DiscoverSeedsPoolAndTiesRoundRobin) {
+  Network net;
+  auto& s0 = net.spawn<Recorder>(NodeConfig{});
+  auto& s1 = net.spawn<Recorder>(NodeConfig{});
+  auto& c = net.spawn<Recorder>(NodeConfig{});
+  net.run_for(5 * sim::kMillisecond);
+  net.node(0).kernel().advertise(kP);
+  net.node(1).kernel().advertise(kP);
+
+  // One DISCOVER round: every reply seeds the requester's member set.
+  Bytes mids;
+  net.node(2).kernel().request(
+      Kernel::RequestParams::discover(kP, 8, &mids));
+  net.run_for(200 * sim::kMillisecond);
+  EXPECT_EQ(net.node(2).kernel().anycast_members(kP),
+            (std::vector<Mid>{0, 1}));
+
+  // With all shed scores equal the pick rotates deterministically: two
+  // back-to-back requests land on the two distinct members.
+  for (int i = 0; i < 2; ++i) {
+    net.node(2).kernel().request(
+        Kernel::RequestParams::signal(ServerSignature{kAnycastMid, kP}));
+    net.run_for(100 * sim::kMillisecond);
+  }
+  net.check_clients();
+  EXPECT_EQ(s0.entries.size(), 1u);
+  EXPECT_EQ(s1.entries.size(), 1u);
+  // Three completions: the DISCOVER itself plus the two anycast signals.
+  ASSERT_EQ(c.completions.size(), 3u);
+  EXPECT_EQ(c.completions[1].status, CompletionStatus::kCompleted);
+  EXPECT_EQ(c.completions[2].status, CompletionStatus::kCompleted);
+}
+
 TEST(Handler, ClosedHandlerDelaysArrivalNotCompletion) {
   Network net;
   auto& srv = net.spawn<Recorder>(NodeConfig{});

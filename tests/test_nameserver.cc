@@ -1,9 +1,12 @@
 // The hierarchical name service (§6.14): bind/resolve/list/unbind over a
-// directory tree, layered entirely on SODA primitives.
+// directory tree, layered entirely on SODA primitives, plus the
+// Directory facade that fronts it and the Switchboard uniformly.
 #include <gtest/gtest.h>
 
 #include "core/network.h"
+#include "sodal/directory.h"
 #include "sodal/nameserver.h"
+#include "sodal/service.h"
 #include "sodal/util.h"
 
 namespace soda::sodal {
@@ -28,23 +31,28 @@ TEST(NameService, BindThenResolve) {
   Network net;
   net.spawn<NameServer>(NodeConfig{});
   auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
-    co_await ns_bind(self, ns_sig(), "/services/print/laser",
-                     ServerSignature{7, 0x1234});
+    Status st = co_await ns_bind(self, ns_sig(), "/services/print/laser",
+                                 ServerSignature{7, 0x1234});
+    EXPECT_TRUE(st.ok());
     auto sig = co_await ns_resolve(self, ns_sig(), "/services/print/laser");
-    EXPECT_EQ(sig.mid, 7);
-    EXPECT_EQ(sig.pattern, 0x1234u);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      EXPECT_EQ(sig->mid, 7);
+      EXPECT_EQ(sig->pattern, 0x1234u);
+    }
   });
   net.run_for(10 * sim::kSecond);
   net.check_clients();
   EXPECT_TRUE(d.done);
 }
 
-TEST(NameService, UnboundPathResolvesToNobody) {
+TEST(NameService, UnboundPathResolvesToNotFound) {
   Network net;
   net.spawn<NameServer>(NodeConfig{});
   auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
     auto sig = co_await ns_resolve(self, ns_sig(), "/nope");
-    EXPECT_EQ(sig.mid, kBroadcastMid);
+    EXPECT_FALSE(sig.ok());
+    EXPECT_EQ(sig.code(), StatusCode::kNotFound);
   });
   net.run_for(10 * sim::kSecond);
   net.check_clients();
@@ -60,9 +68,11 @@ TEST(NameService, ListsImmediateChildrenOnly) {
     co_await ns_bind(self, ns_sig(), "/svc/b/deep", ServerSignature{3, 3});
     co_await ns_bind(self, ns_sig(), "/other/c", ServerSignature{4, 4});
     auto names = co_await ns_list(self, ns_sig(), "/svc");
-    EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+    EXPECT_TRUE(names.ok());
+    EXPECT_EQ(names.value_or({}), (std::vector<std::string>{"a", "b"}));
     auto root = co_await ns_list(self, ns_sig(), "/");
-    EXPECT_EQ(root, (std::vector<std::string>{"other", "svc"}));
+    EXPECT_TRUE(root.ok());
+    EXPECT_EQ(root.value_or({}), (std::vector<std::string>{"other", "svc"}));
   });
   net.run_for(20 * sim::kSecond);
   net.check_clients();
@@ -74,9 +84,10 @@ TEST(NameService, UnbindRemovesBinding) {
   auto& ns = net.spawn<NameServer>(NodeConfig{});
   auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
     co_await ns_bind(self, ns_sig(), "/x", ServerSignature{1, 1});
-    co_await ns_unbind(self, ns_sig(), "/x");
+    Status st = co_await ns_unbind(self, ns_sig(), "/x");
+    EXPECT_TRUE(st.ok());
     auto sig = co_await ns_resolve(self, ns_sig(), "/x");
-    EXPECT_EQ(sig.mid, kBroadcastMid);
+    EXPECT_EQ(sig.code(), StatusCode::kNotFound);
   });
   net.run_for(10 * sim::kSecond);
   net.check_clients();
@@ -91,8 +102,11 @@ TEST(NameService, RebindReplaces) {
     co_await ns_bind(self, ns_sig(), "/x", ServerSignature{1, 1});
     co_await ns_bind(self, ns_sig(), "/x", ServerSignature{2, 9});
     auto sig = co_await ns_resolve(self, ns_sig(), "x");  // normalization
-    EXPECT_EQ(sig.mid, 2);
-    EXPECT_EQ(sig.pattern, 9u);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      EXPECT_EQ(sig->mid, 2);
+      EXPECT_EQ(sig->pattern, 9u);
+    }
   });
   net.run_for(10 * sim::kSecond);
   net.check_clients();
@@ -105,7 +119,31 @@ TEST(NameService, PathNormalization) {
   auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
     co_await ns_bind(self, ns_sig(), "//a///b/", ServerSignature{5, 5});
     auto sig = co_await ns_resolve(self, ns_sig(), "a/b");
-    EXPECT_EQ(sig.mid, 5);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) EXPECT_EQ(sig->mid, 5);
+  });
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(NameService, PoolBindingRoundTrips) {
+  // A name bound to an anycast pool (mid == kAnycastMid) survives the
+  // 12-byte wire signature and comes back as a pool handle.
+  Network net;
+  net.spawn<NameServer>(NodeConfig{});
+  auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
+    const ServiceHandle pool = ServiceHandle::pool(kWellKnownBit | 0xABC);
+    Status st = co_await ns_bind(self, ns_sig(), "/services/workers",
+                                 pool.signature());
+    EXPECT_TRUE(st.ok());
+    auto sig = co_await ns_resolve(self, ns_sig(), "/services/workers");
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      const ServiceHandle h = ServiceHandle::of(*sig);
+      EXPECT_TRUE(h.is_pool());
+      EXPECT_EQ(h.pattern(), kWellKnownBit | 0xABC);
+    }
   });
   net.run_for(10 * sim::kSecond);
   net.check_clients();
@@ -113,7 +151,8 @@ TEST(NameService, PathNormalization) {
 }
 
 TEST(NameService, EndToEndServiceLookupAndCall) {
-  // A service binds itself under a path; a client resolves and calls it.
+  // A service binds itself under a path; a client watches the Directory
+  // facade until the binding appears, then calls the service.
   Network net;
   net.spawn<NameServer>(NodeConfig{});
   class Service : public SodalClient {
@@ -131,17 +170,14 @@ TEST(NameService, EndToEndServiceLookupAndCall) {
   };
   net.spawn<Service>(NodeConfig{});
   auto& d = net.spawn<Driver>(NodeConfig{}, [](Driver& self) -> sim::Task {
-    ServerSignature sig{kBroadcastMid, 0};
-    for (int i = 0; i < 20 && sig.mid == kBroadcastMid; ++i) {
-      sig = co_await ns_resolve(self, ns_sig(), "/services/echo");
-      if (sig.mid == kBroadcastMid) {
-        co_await self.delay(20 * sim::kMillisecond);
-      }
+    const Directory dir = Directory::name_server(ns_sig());
+    auto sig = co_await dir.watch(self, "/services/echo", 20);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      auto c = co_await self.b_signal(*sig, 0);
+      EXPECT_TRUE(c.ok());
+      EXPECT_EQ(c.arg, 1234);
     }
-    EXPECT_NE(sig.mid, kBroadcastMid);
-    auto c = co_await self.b_signal(sig, 0);
-    EXPECT_TRUE(c.ok());
-    EXPECT_EQ(c.arg, 1234);
   });
   net.run_for(30 * sim::kSecond);
   net.check_clients();

@@ -117,10 +117,10 @@ TEST(Rpc, CallReturnsComputedResult) {
       Bytes args(2);
       args[0] = std::byte{3};
       args[1] = std::byte{5};
-      auto r = co_await rpc_call(*this, ServerSignature{0, kProc},
-                                 std::move(args));
-      ok = r.ok && r.out.size() == 2 && r.out[0] == std::byte{6} &&
-           r.out[1] == std::byte{10};
+      auto r = co_await rpc_invoke(*this, ServerSignature{0, kProc},
+                                   std::move(args));
+      ok = r.ok() && r->size() == 2 && (*r)[0] == std::byte{6} &&
+           (*r)[1] == std::byte{10};
       done = true;
       co_await park_forever();
     }
@@ -144,9 +144,9 @@ TEST(Rpc, ConcurrentCallersServedIndependently) {
     explicit Caller(std::uint8_t tag) : tag_(tag) {}
     sim::Task on_task() override {
       for (int i = 0; i < 3; ++i) {
-        auto r = co_await rpc_call(*this, ServerSignature{0, kProc},
-                                   Bytes(4, std::byte{tag_}));
-        if (r.ok && r.out == Bytes(4, std::byte{tag_})) ++good;
+        auto r = co_await rpc_invoke(*this, ServerSignature{0, kProc},
+                                     Bytes(4, std::byte{tag_}));
+        if (r.ok() && *r == Bytes(4, std::byte{tag_})) ++good;
       }
       done = true;
       co_await park_forever();
@@ -273,9 +273,10 @@ TEST(SwitchboardTest, RegisterThenLookup) {
     sim::Task on_task() override {
       my_pattern = unique_id();
       advertise(my_pattern);
-      co_await sb_register(*this, ServerSignature{0, kSwitchboardPattern},
-                           "printer", ServerSignature{my_mid(), my_pattern});
-      registered = true;
+      Status st = co_await sb_register(
+          *this, ServerSignature{0, kSwitchboardPattern}, "printer",
+          ServerSignature{my_mid(), my_pattern});
+      registered = st.ok();
       co_await park_forever();
     }
     sim::Task on_entry(HandlerArgs) override {
@@ -291,9 +292,9 @@ TEST(SwitchboardTest, RegisterThenLookup) {
       auto sig = co_await sb_lookup(*this,
                                     ServerSignature{0, kSwitchboardPattern},
                                     "printer");
-      found = sig.mid != kBroadcastMid;
+      found = sig.ok();
       if (found) {
-        auto c = co_await b_signal(sig, 0);
+        auto c = co_await b_signal(*sig, 0);
         ok = c.ok() && c.arg == 77;
       }
       done = true;
@@ -318,7 +319,7 @@ TEST(SwitchboardTest, LookupBeforeRegisterRetries) {
     sim::Task on_task() override {
       auto sig = co_await sb_lookup(
           *this, ServerSignature{0, kSwitchboardPattern}, "late", 40);
-      found_mid = sig.mid;
+      if (sig.ok()) found_mid = sig->mid;
       done = true;
       co_await park_forever();
     }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "benchsupport/stream.h"
+#include "proto/timing.h"
 
 namespace soda::bench {
 namespace {
@@ -177,6 +178,46 @@ TEST(ModComparison, BlockingSignalSlowerThanPipelinedStream) {
   // Paper: B_SIGNAL 8.5 ms vs SIGNAL 4.9 (both excl. client overhead):
   // blocking serializes the client into every round trip.
   EXPECT_GT(rb.ms_per_op, rn.ms_per_op * 1.15);
+}
+
+// ---- derived retransmit-backoff ceiling (Delta-t envelope) ----
+
+// The ceiling is no longer a fixed constant: with the default -1 it is
+// derived as the largest c whose worst single silence gap,
+// (interval << c) + jitter, still fits inside the record lifetime a
+// 1984-faithful receiver is guaranteed to hold (fixed_record_lifetime).
+// Pin the boundary on both calibrations: one more doubling would overshoot
+// the envelope and a late retransmission would be taken as a new frame.
+TEST(Backoff, DerivedCeilingSitsOnTheEnvelopeBoundary) {
+  for (const TimingModel& t : {TimingModel{}, TimingModel::fast()}) {
+    ASSERT_EQ(t.retransmit_backoff_max_doublings, -1);
+    const int cap = t.effective_backoff_doublings();
+    const sim::Duration lifetime = t.fixed_record_lifetime();
+    EXPECT_LE((t.retransmit_interval << cap) + t.retransmit_jitter, lifetime);
+    EXPECT_GT((t.retransmit_interval << (cap + 1)) + t.retransmit_jitter,
+              lifetime);
+  }
+}
+
+TEST(Backoff, DerivedCeilingMatchesKnownCalibrations) {
+  // The 1984 calibration (interval 20 ms, jitter 4 ms, lifetime 237 ms)
+  // admits three doublings; the fast preset (200/40 us, 5.34 ms) admits
+  // four — the value the old hard-coded cap used, so the pinned 128-node
+  // trace hashes recorded under it stand.
+  EXPECT_EQ(TimingModel{}.effective_backoff_doublings(), 3);
+  EXPECT_EQ(TimingModel::fast().effective_backoff_doublings(), 4);
+}
+
+TEST(Backoff, ExplicitCeilingOverridesDerivation) {
+  TimingModel t = TimingModel::fast();
+  t.retransmit_backoff_max_doublings = 1;
+  EXPECT_EQ(t.effective_backoff_doublings(), 1);
+  t.retransmit_backoff_max_doublings = 0;  // plain fixed interval
+  EXPECT_EQ(t.effective_backoff_doublings(), 0);
+  // With the ceiling at 0 the exponential scheme degenerates to the fixed
+  // interval: the Delta-t arithmetic must agree exactly.
+  t.exponential_retransmit_backoff = true;
+  EXPECT_EQ(t.retransmit_span(), TimingModel::fast().retransmit_span());
 }
 
 TEST(Determinism, SameSeedSameResult) {

@@ -9,10 +9,12 @@
 //                             (before/after a PR) and flag regressions
 //
 // Exit status is 1 when any chaos sweep recorded failures, any scale row
-// recorded an invariant violation, or the 64-node contention workload
+// recorded an invariant violation, the 64-node contention workload
 // regressed (optimized goodput below base, or starvation: some client
-// finished zero ops while the base mode starved nobody), so CI can gate
-// on it. --diff exits 1 when any [WORSE] line is printed.
+// finished zero ops while the base mode starved nobody), or the 128-node
+// anycast pool sweep lost its scaling headline (8-server pool goodput
+// below 4x the single-server pool), so CI can gate on it. --diff exits 1
+// when any [WORSE] line is printed.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -67,6 +69,28 @@ int main(int argc, char** argv) {
 
   bool failing = false;
   for (const auto& c : report.chaos) failing |= c.failures > 0;
+  // Anycast pool gate (doc/OVERLOAD.md §4): the 128-node contention storm
+  // against an 8-server pool must deliver at least 4x the goodput of the
+  // same storm against a single server. Checked whenever both rows are in
+  // the snapshot.
+  double pool1_goodput = -1, pool8_goodput = -1;
+  int pool_nodes = 0;
+  for (const auto& t : report.scale) {
+    if (t.workload != "contention" || t.nodes < 128) continue;
+    if (t.pool_size == 1) pool1_goodput = t.opt_goodput;
+    if (t.pool_size == 8) {
+      pool8_goodput = t.opt_goodput;
+      pool_nodes = t.nodes;
+    }
+  }
+  if (pool1_goodput >= 0 && pool8_goodput >= 0 &&
+      pool8_goodput < 4.0 * pool1_goodput) {
+    std::fprintf(stderr,
+                 "soda_trend: contention@%d pool scaling regression: "
+                 "pool8 goodput %.0f < 4x pool1 goodput %.0f ops/s\n",
+                 pool_nodes, pool8_goodput, pool1_goodput);
+    failing = true;
+  }
   for (const auto& t : report.scale) {
     failing |= t.violations > 0;
     // Overload gate: at 64 nodes the adaptive-backoff + admission mode

@@ -77,8 +77,8 @@ void aggregate_streams(TrendReport& r) {
 }
 
 void aggregate_scale(TrendReport& r) {
-  // key: workload | nodes | loss | retransmit_backoff | pool_size
-  std::map<std::tuple<std::string, int, double, bool, int>, ScaleTrend>
+  // key: workload | nodes | loss | retransmit_backoff | pool_size | segments
+  std::map<std::tuple<std::string, int, double, bool, int, int>, ScaleTrend>
       pairs;
   for (const TrendRow& row : r.rows) {
     if (row.str("kind") != "scale") continue;
@@ -88,12 +88,14 @@ void aggregate_scale(TrendReport& r) {
     const bool backoff = row.str("retransmit_backoff") == "true" ||
                          row.num("retransmit_backoff").value_or(0) != 0;
     const int pool = static_cast<int>(row.num("pool_size").value_or(0));
-    ScaleTrend& t = pairs[{workload, nodes, loss, backoff, pool}];
+    const int segments = static_cast<int>(row.num("segments").value_or(1));
+    ScaleTrend& t = pairs[{workload, nodes, loss, backoff, pool, segments}];
     t.workload = workload;
     t.nodes = nodes;
     t.loss = loss;
     t.backoff = backoff;
     t.pool_size = pool;
+    t.segments = segments;
     const bool opt = row.str("optimized") == "true" ||
                      row.num("optimized").value_or(0) != 0;
     const double events = row.num("events_executed").value_or(0);
@@ -113,6 +115,7 @@ void aggregate_scale(TrendReport& r) {
       t.opt_shed = row.num("shed_offers").value_or(0);
       t.opt_ev_wall = row.num("events_per_wall_s").value_or(0);
       t.opt_rss_kb = row.num("peak_rss_kb").value_or(0);
+      t.opt_relayed = row.num("frames_relayed").value_or(0);
     } else {
       t.base_events = events;
       t.base_scheduled = sched;
@@ -132,10 +135,11 @@ void aggregate_scale(TrendReport& r) {
 }
 
 std::string scale_label(const std::string& workload, bool backoff,
-                        int pool_size) {
+                        int pool_size, int segments = 1) {
   std::string label = workload;
   if (backoff) label += "+bkoff";
   if (pool_size > 0) label += "+pool" + std::to_string(pool_size);
+  if (segments > 1) label += "+seg" + std::to_string(segments);
   return label;
 }
 
@@ -203,7 +207,7 @@ std::string format_trend_report(const TrendReport& r) {
     out << buf;
     for (const auto& t : r.scale) {
       const std::string label = scale_label(t.workload, t.backoff,
-                                            t.pool_size);
+                                            t.pool_size, t.segments);
       std::snprintf(
           buf, sizeof buf,
           "  %-18s %5d %4.0f%% %9.0f->%-7.0f %2.0f%% %9.0f->%-7.0f %2.0f%% "
@@ -228,7 +232,7 @@ std::string format_trend_report(const TrendReport& r) {
       for (const auto& t : r.scale) {
         if (t.opt_ev_wall <= 0) continue;
         const std::string label = scale_label(t.workload, t.backoff,
-                                              t.pool_size);
+                                              t.pool_size, t.segments);
         std::snprintf(buf, sizeof buf, "  %-18s %5d %14.0f %12.0f\n",
                       label.c_str(), t.nodes, t.opt_ev_wall, t.opt_rss_kb);
         out << buf;
@@ -250,7 +254,7 @@ std::string format_trend_report(const TrendReport& r) {
       for (const auto& t : r.scale) {
         if (t.base_ops_max <= 0 && t.opt_ops_max <= 0) continue;
         const std::string label = scale_label(t.workload, t.backoff,
-                                              t.pool_size);
+                                              t.pool_size, t.segments);
         std::snprintf(buf, sizeof buf,
                       "  %-18s %5d %7.0f->%-8.0f %6.0f/%-6.0f %6.0f/%-6.0f "
                       "%4.0f->%-5.0f\n",
@@ -324,16 +328,18 @@ std::string format_trend_diff(const TrendReport& before,
 
   // Scale: goodput / completion / churn movement per config.
   {
-    std::map<std::tuple<std::string, int, double, bool, int>,
+    std::map<std::tuple<std::string, int, double, bool, int, int>,
              std::pair<const ScaleTrend*, const ScaleTrend*>>
         merged;
     for (const auto& t : before.scale) {
-      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size}].first =
-          &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size,
+              t.segments}]
+          .first = &t;
     }
     for (const auto& t : after.scale) {
-      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size}].second =
-          &t;
+      merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size,
+              t.segments}]
+          .second = &t;
     }
     if (!merged.empty()) {
       out << "\nScaling matrix (optimized mode, before -> after)\n";
@@ -342,8 +348,9 @@ std::string format_trend_diff(const TrendReport& before,
                     "goodput ops/s", "events/wall-s");
       out << buf;
       for (const auto& [key, ba] : merged) {
-        const auto& [workload, nodes, loss, backoff, pool] = key;
-        const std::string label = scale_label(workload, backoff, pool);
+        const auto& [workload, nodes, loss, backoff, pool, segments] = key;
+        const std::string label = scale_label(workload, backoff, pool,
+                                              segments);
         if (!ba.first || !ba.second) {
           std::snprintf(buf, sizeof buf, "  %-18s %5d %4.0f%% %s\n",
                         label.c_str(), nodes, loss * 100,

@@ -36,6 +36,11 @@ struct ScaleTrend {
   // server). Part of the aggregation key: the pool sweep emits one row
   // per size and the CI gate compares goodput across them.
   int pool_size = 0;
+  // Bus segments (1 = the classic single broadcast bus). Part of the
+  // aggregation key so the internetwork tiers (doc/INTERNET.md) never
+  // merge with the single-segment rows they're compared against.
+  int segments = 1;
+  double opt_relayed = 0;  // gateway store-and-forward copies (segments > 1)
   double base_events = 0, opt_events = 0;        // events executed
   double base_scheduled = 0, opt_scheduled = 0;  // timer churn
   double base_frames = 0, opt_frames = 0;

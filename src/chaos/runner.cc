@@ -10,6 +10,7 @@
 
 #include "chaos/workload.h"
 #include "core/network.h"
+#include "inet/internet.h"
 
 namespace soda::chaos {
 
@@ -43,13 +44,20 @@ Window resolve(const Scenario& s, const Fault& f) {
   return w;
 }
 
-/// Translate the scenario's link faults into deterministic bus filters.
-/// Loss windows and partitions share the loss filter; corruption,
+/// Translate the scenario's link faults into deterministic bus filters on
+/// ONE bus. Loss windows and partitions share the loss filter; corruption,
 /// duplication and delay each get their own, so every fault kind honours
-/// its node/peer restriction.
-void install_link_faults(Network& net, const Scenario& s) {
+/// its node/peer restriction. A fault with `segment >= 0` is installed
+/// only on that segment's bus (per-segment targeting, satellite of
+/// doc/INTERNET.md) — the filtering happens here at install time, so the
+/// per-frame filter bodies (and their RNG draw order) are identical to
+/// the single-bus original.
+void install_link_faults(sim::Simulator& sim, net::Bus& bus, int bus_segment,
+                         const Scenario& s) {
   std::vector<Window> losses, partitions, dups, delays, corrupts;
   for (const Fault& f : s.faults) {
+    const bool here = f.segment < 0 || f.segment == bus_segment;
+    if (!here) continue;
     switch (f.kind) {
       case FaultKind::kLoss: losses.push_back(resolve(s, f)); break;
       case FaultKind::kPartition: partitions.push_back(resolve(s, f)); break;
@@ -59,9 +67,6 @@ void install_link_faults(Network& net, const Scenario& s) {
       default: break;
     }
   }
-
-  auto& sim = net.sim();
-  auto& bus = net.bus();
 
   if (!losses.empty() || !partitions.empty()) {
     bus.set_loss_filter([&sim, losses, partitions](const net::Frame& f, Mid dst) {
@@ -128,8 +133,10 @@ void install_link_faults(Network& net, const Scenario& s) {
 /// workload client; the kernel keeps its monotone TID floor and its
 /// Delta-t quarantine across the reboot (§5.4), so rebooting before the
 /// quarantine elapses is protocol-safe — the transport just stays silent
-/// until it expires.
-void schedule_crashes(Network& net, const Scenario& s) {
+/// until it expires. Works against either topology (Network or
+/// inet::Internet — both expose sim() and node(mid)).
+template <typename Net>
+void schedule_crashes(Net& net, const Scenario& s) {
   auto& sim = net.sim();
   for (const Fault& f : s.faults) {
     if (f.kind != FaultKind::kCrash) continue;
@@ -141,6 +148,53 @@ void schedule_crashes(Network& net, const Scenario& s) {
         net.node(mid).install_client(make_workload_client(s, mid), mid);
       });
     }
+  }
+}
+
+/// Schedule kGatewayCrash events (f.node indexes into gateways() in
+/// creation order) and install the relay-drop windows that implement
+/// kSegmentPartition / asymmetric routes. The ForwardFilter survives a
+/// gateway crash/reboot — it models the inter-segment links, not the
+/// bridge hardware — so a partition that spans a gateway flap stays cut.
+void install_inet_faults(inet::Internet& net, const Scenario& s) {
+  auto& sim = net.sim();
+  for (const Fault& f : s.faults) {
+    if (f.kind != FaultKind::kGatewayCrash) continue;
+    if (f.node < 0 ||
+        static_cast<std::size_t>(f.node) >= net.gateways().size()) {
+      continue;
+    }
+    inet::Gateway& g = *net.gateways()[static_cast<std::size_t>(f.node)];
+    sim.at(f.at, [&g] { g.crash(); });
+    if (f.reboot_after > 0) {
+      sim.at(f.at + f.reboot_after, [&g] { g.reboot(); });
+    }
+  }
+
+  struct Cut {
+    sim::Time at = 0;
+    sim::Time until = 0;
+    int from = -1;
+    int to = -1;
+  };
+  std::vector<Cut> cuts;
+  for (const Fault& f : s.faults) {
+    if (f.kind != FaultKind::kSegmentPartition) continue;
+    cuts.push_back(Cut{f.at, s.window_end(f), f.node, f.peer});
+  }
+  if (cuts.empty()) return;
+  for (auto& g : net.gateways()) {
+    g->set_forward_filter(
+        [&sim, cuts](const net::Frame&, int from, int to) {
+          const sim::Time now = sim.now();
+          for (const Cut& c : cuts) {
+            if (now >= c.at && now < c.until && c.from == from &&
+                c.to == to) {
+              return true;
+            }
+          }
+          return false;
+        });
   }
 }
 
@@ -164,11 +218,30 @@ RunResult run_guarded(const Scenario& scenario, std::uint64_t seed,
 RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
                        const InvariantFactory& extra,
                        const RunOptions& options) {
-  Network::Options nopts;
-  nopts.seed = seed;
-  if (scenario.fast) nopts.bus = net::BusConfig::fast();
-  Network net(nopts);
-  auto& sim = net.sim();
+  // Topology: the classic single broadcast bus, or — when the scenario
+  // declares segments — an internetwork of per-segment buses joined by one
+  // hub gateway. Node MID i lives on segment i % segments, so servers and
+  // load clients spread across segments and a share of every run's
+  // traffic crosses the store-and-forward relay.
+  const int segments = scenario.segments > 1 ? scenario.segments : 1;
+  std::unique_ptr<Network> single;
+  std::unique_ptr<inet::Internet> internet;
+  if (segments > 1) {
+    inet::Internet::Options iopts;
+    iopts.seed = seed;
+    iopts.segments = segments;
+    if (scenario.fast) {
+      iopts.bus = net::BusConfig::fast();
+      iopts.gateway = inet::GatewayConfig::fast();
+    }
+    internet = std::make_unique<inet::Internet>(std::move(iopts));
+  } else {
+    Network::Options nopts;
+    nopts.seed = seed;
+    if (scenario.fast) nopts.bus = net::BusConfig::fast();
+    single = std::make_unique<Network>(nopts);
+  }
+  auto& sim = single ? single->sim() : internet->sim();
   sim.trace().enable_all();
   sim.trace().set_store(options.keep_events);
 
@@ -208,16 +281,23 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
   for (int mid = 0; mid < scenario.nodes; ++mid) {
     NodeConfig cfg;
     if (scenario.fast) cfg.timing = TimingModel::fast();
+    const int seg = mid % segments;
     for (const Fault& f : scenario.faults) {
-      if (f.kind == FaultKind::kTimerSkew && f.node == mid) {
-        apply_timer_skew(cfg.timing, f.factor);
-      }
+      if (f.kind != FaultKind::kTimerSkew) continue;
+      const bool direct = f.node == mid;
+      const bool whole_segment =
+          f.node < 0 && f.segment >= 0 && f.segment == seg;
+      if (direct || whole_segment) apply_timer_skew(cfg.timing, f.factor);
     }
     timings.push_back(cfg.timing);
-    Node& n = net.add_node(std::move(cfg));
+    Node& n = single ? single->add_node(std::move(cfg))
+                     : internet->add_node(seg, std::move(cfg));
     n.install_client(make_workload_client(scenario, static_cast<Mid>(mid)),
                      n.mid());
   }
+  // The hub bridge takes MID == scenario.nodes (next off the shared
+  // counter) — scenario faults never address it as a node.
+  if (internet) internet->add_gateway();
 
   // Construction-time Delta-t validation: the workload only exchanges
   // sequenced traffic between clients and servers, so check each such pair
@@ -249,18 +329,30 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
     }
   }
 
-  install_link_faults(net, scenario);
-  schedule_crashes(net, scenario);
-
-  net.run_for(scenario.end_time());
-  net.check_clients();
+  if (single) {
+    install_link_faults(sim, single->bus(), 0, scenario);
+    schedule_crashes(*single, scenario);
+    single->run_for(scenario.end_time());
+    single->check_clients();
+  } else {
+    for (int s = 0; s < segments; ++s) {
+      install_link_faults(sim, internet->bus(s), s, scenario);
+    }
+    schedule_crashes(*internet, scenario);
+    install_inet_faults(*internet, scenario);
+    internet->run_for(scenario.end_time());
+    internet->check_clients();
+  }
   invariants.finish(sim.now());
 
   result.trace_hash = hash;
   result.violations = invariants.violations();
-  result.stats.frames_sent = net.bus().frames_sent();
-  result.stats.frames_lost = net.bus().frames_lost();
-  result.stats.frames_duplicated = net.bus().frames_duplicated();
+  for (int s = 0; s < segments; ++s) {
+    net::Bus& b = single ? single->bus() : internet->bus(s);
+    result.stats.frames_sent += b.frames_sent();
+    result.stats.frames_lost += b.frames_lost();
+    result.stats.frames_duplicated += b.frames_duplicated();
+  }
   if (options.keep_events) result.events = sim.trace().events();
   // The observer references locals of this frame; drop it before they die.
   sim.trace().set_observer(nullptr);

@@ -16,12 +16,15 @@ const char* to_string(FaultKind k) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kTimerSkew: return "timer_skew";
+    case FaultKind::kGatewayCrash: return "gateway_crash";
+    case FaultKind::kSegmentPartition: return "segment_partition";
   }
   return "unknown";
 }
 
 std::optional<FaultKind> fault_kind_from_string(std::string_view s) {
-  constexpr auto kLast = static_cast<std::size_t>(FaultKind::kTimerSkew);
+  constexpr auto kLast =
+      static_cast<std::size_t>(FaultKind::kSegmentPartition);
   for (std::size_t i = 0; i <= kLast; ++i) {
     const auto k = static_cast<FaultKind>(i);
     if (s == to_string(k)) return k;
@@ -32,7 +35,7 @@ std::optional<FaultKind> fault_kind_from_string(std::string_view s) {
 // ---------------------------------------------------------------- builder
 
 Scenario& Scenario::lose(double p, sim::Time at, sim::Time until, int node,
-                         int peer) {
+                         int peer, int segment) {
   Fault f;
   f.kind = FaultKind::kLoss;
   f.probability = p;
@@ -40,12 +43,13 @@ Scenario& Scenario::lose(double p, sim::Time at, sim::Time until, int node,
   f.until = until;
   f.node = node;
   f.peer = peer;
+  f.segment = segment;
   faults.push_back(f);
   return *this;
 }
 
 Scenario& Scenario::corrupt(double p, sim::Time at, sim::Time until, int node,
-                            int peer) {
+                            int peer, int segment) {
   Fault f;
   f.kind = FaultKind::kCorrupt;
   f.probability = p;
@@ -53,12 +57,13 @@ Scenario& Scenario::corrupt(double p, sim::Time at, sim::Time until, int node,
   f.until = until;
   f.node = node;
   f.peer = peer;
+  f.segment = segment;
   faults.push_back(f);
   return *this;
 }
 
 Scenario& Scenario::duplicate(double p, sim::Time at, sim::Time until,
-                              int node, int peer) {
+                              int node, int peer, int segment) {
   Fault f;
   f.kind = FaultKind::kDuplicate;
   f.probability = p;
@@ -66,12 +71,14 @@ Scenario& Scenario::duplicate(double p, sim::Time at, sim::Time until,
   f.until = until;
   f.node = node;
   f.peer = peer;
+  f.segment = segment;
   faults.push_back(f);
   return *this;
 }
 
 Scenario& Scenario::delay_frames(sim::Duration max_extra, sim::Time at,
-                                 sim::Time until, int node, int peer) {
+                                 sim::Time until, int node, int peer,
+                                 int segment) {
   Fault f;
   f.kind = FaultKind::kDelay;
   f.delay = max_extra;
@@ -79,6 +86,7 @@ Scenario& Scenario::delay_frames(sim::Duration max_extra, sim::Time at,
   f.until = until;
   f.node = node;
   f.peer = peer;
+  f.segment = segment;
   faults.push_back(f);
   return *this;
 }
@@ -123,6 +131,51 @@ Scenario& Scenario::anycast_pool() {
   return *this;
 }
 
+Scenario& Scenario::segment_count(int n) {
+  segments = n;
+  return *this;
+}
+
+Scenario& Scenario::gateway_crash(int gateway, sim::Time at,
+                                  sim::Duration reboot_after) {
+  Fault f;
+  f.kind = FaultKind::kGatewayCrash;
+  f.node = gateway;
+  f.at = at;
+  f.reboot_after = reboot_after;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::segment_partition(int seg_a, int seg_b, sim::Time at,
+                                      sim::Time until) {
+  asymmetric_route(seg_a, seg_b, at, until);
+  asymmetric_route(seg_b, seg_a, at, until);
+  return *this;
+}
+
+Scenario& Scenario::asymmetric_route(int from_seg, int to_seg, sim::Time at,
+                                     sim::Time until) {
+  Fault f;
+  f.kind = FaultKind::kSegmentPartition;
+  f.node = from_seg;
+  f.peer = to_seg;
+  f.at = at;
+  f.until = until;
+  faults.push_back(f);
+  return *this;
+}
+
+Scenario& Scenario::skew_segment(int segment, double factor) {
+  Fault f;
+  f.kind = FaultKind::kTimerSkew;
+  f.node = -1;
+  f.segment = segment;
+  f.factor = factor;
+  faults.push_back(f);
+  return *this;
+}
+
 void apply_timer_skew(TimingModel& t, double factor) {
   auto scale = [factor](sim::Duration& d) {
     d = static_cast<sim::Duration>(static_cast<double>(d) * factor + 0.5);
@@ -154,6 +207,7 @@ std::string to_jsonl(const Scenario& s) {
       .set("accept_delay", static_cast<std::int64_t>(s.accept_delay));
   if (s.fast) header.set("fast", 1);
   if (s.anycast) header.set("anycast", 1);
+  if (s.segments != 1) header.set("segments", s.segments);
   out += header.str();
   out += '\n';
   for (const Fault& f : s.faults) {
@@ -169,6 +223,7 @@ std::string to_jsonl(const Scenario& s) {
     if (f.group != 0) o.set("group", static_cast<std::uint64_t>(f.group));
     if (f.reboot_after != 0)
       o.set("reboot_after", static_cast<std::int64_t>(f.reboot_after));
+    if (f.segment != -1) o.set("segment", f.segment);
     out += o.str();
     out += '\n';
   }
@@ -266,6 +321,7 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
       int anycast_flag = 0;
       if (!read_int(*fields, "anycast", anycast_flag)) return std::nullopt;
       s.anycast = anycast_flag != 0;
+      if (!read_int(*fields, "segments", s.segments)) return std::nullopt;
       continue;
     }
 
@@ -284,7 +340,8 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
           !read_i64(*fields, "delay", f.delay) ||
           !read_double(*fields, "factor", f.factor) ||
           !read_u64(*fields, "group", f.group) ||
-          !read_i64(*fields, "reboot_after", f.reboot_after)) {
+          !read_i64(*fields, "reboot_after", f.reboot_after) ||
+          !read_int(*fields, "segment", f.segment)) {
         return std::nullopt;
       }
       s.faults.push_back(f);
@@ -295,6 +352,7 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text) {
   }
   if (!saw_header) return std::nullopt;
   if (s.nodes < 1 || s.servers < 0 || s.servers > s.nodes) return std::nullopt;
+  if (s.segments < 1) return std::nullopt;
   return s;
 }
 
@@ -522,6 +580,122 @@ std::optional<Scenario> builtin_scenario(std::string_view name) {
     return s;
   }
 
+  // ---- multi-segment internetwork builtins (doc/INTERNET.md). All use
+  // 2 segments bridged by one hub gateway; node MID i lives on segment
+  // i % 2, so server 0 / the even clients share segment 0 and server 1 /
+  // the odd clients share segment 1 — half of all request traffic crosses
+  // the relay. All are swept 200 seeds in tests/test_inet.cc and CI.
+
+  if (name == "inet_smoke") {
+    // Cross-segment baseline: background loss and duplication on both
+    // segments while every other request crosses the gateway. Exercises
+    // route learning, DISCOVER flooding, and retransmission across the
+    // store-and-forward hop — with zero injected topology faults, every
+    // op must terminate COMPLETED.
+    Scenario s;
+    s.name = "inet_smoke";
+    s.nodes = 10;
+    s.servers = 2;
+    s.segments = 2;
+    s.duration = 2 * kSecond;
+    s.drain = 1500 * kMillisecond;
+    s.request_interval = 10 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;  // 200 us dawdle -> requests pending across hops
+    s.fast_timing().lose(0.05).duplicate(0.02);
+    return s;
+  }
+
+  if (name == "inet_partition") {
+    // Inter-segment partition: the gateway stops relaying in both
+    // directions for 400 ms mid-storm. Cross-segment requests in flight
+    // hit the crash detector (an unreachable peer is indistinguishable
+    // from a dead one, §3.6) and must terminate CRASHED exactly once;
+    // same-segment traffic must not notice. After the window heals, the
+    // relay must carry new requests again.
+    Scenario s;
+    s.name = "inet_partition";
+    s.nodes = 10;
+    s.servers = 2;
+    s.segments = 2;
+    s.duration = 2 * kSecond;
+    s.drain = 2 * kSecond;
+    s.request_interval = 10 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;
+    s.fast_timing().lose(0.03);
+    s.segment_partition(0, 1, /*at=*/800 * kMillisecond,
+                        /*until=*/1200 * kMillisecond);
+    return s;
+  }
+
+  if (name == "gateway_flap") {
+    // The hub gateway hard-crashes mid-flight — dropping its egress
+    // queues and every learned route — reboots blank, and crashes again
+    // later. Each outage is a total inter-segment partition; each reboot
+    // must re-learn routes from live traffic alone.
+    Scenario s;
+    s.name = "gateway_flap";
+    s.nodes = 10;
+    s.servers = 2;
+    s.segments = 2;
+    s.duration = 2500 * kMillisecond;
+    s.drain = 2 * kSecond;
+    s.request_interval = 10 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;
+    s.fast_timing().lose(0.03);
+    s.gateway_crash(/*gateway=*/0, /*at=*/700 * kMillisecond,
+                    /*reboot_after=*/400 * kMillisecond);
+    s.gateway_crash(/*gateway=*/0, /*at=*/1800 * kMillisecond,
+                    /*reboot_after=*/300 * kMillisecond);
+    return s;
+  }
+
+  if (name == "inet_asymmetric") {
+    // One-way relay blackouts: first segment 0 -> 1 dies (requests from
+    // even clients to server 1 still arrive, every reply vanishes), then
+    // 1 -> 0. The hardest case for the retransmission budget across hops,
+    // mirroring the single-bus asymmetric_partition builtin.
+    Scenario s;
+    s.name = "inet_asymmetric";
+    s.nodes = 10;
+    s.servers = 2;
+    s.segments = 2;
+    s.duration = 2 * kSecond;
+    s.drain = 2 * kSecond;
+    s.request_interval = 10 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;
+    s.fast_timing().lose(0.03);
+    s.asymmetric_route(0, 1, /*at=*/600 * kMillisecond,
+                       /*until=*/1 * kSecond);
+    s.asymmetric_route(1, 0, /*at=*/1400 * kMillisecond,
+                       /*until=*/1800 * kMillisecond);
+    return s;
+  }
+
+  if (name == "inet_skew") {
+    // Cross-segment clock drift: every node on segment 1 runs 15% fast
+    // relative to segment 0 (two machine rooms, two oscillators), inside
+    // the ~1.23x at-most-once envelope, under background loss and
+    // duplication — while the relay adds real latency between the drifted
+    // clocks. Delta-t must still deliver at most once.
+    Scenario s;
+    s.name = "inet_skew";
+    s.nodes = 10;
+    s.servers = 2;
+    s.segments = 2;
+    s.duration = 2 * kSecond;
+    s.drain = 2 * kSecond;
+    s.request_interval = 10 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 200;
+    s.fast_timing().lose(0.05).duplicate(0.02);
+    s.skew_segment(/*segment=*/1, /*factor=*/1.15);
+    return s;
+  }
+
   return std::nullopt;
 }
 
@@ -530,7 +704,9 @@ std::vector<std::string> builtin_scenario_names() {
           "loss_storm",      "asymmetric_partition",
           "crash_during_boot", "skew_extreme",
           "overload",        "scale_32",
-          "pool_failover"};
+          "pool_failover",   "inet_smoke",
+          "inet_partition",  "gateway_flap",
+          "inet_asymmetric", "inet_skew"};
 }
 
 }  // namespace soda::chaos

@@ -35,6 +35,11 @@ enum class FaultKind : std::uint8_t {
   kPartition,  // windowed: drop frames crossing the `group` boundary
   kCrash,      // event: hard-fail `node` at `at`; reboot after `reboot_after`
   kTimerSkew,  // setup: scale `node`'s protocol timers by `factor`
+  // multi-segment faults (scenario.segments > 1, doc/INTERNET.md):
+  kGatewayCrash,      // event: gateway index `node` crashes / reboots
+  kSegmentPartition,  // windowed: gateways drop relays from segment `node`
+                      // to segment `peer` (one direction — add the mirror
+                      // fault for a symmetric partition)
 };
 
 const char* to_string(FaultKind k);
@@ -50,7 +55,11 @@ struct Fault {
   sim::Duration delay = 0;       // kDelay: max extra latency (keep < MPL)
   double factor = 1.0;           // kTimerSkew
   std::uint64_t group = 0;       // kPartition: bitmask of MIDs in group A
-  sim::Duration reboot_after = 0;  // kCrash: 0 = stays down
+  sim::Duration reboot_after = 0;  // kCrash / kGatewayCrash: 0 = stays down
+  /// Link faults: restrict the fault to one segment's bus (-1 = every
+  /// segment). kTimerSkew with node == -1: skew every node on the segment
+  /// (cross-segment clock drift). Ignored by other kinds.
+  int segment = -1;
 
   bool operator==(const Fault&) const = default;
 };
@@ -59,6 +68,12 @@ struct Scenario {
   std::string name = "unnamed";
   int nodes = 4;
   int servers = 1;  // MIDs [0, servers) run echo servers, the rest load
+  /// Bus segments. 1 = the classic single broadcast bus (core::Network).
+  /// > 1 = an inet::Internet: node MID i lives on segment i % segments and
+  /// one hub gateway (MID `nodes`) bridges every segment — so servers and
+  /// clients spread across segments and a share of all traffic crosses
+  /// the relay (doc/INTERNET.md).
+  int segments = 1;
   sim::Duration duration = 10 * sim::kSecond;  // load-generation phase
   sim::Duration drain = 10 * sim::kSecond;     // quiesce phase (no new load)
   sim::Duration request_interval = 50 * sim::kMillisecond;  // per client
@@ -80,18 +95,33 @@ struct Scenario {
 
   // --- builder (each returns *this for chaining) ---
   Scenario& lose(double p, sim::Time at = 0, sim::Time until = 0,
-                 int node = -1, int peer = -1);
+                 int node = -1, int peer = -1, int segment = -1);
   Scenario& corrupt(double p, sim::Time at = 0, sim::Time until = 0,
-                    int node = -1, int peer = -1);
+                    int node = -1, int peer = -1, int segment = -1);
   Scenario& duplicate(double p, sim::Time at = 0, sim::Time until = 0,
-                      int node = -1, int peer = -1);
+                      int node = -1, int peer = -1, int segment = -1);
   Scenario& delay_frames(sim::Duration max_extra, sim::Time at = 0,
-                         sim::Time until = 0, int node = -1, int peer = -1);
+                         sim::Time until = 0, int node = -1, int peer = -1,
+                         int segment = -1);
   Scenario& partition(std::uint64_t group_mask, sim::Time at, sim::Time until);
   Scenario& crash(int node, sim::Time at, sim::Duration reboot_after = 0);
   Scenario& skew_timers(int node, double factor);
   Scenario& fast_timing();
   Scenario& anycast_pool();
+  // multi-segment builders
+  Scenario& segment_count(int n);
+  Scenario& gateway_crash(int gateway, sim::Time at,
+                          sim::Duration reboot_after = 0);
+  /// Cut relaying between two segments in both directions for a window.
+  Scenario& segment_partition(int seg_a, int seg_b, sim::Time at,
+                              sim::Time until);
+  /// Cut relaying in ONE direction (from -> to): requests still cross,
+  /// replies vanish (or vice versa) — the asymmetric-route case.
+  Scenario& asymmetric_route(int from_seg, int to_seg, sim::Time at,
+                             sim::Time until);
+  /// Skew the protocol timers of every node on a segment (clock drift
+  /// between machine rooms rather than one bad oscillator).
+  Scenario& skew_segment(int segment, double factor);
 
   /// End of the simulated run (load + quiesce).
   sim::Time end_time() const { return duration + drain; }
@@ -120,8 +150,10 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text);
 /// (a node crashes again right after its reboot lands), "skew_extreme"
 /// (3x fast and 3x slow Delta-t clocks side by side), "scale_32"
 /// (32 nodes under the fast timing preset — the scaling regression gate),
-/// and "pool_failover" (clients target a 4-server anycast pool while two
-/// members crash mid-run — the pool must route around them).
+/// "pool_failover" (clients target a 4-server anycast pool while two
+/// members crash mid-run — the pool must route around them), and the
+/// two-segment internetwork family "inet_smoke" / "inet_partition" /
+/// "gateway_flap" / "inet_asymmetric" / "inet_skew" (doc/INTERNET.md).
 std::optional<Scenario> builtin_scenario(std::string_view name);
 std::vector<std::string> builtin_scenario_names();
 

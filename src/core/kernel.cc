@@ -821,14 +821,22 @@ std::optional<Mid> Kernel::anycast_pick(Pattern pattern) {
   return pool.members[best];
 }
 
-void Kernel::anycast_note_member(Pattern pattern, Mid server) {
+void Kernel::anycast_note_member(Pattern pattern, Mid server,
+                                 std::uint8_t hops) {
   if (server < 0 || server == mid_) return;  // never pool ourselves (§3.3)
   AnycastPool& pool = anycast_[pattern & kPatternMask];
   auto it = std::lower_bound(pool.members.begin(), pool.members.end(), server);
   if (it != pool.members.end() && *it == server) return;
   const auto idx = static_cast<std::size_t>(it - pool.members.begin());
+  // Remote members start handicapped by their relay distance so the
+  // least-shed pick keeps traffic on-segment until local members are
+  // genuinely more loaded (doc/INTERNET.md). Local replies have hops 0.
+  const std::uint32_t seed_score = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(hops) * config_.anycast_hop_bias,
+      kShedScoreCap);
   pool.members.insert(it, server);
-  pool.shed.insert(pool.shed.begin() + static_cast<std::ptrdiff_t>(idx), 0);
+  pool.shed.insert(pool.shed.begin() + static_cast<std::ptrdiff_t>(idx),
+                   seed_score);
 }
 
 void Kernel::anycast_note_shed(Pattern pattern, Mid server,
@@ -900,7 +908,7 @@ void Kernel::deliver(const net::Frame& f) {
       // Every DISCOVER reply seeds the anycast directory for its pattern,
       // even when the originating request already completed: a reply is
       // positive evidence that `src` serves the pattern right now.
-      anycast_note_member(d.pattern & kPatternMask, f.src);
+      anycast_note_member(d.pattern & kPatternMask, f.src, f.hops);
       auto it = pending_.find(d.tid);
       if (it != pending_.end() && it->second.discover) {
         auto& mids = it->second.discovered;

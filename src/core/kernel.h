@@ -279,8 +279,11 @@ class Kernel {
   void on_failed(Mid peer, const net::Frame& sent, net::NackReason reason);
   void on_busy(Mid peer, const net::Frame& sent, std::uint8_t hint);
 
-  // anycast directory bookkeeping (no-ops for unknown patterns/members)
-  void anycast_note_member(Pattern pattern, Mid server);
+  // anycast directory bookkeeping (no-ops for unknown patterns/members).
+  // `hops` is the relay distance the seeding DISCOVER reply travelled; a
+  // first sighting starts at hops * config_.anycast_hop_bias shed score.
+  void anycast_note_member(Pattern pattern, Mid server,
+                           std::uint8_t hops = 0);
   void anycast_note_shed(Pattern pattern, Mid server, std::uint8_t hint);
   void anycast_note_result(Pattern pattern, Mid server,
                            CompletionStatus status);

@@ -93,6 +93,12 @@ class Bus {
   Bus(sim::Simulator& sim, BusConfig config) : sim_(sim), config_(config) {}
   virtual ~Bus() = default;
 
+  /// Segment id stamped into this bus's packet-trace events (detail field)
+  /// so multi-segment traces are attributable. -1 (the default) stamps
+  /// nothing, keeping single-bus trace hashes byte-identical.
+  void set_segment(int segment) { segment_ = segment; }
+  int segment() const { return segment_; }
+
   Bus(const Bus&) = delete;
   Bus& operator=(const Bus&) = delete;
 
@@ -129,7 +135,7 @@ class Bus {
         config_.propagation +
         static_cast<sim::Duration>(size) * config_.us_per_byte;
     sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketSent,
-                        frame.src, trace_payload(frame));
+                        frame.src, stamp(trace_payload(frame)));
     ++frames_sent_;
     bytes_sent_ += size;
     if (auto* m = metrics_for(frame.src)) {
@@ -144,7 +150,7 @@ class Bus {
       if (dropped) {
         sim_.trace().record(
             sim_.now(), sim::TraceCategory::kPacketDropped, mid,
-            trace_payload(frame).with_status(sim::TraceStatus::kLost));
+            stamp(trace_payload(frame).with_status(sim::TraceStatus::kLost)));
         ++frames_lost_;
         if (auto* m = metrics_for(mid)) m->add(stats::Counter::kFramesDropped);
         return;
@@ -240,6 +246,25 @@ class Bus {
     if (it != stations_.end()) it->second.interest = std::move(filter);
   }
 
+  /// Register a promiscuous relay tap (a gateway NIC): unicast frames
+  /// addressed to a MID with no station on this segment are handed to every
+  /// tap instead of vanishing, after the same loss/corruption/latency
+  /// treatment the intended receiver would have seen. The frame's own dst
+  /// is left untouched — the tap sees where it was going, not itself.
+  /// Broadcast frames reach a gateway through its ordinary station
+  /// attachment, not the tap. With no taps registered the bus behaves
+  /// byte-identically to a tap-less build.
+  void add_relay_tap(Mid tap_mid, FrameRefSink sink) {
+    remove_relay_tap(tap_mid);
+    taps_.push_back(Tap{tap_mid, std::move(sink)});
+  }
+
+  void remove_relay_tap(Mid tap_mid) {
+    taps_.erase(std::remove_if(taps_.begin(), taps_.end(),
+                               [&](const Tap& t) { return t.mid == tap_mid; }),
+                taps_.end());
+  }
+
   /// The frame pool backing this bus. Subclasses (and senders that build
   /// frames themselves) pool frames here before send_ref().
   FramePool& pool() { return pool_; }
@@ -292,6 +317,17 @@ class Bus {
     InterestFilter interest;  // empty = promiscuous (receive everything)
   };
 
+  struct Tap {
+    Mid mid;
+    FrameRefSink sink;
+  };
+
+  /// Attribute a packet-trace payload to this bus's segment, when set.
+  sim::TracePayload stamp(sim::TracePayload p) const {
+    if (segment_ >= 0) p.with_detail(segment_);
+    return p;
+  }
+
   static void dispatch(const Station& s, const FrameRef& f) {
     if (s.sink_ref) {
       s.sink_ref(f);
@@ -302,15 +338,29 @@ class Bus {
 
   /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted
   /// deliveries (`damaged` is per-delivery — the shared frame is immutable).
+  /// A delivery whose station is absent (powered off, or on another
+  /// segment) goes to the relay taps instead, if any are registered.
   void schedule_delivery(Mid mid, FrameRef f, sim::Duration delay,
                          bool duplicate, bool damaged) {
     sim_.after(delay, [this, mid, duplicate, damaged, f = std::move(f)]() {
       auto it = stations_.find(mid);
-      if (it == stations_.end()) return;  // station powered off
+      if (it == stations_.end()) {
+        // No station here. Historically the frame just vanished; with
+        // relay taps registered it is the gateways' to forward — unless
+        // the CRC check would have discarded it anyway.
+        if (!damaged) {
+          for (const auto& tap : taps_) {
+            if (tap.mid == f->src) continue;
+            tap.sink(f);
+          }
+        }
+        return;
+      }
       if (damaged) {
         sim_.trace().record(
             sim_.now(), sim::TraceCategory::kPacketDropped, mid,
-            trace_payload(*f).with_status(sim::TraceStatus::kCrcDropped));
+            stamp(trace_payload(*f).with_status(
+                sim::TraceStatus::kCrcDropped)));
         ++frames_corrupted_;
         if (auto* m = it->second.metrics) {
           m->add(stats::Counter::kFramesDropped);
@@ -321,7 +371,7 @@ class Bus {
       auto payload = trace_payload(*f);
       if (duplicate) payload.with_status(sim::TraceStatus::kDuplicated);
       sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
-                          mid, payload);
+                          mid, stamp(payload));
       if (auto* m = it->second.metrics)
         m->add(stats::Counter::kFramesReceived);
       dispatch(it->second, f);
@@ -332,6 +382,8 @@ class Bus {
   BusConfig config_;
   FramePool pool_;
   std::unordered_map<Mid, Station> stations_;
+  std::vector<Tap> taps_;
+  int segment_ = -1;
   LossFilter loss_filter_;
   DupFilter dup_filter_;
   DelayFilter delay_filter_;

@@ -53,6 +53,10 @@ std::string Frame::describe() const {
        << (data_tag == DataTag::kRequestData ? "req" : "acc") << "]";
   }
   if (data_ack != kNoTid) os << " DATA_ACK(" << data_ack << ")";
+  if (hops > 0) {
+    os << " RELAY[hops=" << static_cast<int>(hops) << ",via=" << relay_src
+       << "]";
+  }
   return os.str();
 }
 

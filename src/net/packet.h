@@ -174,6 +174,15 @@ struct Frame {
   /// it carries its own acknowledgement.
   Tid data_ack = kNoTid;
 
+  // --- internetwork relay shim (soda::inet, doc/INTERNET.md) ---
+  // Zero on every frame a kernel originates; gateways stamp both fields
+  // when forwarding across segments. hops counts store-and-forward
+  // traversals (the TTL kills routing loops); relay_src is the MID of the
+  // last gateway that forwarded the frame, so a neighbouring gateway can
+  // suppress the echo of its own relay without a dedup cache.
+  std::uint8_t hops = 0;
+  Mid relay_src = kBroadcastMid;
+
   /// True when this frame needs reliable (sequenced) delivery.
   bool sequenced() const { return seq.has_value(); }
 
@@ -190,6 +199,7 @@ struct Frame {
     if (discover) n += 10;
     if (cancel) n += 10;
     if (data_ack != kNoTid) n += 10;
+    if (hops > 0) n += kRelayShimBytes;  // only relayed frames pay for it
     n += data.size();
     return n;
   }
@@ -200,6 +210,7 @@ struct Frame {
   static constexpr std::size_t kHeaderBytes = 12;
   static constexpr std::size_t kRequestHeaderBytes = 22;
   static constexpr std::size_t kAcceptHeaderBytes = 18;
+  static constexpr std::size_t kRelayShimBytes = 6;  // hop count + relay MID
 };
 
 /// Typed trace payload for a frame: section bitmask, peer, tid, size. Used

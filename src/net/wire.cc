@@ -18,6 +18,7 @@ constexpr std::uint16_t kHasCancel = 1 << 7;
 constexpr std::uint16_t kHasData = 1 << 8;
 constexpr std::uint16_t kHasDataAck = 1 << 9;
 constexpr std::uint16_t kConnOpen = 1 << 10;
+constexpr std::uint16_t kHasRelay = 1 << 11;  // gateway-relayed (hops > 0)
 
 class Writer {
  public:
@@ -122,6 +123,7 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
   if (f.data_tag != DataTag::kNone || !f.data.empty()) present |= kHasData;
   if (f.data_ack != kNoTid) present |= kHasDataAck;
   if (f.conn_open) present |= kConnOpen;
+  if (f.hops > 0) present |= kHasRelay;
   w.u16(present);
 
   w.i32(f.src);
@@ -173,6 +175,10 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
     w.bytes(f.data);
   }
   if (present & kHasDataAck) w.i64(f.data_ack);
+  if (present & kHasRelay) {
+    w.u8(f.hops);
+    w.i32(f.relay_src);
+  }
 
   // Trailer checksum over everything so far.
   auto& buf = w.buf();
@@ -261,6 +267,10 @@ std::optional<Frame> decode_frame(const std::uint8_t* data,
     f.data = r.bytes(n);
   }
   if (present & kHasDataAck) f.data_ack = r.i64();
+  if (present & kHasRelay) {
+    f.hops = r.u8();
+    f.relay_src = r.i32();
+  }
 
   if (!r.ok() || r.remaining() != 0) return std::nullopt;
   return f;

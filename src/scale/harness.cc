@@ -13,6 +13,7 @@
 #include "chaos/invariants.h"
 #include "chaos/runner.h"
 #include "core/network.h"
+#include "inet/internet.h"
 #include "sodal/nameserver.h"
 #include "sodal/sodal.h"
 
@@ -282,11 +283,28 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   }
   o.servers = std::clamp(o.servers, 1, std::max(1, o.nodes - 1));
 
-  Network::Options nopts;
-  nopts.seed = o.seed;
-  if (o.fast) nopts.bus = net::BusConfig::fast();
-  Network net(nopts);
-  auto& sim = net.sim();
+  // Topology: segments == 1 keeps core::Network — the configuration every
+  // committed baseline row and pinned hash was recorded under. Multi-
+  // segment runs build an inet::Internet with a hub gateway instead.
+  const int segments = o.segments > 1 ? o.segments : 1;
+  std::unique_ptr<Network> net_single;
+  std::unique_ptr<inet::Internet> internet;
+  if (segments > 1) {
+    inet::Internet::Options iopts;
+    iopts.seed = o.seed;
+    iopts.segments = segments;
+    if (o.fast) {
+      iopts.bus = net::BusConfig::fast();
+      iopts.gateway = inet::GatewayConfig::fast();
+    }
+    internet = std::make_unique<inet::Internet>(std::move(iopts));
+  } else {
+    Network::Options nopts;
+    nopts.seed = o.seed;
+    if (o.fast) nopts.bus = net::BusConfig::fast();
+    net_single = std::make_unique<Network>(nopts);
+  }
+  auto& sim = net_single ? net_single->sim() : internet->sim();
 
   chaos::InvariantSet invariants = chaos::InvariantSet::standard();
   std::uint64_t hash = chaos::kTraceHashSeed;
@@ -318,14 +336,21 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     // Pool runs measure the full anycast + load-adaptive stack; non-pool
     // rows keep the fixed watermarks their baselines were recorded under.
     cfg.adaptive_admission = o.pool_size > 0 && o.optimized;
-    Node& n = net.add_node(std::move(cfg));
+    Node& n = net_single
+                  ? net_single->add_node(std::move(cfg))
+                  : internet->add_node(mid % segments, std::move(cfg));
     n.install_client(make_scale_client(o, mid, &tally), n.mid());
   }
+  // The hub bridge takes MID == o.nodes, the next off the shared counter.
+  if (internet) internet->add_gateway();
 
   if (o.loss > 0) {
-    net.bus().set_loss_filter([&sim, p = o.loss](const net::Frame&, Mid) {
-      return sim.rng().chance(p);
-    });
+    for (int s = 0; s < segments; ++s) {
+      net::Bus& b = net_single ? net_single->bus() : internet->bus(s);
+      b.set_loss_filter([&sim, p = o.loss](const net::Frame&, Mid) {
+        return sim.rng().chance(p);
+      });
+    }
   }
 
   const sim::Duration slice =
@@ -338,7 +363,11 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   }
   const auto wall_end = std::chrono::steady_clock::now();
 
-  net.check_clients();
+  if (net_single) {
+    net_single->check_clients();
+  } else {
+    internet->check_clients();
+  }
   if (o.check_invariants) invariants.finish(sim.now());
 
   HarnessResult r;
@@ -352,8 +381,17 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   r.peak_rss_kb = read_peak_rss_kb();
   r.events_scheduled = sim.events_scheduled();
   r.events_cancelled = sim.events_cancelled();
-  r.frames_sent = net.bus().frames_sent();
-  r.frames_filtered = net.bus().frames_filtered();
+  for (int s = 0; s < segments; ++s) {
+    net::Bus& b = net_single ? net_single->bus() : internet->bus(s);
+    r.frames_sent += b.frames_sent();
+    r.frames_filtered += b.frames_filtered();
+  }
+  if (internet) {
+    for (const auto& g : internet->gateways()) {
+      r.frames_relayed += g->forwarded();
+      r.relay_drops += g->ttl_drops() + g->overflow_drops();
+    }
+  }
   const auto& hub = sim.metrics();
   r.requests_issued = hub.total(stats::Counter::kRequestsIssued);
   r.requests_completed = hub.total(stats::Counter::kRequestsCompleted);

@@ -43,6 +43,13 @@ struct HarnessOptions {
   /// the client's kernel currently rates least shed (doc/OVERLOAD.md §4).
   int pool_size = 0;
   int ops_per_client = 20;  // blocking operations per load client
+  /// Bus segments. 1 = the classic single broadcast bus (core::Network,
+  /// the configuration every committed baseline row was recorded under).
+  /// > 1 = an inet::Internet: node MID i lives on segment i % segments
+  /// and one hub gateway bridges them, so servers and clients spread
+  /// across segments and a share of all operations crosses the
+  /// store-and-forward relay (doc/INTERNET.md).
+  int segments = 1;
   std::uint32_t payload = 64;
   double loss = 0.0;        // uniform frame-loss probability
   std::uint64_t seed = 1;
@@ -67,6 +74,8 @@ struct HarnessResult {
   std::uint64_t events_cancelled = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_filtered = 0;   // broadcast deliveries skipped by NIC
+  std::uint64_t frames_relayed = 0;    // gateway store-and-forward copies
+  std::uint64_t relay_drops = 0;       // TTL + egress-queue-overflow drops
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_completed = 0;
   std::uint64_t ops_done = 0;      // workload-level successes

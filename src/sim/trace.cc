@@ -23,6 +23,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kProbe: return "probe";
     case TraceCategory::kBoot: return "boot";
     case TraceCategory::kOther: return "other";
+    case TraceCategory::kRelay: return "relay";
   }
   return "unknown";
 }
@@ -64,12 +65,16 @@ const char* to_string(TraceStatus s) {
     case TraceStatus::kCancelled: return "cancelled";
     case TraceStatus::kShed: return "shed";
     case TraceStatus::kSkewWarning: return "skew_warning";
+    case TraceStatus::kForwarded: return "forwarded";
+    case TraceStatus::kTtlExpired: return "ttl_expired";
+    case TraceStatus::kQueueOverflow: return "queue_overflow";
+    case TraceStatus::kNoRoute: return "no_route";
   }
   return "unknown";
 }
 
 std::optional<TraceStatus> trace_status_from_string(std::string_view s) {
-  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kSkewWarning);
+  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kNoRoute);
   for (std::size_t i = 0; i <= kLast; ++i) {
     const auto st = static_cast<TraceStatus>(i);
     if (s == to_string(st)) return st;

@@ -43,10 +43,11 @@ enum class TraceCategory : std::uint8_t {
   kProbe,
   kBoot,
   kOther,
+  kRelay,             // gateway store-and-forward decision (soda::inet)
 };
 
 constexpr std::size_t kNumTraceCategories =
-    static_cast<std::size_t>(TraceCategory::kOther) + 1;
+    static_cast<std::size_t>(TraceCategory::kRelay) + 1;
 
 const char* to_string(TraceCategory c);
 std::optional<TraceCategory> trace_category_from_string(std::string_view s);
@@ -92,6 +93,11 @@ enum class TraceStatus : std::uint8_t {
   // kOther
   kShed,           // admission control BUSY-NACKed before section processing
   kSkewWarning,    // timer-skew config outside the at-most-once envelope
+  // kRelay (gateway store-and-forward, soda::inet)
+  kForwarded,      // frame relayed onto another segment
+  kTtlExpired,     // hop budget exhausted; frame not forwarded
+  kQueueOverflow,  // bounded egress queue full; frame dropped
+  kNoRoute,        // gateway declined to forward (self-echo / local dst)
 };
 
 const char* to_string(TraceStatus s);

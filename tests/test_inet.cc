@@ -1,0 +1,481 @@
+// The soda::inet internetwork (doc/INTERNET.md): cross-segment RPC and
+// DISCOVER through store-and-forward gateways, traffic-learned route
+// tables, TTL loop-kill on redundant bridges, gateway crash/reboot,
+// bounded egress queues (overflow shedding + retransmit coalescing),
+// heterogeneous per-segment link speeds, the relay shim's wire format,
+// per-segment chaos fault targeting, the multi-segment chaos builtins,
+// bit-determinism of two-segment runs, and the 1024-node two-segment
+// acceptance tier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+#include "inet/gateway.h"
+#include "inet/internet.h"
+#include "net/packet.h"
+#include "net/wire.h"
+#include "proto/timing.h"
+#include "scale/harness.h"
+#include "sodal/directory.h"
+#include "sodal/nameserver.h"
+#include "sodal/service.h"
+#include "sodal/sodal.h"
+#include "sodal/switchboard.h"
+
+namespace soda {
+namespace {
+
+using inet::Gateway;
+using inet::GatewayConfig;
+using inet::Internet;
+using inet::InternetOptions;
+using sodal::Directory;
+using sodal::kNameServerPattern;
+using sodal::kSwitchboardPattern;
+using sodal::NameServer;
+using sodal::ServiceHandle;
+using sodal::SodalClient;
+using sodal::Switchboard;
+
+constexpr Pattern kSvc = kWellKnownBit | 0x710;
+
+class Advertiser : public SodalClient {
+ public:
+  sim::Task on_boot(Mid) override {
+    advertise(kSvc);
+    co_return;
+  }
+  sim::Task on_entry(HandlerArgs) override {
+    co_await accept_current_signal(1234);
+  }
+};
+
+class Driver : public SodalClient {
+ public:
+  using Script = std::function<sim::Task(Driver&)>;
+  explicit Driver(Script s) : script_(std::move(s)) {}
+  sim::Task on_task() override {
+    co_await script_(*this);
+    done = true;
+    co_await park_forever();
+  }
+  Script script_;
+  bool done = false;
+};
+
+class DiscoverClient : public SodalClient {
+ public:
+  sim::Task on_task() override {
+    discover_request(kSvc, &mids, 40);
+    co_await park_forever();
+  }
+  sim::Task on_completion(HandlerArgs) override {
+    done = true;
+    co_return;
+  }
+  std::vector<Mid> mid_list() const {
+    std::vector<Mid> v;
+    for (std::size_t i = 0; i + 4 <= mids.size(); i += 4) {
+      v.push_back(static_cast<Mid>(sodal::decode_u32(mids, i)));
+    }
+    return v;
+  }
+  Bytes mids;
+  bool done = false;
+};
+
+NodeConfig fast_node() {
+  NodeConfig c;
+  c.timing = TimingModel::fast();
+  return c;
+}
+
+InternetOptions fast_inet(int segments) {
+  InternetOptions o;
+  o.segments = segments;
+  o.bus = net::BusConfig::fast();
+  o.gateway = GatewayConfig::fast();
+  return o;
+}
+
+// --- cross-segment transport + route learning ---
+
+TEST(Inet, CrossSegmentRpcCompletesAndLearnsRoutes) {
+  Internet net(InternetOptions{.segments = 2});
+  net.spawn<Advertiser>(0, NodeConfig{});  // MID 0 on segment 0
+  auto& d = net.spawn<Driver>(1, NodeConfig{}, [](Driver& self) -> sim::Task {
+    auto c = co_await self.b_signal(ServerSignature{0, kSvc}, 0);
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(c.arg, 1234);
+  });
+  Gateway& g = net.add_gateway();  // MID 2, bridges both segments
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_GT(g.forwarded(), 0u);
+
+  // Src-learning: both endpoints' segments were observed from traffic.
+  const auto routes = g.mid_routes();
+  auto find = [&](Mid m) -> const inet::MidRoute* {
+    for (const auto& r : routes)
+      if (r.mid == m) return &r;
+    return nullptr;
+  };
+  const auto* r0 = find(0);
+  const auto* r1 = find(1);
+  ASSERT_NE(r0, nullptr);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r0->segment, 0);
+  EXPECT_EQ(r1->segment, 1);
+}
+
+TEST(Inet, DiscoverCrossesGatewayAndSeedsPatternRoutes) {
+  Internet net(InternetOptions{.segments = 2});
+  net.spawn<Advertiser>(0, NodeConfig{});  // MID 0, segment 0
+  net.spawn<Advertiser>(1, NodeConfig{});  // MID 1, segment 1
+  auto& d = net.spawn<DiscoverClient>(1, NodeConfig{});  // MID 2, segment 1
+  Gateway& g = net.add_gateway();
+  net.run_for(10 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // Both advertisers answer: the query crossed the bridge, the remote
+  // reply crossed back.
+  auto mids = d.mid_list();
+  EXPECT_GE(std::count(mids.begin(), mids.end(), 0), 1);
+  EXPECT_GE(std::count(mids.begin(), mids.end(), 1), 1);
+  // The reply that crossed teaches the gateway where kSvc lives.
+  bool learned = false;
+  for (const auto& pr : g.pattern_routes()) {
+    if (pr.pattern == kSvc && pr.segment == 0) learned = true;
+  }
+  EXPECT_TRUE(learned);
+}
+
+TEST(Inet, TtlKillsRedundantBridgeLoops) {
+  // Two bridges in parallel between the same pair of segments: a relayed
+  // broadcast re-enters through the other bridge and would circulate
+  // forever without the hop budget.
+  Internet net(fast_inet(2));
+  net.spawn<Advertiser>(0, fast_node());               // MID 0
+  auto& d = net.spawn<DiscoverClient>(1, fast_node());  // MID 1
+  Gateway& g1 = net.add_gateway();  // MID 2
+  Gateway& g2 = net.add_gateway();  // MID 3 — the redundant parallel path
+  net.run_for(sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  auto mids = d.mid_list();
+  EXPECT_GE(std::count(mids.begin(), mids.end(), 0), 1);
+  // The transient is bounded: the circulating copies died at the TTL.
+  EXPECT_GT(g1.ttl_drops() + g2.ttl_drops(), 0u);
+}
+
+TEST(Inet, GatewayCrashPartitionsAndRebootRelearns) {
+  Internet net(fast_inet(2));
+  net.spawn<Advertiser>(0, fast_node());  // MID 0
+  int completions = 0;
+  auto& d = net.spawn<Driver>(
+      1, fast_node(), [&completions](Driver& self) -> sim::Task {
+        for (int i = 0; i < 8; ++i) {
+          auto c = co_await self.b_signal(ServerSignature{0, kSvc}, i);
+          if (c.ok()) ++completions;
+          co_await self.delay(40 * sim::kMillisecond);
+        }
+      });
+  Gateway& g = net.add_gateway();  // MID 2
+  // Crash the only bridge mid-run, reboot it with cold tables.
+  net.sim().after(60 * sim::kMillisecond, [&g] {
+    g.crash();
+    EXPECT_FALSE(g.alive());
+    EXPECT_TRUE(g.mid_routes().empty());
+  });
+  net.sim().after(120 * sim::kMillisecond, [&g] { g.reboot(); });
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_TRUE(g.alive());
+  // Ops before the crash and after the reboot both landed; the rebooted
+  // bridge re-learned both endpoints from live traffic alone.
+  EXPECT_GT(completions, 0);
+  EXPECT_LT(completions, 8);  // the outage cost at least one attempt
+  EXPECT_GE(g.mid_routes().size(), 2u);
+}
+
+// --- bounded egress queue: shedding and coalescing ---
+
+TEST(Inet, EgressOverflowShedsButRetransmitsRecover) {
+  // A one-deep egress queue behind a slow relay: concurrent requests
+  // overflow (routers shed, they don't block) and the Delta-t retransmit
+  // machinery repairs the loss end to end.
+  InternetOptions o = fast_inet(2);
+  o.gateway.egress_queue_limit = 1;
+  o.gateway.relay_latency = 300;  // us — longer than the retransmit interval
+  Internet net(o);
+  for (int i = 0; i < 3; ++i) net.spawn<Advertiser>(0, fast_node());
+  std::vector<Driver*> drivers;
+  for (int i = 0; i < 3; ++i) {
+    drivers.push_back(&net.spawn<Driver>(
+        1, fast_node(), [i](Driver& self) -> sim::Task {
+          auto c = co_await self.b_signal(ServerSignature{i, kSvc}, 0);
+          EXPECT_TRUE(c.ok());
+        }));
+  }
+  Gateway& g = net.add_gateway();
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  for (Driver* d : drivers) EXPECT_TRUE(d->done);
+  EXPECT_GT(g.overflow_drops(), 0u);
+}
+
+TEST(Inet, EgressQueueCoalescesByteIdenticalRetransmits) {
+  // Hold each relayed frame well past the fast preset's retransmit
+  // interval: the sender's repeats reach the gateway while the original
+  // is still queued. They are byte-identical, so the queue absorbs them
+  // instead of doubling its backlog (the bufferbloat defence).
+  InternetOptions o = fast_inet(2);
+  // Two retransmit intervals: repeats arrive while the original waits,
+  // but the round trip stays inside the probe-miss crash window.
+  o.gateway.relay_latency = 400;  // us
+  Internet net(o);
+  net.spawn<Advertiser>(0, fast_node());
+  auto& d = net.spawn<Driver>(1, fast_node(), [](Driver& self) -> sim::Task {
+    auto c = co_await self.b_signal(ServerSignature{0, kSvc}, 0);
+    EXPECT_TRUE(c.ok());
+  });
+  Gateway& g = net.add_gateway();
+  net.run_for(5 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_GT(g.coalesced(), 0u);
+  EXPECT_EQ(g.overflow_drops(), 0u);
+}
+
+// --- heterogeneous media ---
+
+TEST(Inet, HeterogeneousSegmentSpeedsStillComplete) {
+  // Segment 0 is the paper's 1 Mbit/s Megalink; segment 1 runs three
+  // times slower. Delta-t must hold across the speed mismatch.
+  InternetOptions o;
+  o.segments = 2;
+  net::BusConfig slow;
+  slow.us_per_byte = 24;
+  o.segment_bus = {net::BusConfig{}, slow};
+  Internet net(o);
+  net.spawn<Advertiser>(0, NodeConfig{});
+  auto& d = net.spawn<Driver>(1, NodeConfig{}, [](Driver& self) -> sim::Task {
+    auto c = co_await self.b_signal(ServerSignature{0, kSvc}, 0);
+    EXPECT_TRUE(c.ok());
+  });
+  net.add_gateway();
+  net.run_for(20 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  EXPECT_GT(net.bus(0).frames_sent(), 0u);
+  EXPECT_GT(net.bus(1).frames_sent(), 0u);
+}
+
+// --- relay shim wire format ---
+
+TEST(InetWire, RelayShimRoundTripsAndUnrelayedFramesPayNothing) {
+  net::Frame f;
+  f.src = 7;
+  f.dst = 9;
+  f.data_tag = net::DataTag::kRequestData;
+  f.data_tid = 42;
+  f.data = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const auto plain = net::encode_frame(f);
+  auto back = net::decode_frame(plain);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->hops, 0);
+  EXPECT_EQ(back->relay_src, net::kBroadcastMid);
+
+  f.hops = 3;
+  f.relay_src = 12;
+  const auto relayed = net::encode_frame(f);
+  auto rback = net::decode_frame(relayed);
+  ASSERT_TRUE(rback.has_value());
+  EXPECT_EQ(rback->hops, 3);
+  EXPECT_EQ(rback->relay_src, 12);
+  // Only relayed frames carry the shim on the wire: one hop-count byte
+  // plus a 4-byte relay MID. (Frame::kRelayShimBytes = 6 is wire_size()'s
+  // *timing* model of the same section, paper-style rounded.)
+  EXPECT_EQ(relayed.size(), plain.size() + 5);
+}
+
+// --- directory services behind a gateway (both 12-byte wire formats) ---
+
+TEST(InetDirectory, NameServerPoolBindingRoundTripsAcrossGateway) {
+  Internet net(InternetOptions{.segments = 2});
+  net.spawn<NameServer>(0, NodeConfig{});  // MID 0, segment 0
+  auto& d = net.spawn<Driver>(1, NodeConfig{}, [](Driver& self) -> sim::Task {
+    const Directory dir =
+        Directory::name_server(ServerSignature{0, kNameServerPattern});
+    Status st = co_await dir.bind(self, "/services/workers",
+                                  ServiceHandle::pool(kWellKnownBit | 0xABC));
+    EXPECT_TRUE(st.ok());
+    auto sig = co_await dir.watch(self, "/services/workers", 40);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      // The anycast sentinel survived the name server's 12-byte signature
+      // encoding, both directions across the relay.
+      EXPECT_EQ(sig->mid, kAnycastMid);
+      const ServiceHandle h = ServiceHandle::of(*sig);
+      EXPECT_TRUE(h.is_pool());
+      EXPECT_EQ(h.pattern(), kWellKnownBit | 0xABC);
+    }
+  });
+  net.add_gateway();
+  net.run_for(20 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(d.done);
+}
+
+TEST(InetDirectory, SwitchboardWatchSeesLateBindAcrossGateway) {
+  // The §4.3.1 interconnection idiom with the two parties on different
+  // segments: the watcher polls through the gateway while the binding is
+  // published from the far side, later.
+  Internet net(InternetOptions{.segments = 2});
+  net.spawn<Switchboard>(0, NodeConfig{});  // MID 0, segment 0
+  net.spawn<Driver>(0, NodeConfig{}, [](Driver& self) -> sim::Task {
+    co_await self.delay(200 * sim::kMillisecond);
+    const Directory dir =
+        Directory::switchboard(ServerSignature{0, kSwitchboardPattern});
+    Status st = co_await dir.bind(self, "workers",
+                                  ServiceHandle::pool(kWellKnownBit | 0xDEF));
+    EXPECT_TRUE(st.ok());
+  });
+  auto& w = net.spawn<Driver>(1, NodeConfig{}, [](Driver& self) -> sim::Task {
+    const Directory dir =
+        Directory::switchboard(ServerSignature{0, kSwitchboardPattern});
+    auto sig = co_await dir.watch(self, "workers", 40);
+    EXPECT_TRUE(sig.ok());
+    if (sig.ok()) {
+      EXPECT_EQ(sig->mid, kAnycastMid);  // flat wire format, same sentinel
+      EXPECT_EQ(ServiceHandle::of(*sig).pattern(), kWellKnownBit | 0xDEF);
+    }
+  });
+  net.add_gateway();
+  net.run_for(30 * sim::kSecond);
+  net.check_clients();
+  EXPECT_TRUE(w.done);
+}
+
+// --- chaos integration: per-segment faults, builtins, determinism ---
+
+TEST(InetChaos, SegmentScopedLossStaysOnItsSegment) {
+  // Regression for the per-segment fault targeting: a loss window pinned
+  // to segment 1 must never drop a frame on segment 0's bus. Every lost-
+  // frame trace carries the segment id its bus stamped.
+  chaos::Scenario s;
+  s.name = "seg-scoped-loss";
+  s.nodes = 8;
+  s.servers = 2;
+  s.segments = 2;
+  s.duration = 2 * sim::kSecond;
+  s.drain = 2 * sim::kSecond;
+  s.request_interval = 20 * sim::kMillisecond;
+  s.fast_timing();
+  s.lose(0.25, 100 * sim::kMillisecond, sim::kSecond, -1, -1, /*segment=*/1);
+  auto r = chaos::run_scenario(s, 5, nullptr,
+                               chaos::RunOptions{.keep_events = true});
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? "(exception)"
+                              : r.violations.front().invariant);
+  std::size_t lost = 0;
+  for (const auto& e : r.events) {
+    if (e.category != sim::TraceCategory::kPacketDropped ||
+        e.status != sim::TraceStatus::kLost) {
+      continue;
+    }
+    ++lost;
+    EXPECT_EQ(e.detail_i64(-1), 1) << "loss leaked off segment 1";
+  }
+  EXPECT_GT(lost, 0u);  // the window actually fired
+}
+
+TEST(InetChaos, TwoSegmentRunsAreBitDeterministic) {
+  auto s = chaos::builtin_scenario("inet_smoke");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_GT(s->segments, 1);
+  auto a = chaos::run_scenario(*s, 14);
+  auto b = chaos::run_scenario(*s, 14);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.stats.events, b.stats.events);
+  EXPECT_EQ(a.stats.frames_sent, b.stats.frames_sent);
+  auto c = chaos::run_scenario(*s, 15);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+TEST(InetChaos, BuiltinFamilyHoldsInvariants) {
+  // The CI `inet` job sweeps 200 seeds per scenario; this is the tier-1
+  // proxy at 10 seeds each.
+  for (const char* name : {"inet_smoke", "inet_partition", "gateway_flap",
+                           "inet_asymmetric", "inet_skew"}) {
+    auto s = chaos::builtin_scenario(name);
+    ASSERT_TRUE(s.has_value()) << name;
+    chaos::SweepOptions opts;
+    opts.first_seed = 1;
+    opts.seeds = 10;
+    opts.jobs = 4;
+    auto sweep = chaos::sweep_scenario(*s, opts);
+    EXPECT_EQ(sweep.ran, 10) << name;
+    ASSERT_TRUE(sweep.ok())
+        << name << ": seed " << sweep.failures.front().seed << " violated "
+        << (sweep.failures.front().violations.empty()
+                ? "(exception)"
+                : sweep.failures.front().violations.front().invariant);
+  }
+}
+
+// --- the scaling harness across segments ---
+
+TEST(InetScale, TwoSegmentThousandNodeStarRpcCompletes) {
+  // The acceptance tier: 1024 stations split across two segments, every
+  // client's traffic crossing the hub gateway, 100% completion with zero
+  // invariant violations and zero relay drops.
+  scale::HarnessOptions o;
+  o.workload = scale::Workload::kStarRpc;
+  o.nodes = 1024;
+  o.servers = 128;  // the bench tier's nodes/8 server share
+  o.segments = 2;
+  o.ops_per_client = 12;
+  o.seed = 1;
+  o.fast = true;
+  o.optimized = true;
+  o.retransmit_backoff = true;
+  const scale::HarnessResult r = run_harness(o);
+  EXPECT_EQ(r.ops_done, r.ops_expected);
+  EXPECT_EQ(r.violations, 0u) << r.first_violation;
+  EXPECT_GT(r.frames_relayed, 0u);
+  EXPECT_EQ(r.relay_drops, 0u);
+}
+
+TEST(InetScale, MultiSegmentRunsAreBitDeterministic) {
+  scale::HarnessOptions o;
+  o.workload = scale::Workload::kStarRpc;
+  o.nodes = 64;
+  o.servers = 2;
+  o.segments = 4;
+  o.ops_per_client = 6;
+  o.loss = 0.02;
+  o.seed = 11;
+  o.retransmit_backoff = true;
+  const scale::HarnessResult a = run_harness(o);
+  const scale::HarnessResult b = run_harness(o);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.frames_relayed, b.frames_relayed);
+  EXPECT_EQ(a.ops_done, a.ops_expected);
+  EXPECT_EQ(a.violations, 0u) << a.first_violation;
+
+  auto o2 = o;
+  o2.seed = 12;
+  const scale::HarnessResult c = run_harness(o2);
+  EXPECT_NE(a.trace_hash, c.trace_hash);
+}
+
+}  // namespace
+}  // namespace soda

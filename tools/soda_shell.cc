@@ -4,8 +4,11 @@
 // network, and prints what the kernels do. Useful for exploring the
 // primitives without writing a program.
 //
-//   node                       create a node with a console client
-//   free                       create a clientless node (bootable)
+//   node [seg]                 create a node (console client) on a segment
+//   free [seg]                 create a clientless node (bootable)
+//   segment                    append a new empty bus segment
+//   gateway [seg...]           create a gateway bridging the listed
+//                              segments (none listed = all current ones)
 //   advertise <mid> <hexpat>   advertise a pattern on a node
 //   signal <from> <to> <hexpat> <arg>
 //   put <from> <to> <hexpat> <arg> <text>
@@ -15,6 +18,9 @@
 //   run <ms>                   advance simulated time
 //   trace on|off               packet tracing for subsequent runs
 //   stats [json]               bus + per-node metrics (json: JSONL dump)
+//   routes [json]              topology dump: segments, gateway egress
+//                              queue depths, learned MID/pattern routes
+//                              (alias: topology)
 //   chaos <scenario> [seeds]   sweep a chaos scenario (builtin name or
 //                              JSONL file) across seeds, report violations
 //   help / quit
@@ -30,8 +36,9 @@
 
 #include "chaos/runner.h"
 #include "chaos/scenario.h"
-#include "core/network.h"
+#include "inet/internet.h"
 #include "sodal/sodal.h"
+#include "stats/json.h"
 #include "stats/metrics.h"
 
 namespace {
@@ -74,7 +81,11 @@ Pattern parse_pattern(const std::string& s) {
 }  // namespace
 
 int main() {
-  Network net;
+  // One segment by default — `segment` + `gateway` grow it into an
+  // internetwork (doc/INTERNET.md). Single-segment sessions behave
+  // exactly like the old Network-backed shell.
+  inet::Internet net;
+  std::vector<Mid> node_mids;      // nodes in creation order (not gateways)
   std::vector<Bytes> get_buffers;  // keep GET targets alive
   get_buffers.reserve(1024);
   bool tracing = false;
@@ -90,15 +101,36 @@ int main() {
       if (cmd == "quit" || cmd == "exit") {
         break;
       } else if (cmd == "help") {
-        std::printf("node free advertise signal put get discover crash run "
-                    "trace stats chaos quit\n");
+        std::printf("node free segment gateway advertise signal put get "
+                    "discover crash run trace stats routes chaos quit\n");
       } else if (cmd == "node") {
-        net.spawn<ConsoleClient>(NodeConfig{});
-        std::printf("node %zu created (console client)\n", net.size() - 1);
+        int seg = 0;
+        in >> seg;
+        Node& n = net.add_node(seg);
+        n.install_client(std::make_unique<ConsoleClient>(), n.mid());
+        node_mids.push_back(n.mid());
+        std::printf("node %d created on segment %d (console client)\n",
+                    n.mid(), seg);
       } else if (cmd == "free") {
-        net.add_node();
-        std::printf("node %zu created (clientless, bootable)\n",
-                    net.size() - 1);
+        int seg = 0;
+        in >> seg;
+        Node& n = net.add_node(seg);
+        node_mids.push_back(n.mid());
+        std::printf("node %d created on segment %d (clientless, bootable)\n",
+                    n.mid(), seg);
+      } else if (cmd == "segment") {
+        std::printf("segment %d created\n", net.add_segment());
+      } else if (cmd == "gateway") {
+        std::vector<int> segs;
+        int s;
+        while (in >> s) segs.push_back(s);
+        auto& g = net.add_gateway(segs);
+        std::printf("gateway %d created bridging segments [", g.mid());
+        const auto ids = g.segment_ids();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          std::printf("%s%d", i ? " " : "", ids[i]);
+        }
+        std::printf("]\n");
       } else if (cmd == "advertise") {
         int mid;
         std::string pat;
@@ -175,11 +207,17 @@ int main() {
           // JSONL dump of every node's metrics registry (plus aggregate).
           stats::dump_json(std::cout, net.sim().metrics(), "soda_shell");
         } else {
+          std::size_t frames = 0, bytes = 0, lost = 0, corrupted = 0;
+          for (int s = 0; s < net.segments(); ++s) {
+            frames += net.bus(s).frames_sent();
+            bytes += net.bus(s).bytes_sent();
+            lost += net.bus(s).frames_lost();
+            corrupted += net.bus(s).frames_corrupted();
+          }
           std::printf("frames=%zu bytes=%zu lost=%zu corrupted=%zu nodes=%zu "
-                      "t=%.1fms\n",
-                      net.bus().frames_sent(), net.bus().bytes_sent(),
-                      net.bus().frames_lost(), net.bus().frames_corrupted(),
-                      net.size(), sim::to_ms(net.sim().now()));
+                      "segments=%d t=%.1fms\n",
+                      frames, bytes, lost, corrupted, net.size(),
+                      net.segments(), sim::to_ms(net.sim().now()));
           for (const auto& [mid, reg] : net.sim().metrics().nodes()) {
             using stats::Counter;
             std::printf(
@@ -206,6 +244,118 @@ int main() {
                     reg.counter(Counter::kAcceptsIssued)),
                 static_cast<unsigned long long>(
                     reg.counter(Counter::kHandlerInvocations)));
+          }
+        }
+      } else if (cmd == "routes" || cmd == "topology") {
+        std::string mode;
+        in >> mode;
+        if (mode == "json") {
+          // JSONL: one row per segment, one per gateway, one per learned
+          // route — same flat-JSON idiom as `stats json`.
+          for (int s = 0; s < net.segments(); ++s) {
+            std::string members;
+            for (Mid m : node_mids) {
+              if (net.segment_of(m) != s) continue;
+              if (!members.empty()) members += ' ';
+              members += std::to_string(m);
+            }
+            std::cout << stats::JsonObject()
+                             .set("kind", "segment")
+                             .set("segment", static_cast<std::int64_t>(s))
+                             .set("frames_sent", net.bus(s).frames_sent())
+                             .set("nodes", members)
+                             .str()
+                      << '\n';
+          }
+          for (const auto& g : net.gateways()) {
+            const auto depths = g->queue_depths();
+            const auto ids = g->segment_ids();
+            std::string segs, queues;
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+              if (i) segs += ' ', queues += ' ';
+              segs += std::to_string(ids[i]);
+              queues += std::to_string(depths[i]);
+            }
+            std::cout << stats::JsonObject()
+                             .set("kind", "gateway")
+                             .set("mid", static_cast<std::int64_t>(g->mid()))
+                             .set("alive", g->alive())
+                             .set("segments", segs)
+                             .set("queue_depths", queues)
+                             .set("forwarded", g->forwarded())
+                             .set("ttl_drops", g->ttl_drops())
+                             .set("overflow_drops", g->overflow_drops())
+                             .set("no_route_drops", g->no_route_drops())
+                             .set("coalesced", g->coalesced())
+                             .str()
+                      << '\n';
+            for (const auto& r : g->mid_routes()) {
+              std::cout << stats::JsonObject()
+                               .set("kind", "mid_route")
+                               .set("gateway",
+                                    static_cast<std::int64_t>(g->mid()))
+                               .set("mid", static_cast<std::int64_t>(r.mid))
+                               .set("segment",
+                                    static_cast<std::int64_t>(r.segment))
+                               .set("hops", static_cast<std::int64_t>(r.hops))
+                               .str()
+                        << '\n';
+            }
+            for (const auto& r : g->pattern_routes()) {
+              char pat[32];
+              std::snprintf(pat, sizeof pat, "%#llx",
+                            static_cast<unsigned long long>(r.pattern));
+              std::cout << stats::JsonObject()
+                               .set("kind", "pattern_route")
+                               .set("gateway",
+                                    static_cast<std::int64_t>(g->mid()))
+                               .set("pattern", pat)
+                               .set("segment",
+                                    static_cast<std::int64_t>(r.segment))
+                               .set("hops", static_cast<std::int64_t>(r.hops))
+                               .str()
+                        << '\n';
+            }
+          }
+        } else {
+          std::printf("topology: %d segment(s), %zu node(s), %zu gateway(s)\n",
+                      net.segments(), net.size(), net.gateways().size());
+          for (int s = 0; s < net.segments(); ++s) {
+            std::printf("  segment %d: frames=%zu nodes=[", s,
+                        net.bus(s).frames_sent());
+            bool first = true;
+            for (Mid m : node_mids) {
+              if (net.segment_of(m) != s) continue;
+              std::printf("%s%d", first ? "" : " ", m);
+              first = false;
+            }
+            std::printf("]\n");
+          }
+          for (const auto& g : net.gateways()) {
+            const auto depths = g->queue_depths();
+            const auto ids = g->segment_ids();
+            std::printf("  gateway %d (%s): segments=[", g->mid(),
+                        g->alive() ? "alive" : "down");
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+              std::printf("%s%d", i ? " " : "", ids[i]);
+            }
+            std::printf("] queues=[");
+            for (std::size_t i = 0; i < depths.size(); ++i) {
+              std::printf("%s%zu", i ? " " : "", depths[i]);
+            }
+            std::printf("] forwarded=%zu drops[ttl=%zu ovfl=%zu noroute=%zu]"
+                        " coalesced=%zu\n",
+                        g->forwarded(), g->ttl_drops(), g->overflow_drops(),
+                        g->no_route_drops(), g->coalesced());
+            for (const auto& r : g->mid_routes()) {
+              std::printf("    mid %d -> segment %d (hops %u)\n", r.mid,
+                          r.segment, r.hops);
+            }
+            for (const auto& r : g->pattern_routes()) {
+              std::printf("    pattern %#llx -> segment %d (hops %u)\n",
+                          static_cast<unsigned long long>(r.pattern),
+                          r.segment, r.hops);
+            }
           }
         }
       } else if (cmd == "chaos") {

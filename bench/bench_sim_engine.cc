@@ -18,8 +18,11 @@
 #include <string>
 
 #include "benchsupport/stream.h"
+#include "chaos/runner.h"
 #include "core/network.h"
 #include "sim/event_queue.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
 #include "sodal/sodal.h"
 
 // ---------------------------------------------------------------- alloc hook
@@ -187,6 +190,129 @@ class Echo : public sodal::SodalClient {
     co_await accept_current_exchange(0, &in, a.put_size, {});
   }
 };
+
+// ------------------------------------------------- parallel engine
+
+// Synthetic trace event exercising every field the hash/fold touches.
+sim::TraceEvent synthetic_event(std::uint64_t i) {
+  sim::TraceEvent e;
+  e.at = static_cast<sim::Time>(i * 7);
+  e.category =
+      static_cast<sim::TraceCategory>(i % sim::kNumTraceCategories);
+  e.node = static_cast<int>(i % 64);
+  e.peer = static_cast<int>((i * 3) % 64);
+  e.tid = static_cast<std::int32_t>(i % 1000);
+  e.size = static_cast<std::int32_t>(i % 512);
+  e.sections = static_cast<std::uint16_t>(i % 0x1000);
+  e.detail = static_cast<std::int64_t>(i);
+  return e;
+}
+
+// The determinism tax itself: the pinned trace hash is an order-dependent
+// FNV-1a chain — every event serializes behind the previous one on the
+// simulation thread. This is the baseline the commutative fold attacks.
+void BM_TraceHashOrderedFnv(benchmark::State& state) {
+  std::vector<sim::TraceEvent> evs;
+  for (std::uint64_t i = 0; i < 1000; ++i) evs.push_back(synthetic_event(i));
+  for (auto _ : state) {
+    std::uint64_t h = chaos::kTraceHashSeed;
+    for (const auto& e : evs) h = chaos::hash_event(h, e);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceHashOrderedFnv);
+
+// The parallel-reducible replacement: per-event fingerprints combined
+// with (+, ^, count). Same per-event cost class, but partial folds merge
+// in any order, so workers can compute them off the simulation thread
+// (doc/PERFORMANCE.md, parallel-engine section).
+void BM_TraceFoldCommutative(benchmark::State& state) {
+  std::vector<sim::TraceEvent> evs;
+  for (std::uint64_t i = 0; i < 1000; ++i) evs.push_back(synthetic_event(i));
+  for (auto _ : state) {
+    sim::TraceFold fold;
+    for (const auto& e : evs) fold.add(e);
+    benchmark::DoNotOptimize(fold.digest());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TraceFoldCommutative);
+
+// Observer offload path: events stream through the chunked AsyncTraceSink
+// (in-order consumer + Arg(0) fold workers) instead of running inline.
+// Measures producer-side cost per event including back-pressure.
+void BM_AsyncTraceSinkOffload(benchmark::State& state) {
+  const int fold_workers = static_cast<int>(state.range(0));
+  std::vector<sim::TraceEvent> evs;
+  for (std::uint64_t i = 0; i < 1000; ++i) evs.push_back(synthetic_event(i));
+  for (auto _ : state) {
+    std::uint64_t seen = 0;
+    sim::AsyncTraceSink::Options o;
+    o.chunk_events = 256;
+    o.fold_workers = fold_workers;
+    sim::AsyncTraceSink sink(
+        [&seen](const sim::TraceEvent&) { ++seen; }, o);
+    for (const auto& e : evs) sink.on_event(e);
+    sink.flush();
+    benchmark::DoNotOptimize(seen);
+    benchmark::DoNotOptimize(sink.combined_fold().digest());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AsyncTraceSinkOffload)->Arg(0)->Arg(2);
+
+// Partitioned wheels drained by the serial (time, seq) merge — the exact
+// cost the ParallelEngine variant below must beat via prefetch overlap.
+void BM_PartitionedMergeSerial(benchmark::State& state) {
+  constexpr int kParts = 8, kPerPart = 400;
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.enable_partitions(kParts);
+    int sink = 0;
+    for (int p = 0; p < kParts; ++p) {
+      sim::ScopedPartition sp(s, p);
+      for (int i = 0; i < kPerPart; ++i) {
+        s.after(1 + (i * 37) % 5000, [&sink] { ++sink; });
+      }
+    }
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kParts * kPerPart);
+}
+BENCHMARK(BM_PartitionedMergeSerial);
+
+// Full conservative engine: Arg(N) prefetch workers fan the partition
+// wheels' structural work (cascades, tick activation) across the pool per
+// lookahead window while the exact merge preserves pop order. Events and
+// traces are bit-identical to the serial run; only wall clock may differ,
+// and the speedup is host-dependent (1 on a single-core container).
+void BM_ParallelEngineRun(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kParts = 8, kPerPart = 400;
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.enable_partitions(kParts);
+    s.set_lookahead(64);
+    int sink = 0;
+    for (int p = 0; p < kParts; ++p) {
+      sim::ScopedPartition sp(s, p);
+      for (int i = 0; i < kPerPart; ++i) {
+        s.after(1 + (i * 37) % 5000, [&sink] { ++sink; });
+      }
+    }
+    sim::ParallelEngine engine(s, sim::ParallelConfig{workers, 0});
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+    if (s.lookahead_violations() != 0) {
+      state.SkipWithError("lookahead violation in benchmark workload");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kParts * kPerPart);
+}
+BENCHMARK(BM_ParallelEngineRun)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_NetworkSetupTeardown(benchmark::State& state) {
   for (auto _ : state) {

@@ -40,6 +40,12 @@ struct ScaleTrend {
   // aggregation key so the internetwork tiers (doc/INTERNET.md) never
   // merge with the single-segment rows they're compared against.
   int segments = 1;
+  // Simulation engine ("" / "serial" = the classic serial loop,
+  // "parallel" = sim::ParallelEngine) and its worker count. Part of the
+  // aggregation key so engine=parallel rows diff against their own
+  // baselines, never against serial rows of the same topology.
+  std::string engine;
+  int workers = 0;
   double opt_relayed = 0;  // gateway store-and-forward copies (segments > 1)
   double base_events = 0, opt_events = 0;        // events executed
   double base_scheduled = 0, opt_scheduled = 0;  // timer churn

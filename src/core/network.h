@@ -27,6 +27,11 @@ class Network {
   /// carries the SYSTEM privilege (§3.5.4), so create the manager first.
   Node& add_node(NodeConfig config = {}) {
     auto mid = static_cast<Mid>(nodes_.size());
+    // Round-robin wheel affinity when the simulator is partitioned (a
+    // no-op guard otherwise): the node's kernel timers, deliveries, and
+    // client events all live on its wheel.
+    sim::ScopedPartition guard(
+        sim_, static_cast<int>(mid) % sim_.partition_count());
     nodes_.push_back(
         std::make_unique<Node>(sim_, bus_, mid, std::move(config), uids_));
     return *nodes_.back();

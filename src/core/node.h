@@ -22,6 +22,7 @@ class Node final : public KernelHost {
   Node(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
        UniqueIdSource& uids)
       : sim_(sim),
+        partition_(sim.current_partition()),
         cpu_(sim, ledger_),
         kernel_(sim, bus, mid, std::move(config), uids, cpu_, *this) {
     cpu_.bind_metrics(&sim.metrics().node(mid));
@@ -36,6 +37,9 @@ class Node final : public KernelHost {
   /// Directly install a client program (tests and examples use this in
   /// place of the network boot protocol).
   void install_client(std::unique_ptr<Client> c, Mid parent) {
+    // Boot-time client scheduling belongs on this node's wheel even when
+    // triggered from outside an event (tests, chaos reboot injections).
+    sim::ScopedPartition guard(sim_, partition_);
     client_ = std::move(c);
     client_->bind(this);
     kernel_.client_booted(parent);
@@ -47,9 +51,18 @@ class Node final : public KernelHost {
   }
 
   /// Hard failure: lose all kernel and client state (§3.6).
-  void crash() { kernel_.crash(); }
+  void crash() {
+    sim::ScopedPartition guard(sim_, partition_);
+    kernel_.crash();
+  }
 
   sim::Simulator& simulator() { return sim_; }
+
+  /// Partition wheel this node's events live on (captured at construction;
+  /// 0 on an unpartitioned simulator). Fault injectors schedule their
+  /// crash/reboot events here so external interventions don't register as
+  /// cross-partition lookahead violations.
+  int partition() const { return partition_; }
 
   // ---- KernelHost ----
   void boot_client(const Bytes& image, Mid parent) override {
@@ -90,6 +103,7 @@ class Node final : public KernelHost {
 
  private:
   sim::Simulator& sim_;
+  int partition_ = 0;
   CostLedger ledger_;
   NodeCpu cpu_;
   Kernel kernel_;

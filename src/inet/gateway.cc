@@ -173,6 +173,28 @@ void Gateway::on_frame(std::size_t port_idx, const net::FrameRef& f) {
       }
     }
   }
+  // Unknown destination MID. Before flooding, consult the learned pattern
+  // routes: a REQUEST names the pattern it wants served, and DISCOVER
+  // replies crossing this gateway taught us which side that pattern's
+  // servers live on. On chains of 3+ segments this turns O(segments)
+  // flood copies into one directed relay per hop. A stale hint is safe
+  // the same way a stale MID route is: the copy dies downstream and the
+  // requester's retransmit (eventually crash detection) repairs end to
+  // end. A hint pointing back at the arrival segment is ignored — flood
+  // conservatively rather than drop.
+  if (frame.request) {
+    const net::Pattern p = frame.request->pattern & net::kPatternMask;
+    auto pit = pattern_routes_.find(p);
+    if (pit != pattern_routes_.end() && pit->second.segment != arrival_seg) {
+      for (std::size_t i = 0; i < ports_.size(); ++i) {
+        if (ports_[i].segment_id == pit->second.segment) {
+          ++pattern_forwards_;
+          relay(port_idx, i, frame);
+          return;
+        }
+      }
+    }
+  }
   for (std::size_t i = 0; i < ports_.size(); ++i) {
     if (i == port_idx) continue;
     relay(port_idx, i, frame);

@@ -142,6 +142,9 @@ class Gateway {
   std::size_t self_echoes() const { return self_echoes_; }
   std::size_t filtered_drops() const { return filtered_drops_; }
   std::size_t coalesced() const { return coalesced_; }
+  /// Unknown-MID unicasts steered by a learned pattern route instead of
+  /// being flooded to every other segment (doc/INTERNET.md §2).
+  std::size_t pattern_forwards() const { return pattern_forwards_; }
 
   /// Install (or clear, with nullptr) a deterministic relay predicate.
   /// Survives crash/reboot — it models the links, not the gateway.
@@ -200,6 +203,7 @@ class Gateway {
   std::size_t self_echoes_ = 0;
   std::size_t filtered_drops_ = 0;
   std::size_t coalesced_ = 0;
+  std::size_t pattern_forwards_ = 0;
 };
 
 }  // namespace soda::inet

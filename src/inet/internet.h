@@ -15,6 +15,8 @@
 // (Bus::set_segment), which changes hash-folded detail fields.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
@@ -73,6 +75,11 @@ class Internet {
   Node& add_node(int segment, NodeConfig config = {}) {
     auto& bus = *buses_.at(static_cast<std::size_t>(segment));
     const Mid mid = next_mid_++;
+    // Segment-keyed wheel affinity when the simulator is partitioned (a
+    // no-op guard otherwise). Gateways stay on wheel 0; every
+    // cross-partition edge is then a bus delivery or a gateway hold,
+    // both bounded below by lookahead().
+    sim::ScopedPartition guard(sim_, segment % sim_.partition_count());
     nodes_.push_back(
         std::make_unique<Node>(sim_, bus, mid, std::move(config), uids_));
     node_index_[mid] = nodes_.size() - 1;
@@ -128,6 +135,18 @@ class Internet {
   int segments() const { return static_cast<int>(buses_.size()); }
 
   sim::Simulator& sim() { return sim_; }
+
+  /// Conservative lookahead window this topology guarantees: an event on
+  /// one segment cannot cause an event on another sooner than the minimum
+  /// of every segment's propagation delay and the gateways' hold time
+  /// (doc/PERFORMANCE.md §parallel). Feed to Simulator::set_lookahead.
+  sim::Duration lookahead() const {
+    sim::Duration la = std::numeric_limits<sim::Duration>::max();
+    for (const auto& b : buses_) la = std::min(la, b->config().propagation);
+    if (!gateways_.empty()) la = std::min(la, options_.gateway.relay_latency);
+    return la == std::numeric_limits<sim::Duration>::max() ? 0 : la;
+  }
+
   net::Bus& bus(int segment = 0) {
     return *buses_.at(static_cast<std::size_t>(segment));
   }

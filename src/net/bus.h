@@ -106,15 +106,21 @@ class Bus {
   /// delivered to `sink` after serialization + propagation delay. The
   /// station's per-node MetricsRegistry is bound here.
   void attach(Mid mid, FrameSink sink) {
-    stations_[mid] =
-        Station{std::move(sink), {}, &sim_.metrics().node(mid), {}};
+    stations_[mid] = Station{std::move(sink),
+                             {},
+                             &sim_.metrics().node(mid),
+                             {},
+                             sim_.current_partition()};
   }
 
   /// Attach a station with a zero-copy sink: the pooled frame is shared,
   /// not copied, and the sink may keep the ref alive past the call.
   void attach_ref(Mid mid, FrameRefSink sink) {
-    stations_[mid] =
-        Station{{}, std::move(sink), &sim_.metrics().node(mid), {}};
+    stations_[mid] = Station{{},
+                             std::move(sink),
+                             &sim_.metrics().node(mid),
+                             {},
+                             sim_.current_partition()};
   }
 
   void detach(Mid mid) { stations_.erase(mid); }
@@ -256,7 +262,7 @@ class Bus {
   /// byte-identically to a tap-less build.
   void add_relay_tap(Mid tap_mid, FrameRefSink sink) {
     remove_relay_tap(tap_mid);
-    taps_.push_back(Tap{tap_mid, std::move(sink)});
+    taps_.push_back(Tap{tap_mid, std::move(sink), sim_.current_partition()});
   }
 
   void remove_relay_tap(Mid tap_mid) {
@@ -315,11 +321,13 @@ class Bus {
     FrameRefSink sink_ref;    // zero-copy sink; wins when installed
     stats::MetricsRegistry* metrics = nullptr;
     InterestFilter interest;  // empty = promiscuous (receive everything)
+    int partition = 0;        // wheel affinity, captured at attach
   };
 
   struct Tap {
     Mid mid;
     FrameRefSink sink;
+    int partition = 0;
   };
 
   /// Attribute a packet-trace payload to this bus's segment, when set.
@@ -342,6 +350,26 @@ class Bus {
   /// segment) goes to the relay taps instead, if any are registered.
   void schedule_delivery(Mid mid, FrameRef f, sim::Duration delay,
                          bool duplicate, bool damaged) {
+    if (sim_.partitioned()) {
+      // Deliveries land on the receiving station's wheel (the event runs
+      // that component's protocol code). The delay is at least the bus
+      // propagation, which bounds the partitioned engine's lookahead —
+      // cross-partition traffic never schedules inside the window.
+      int partition = sim_.current_partition();
+      if (auto it = stations_.find(mid); it != stations_.end()) {
+        partition = it->second.partition;
+      } else if (!taps_.empty()) {
+        partition = taps_.front().partition;  // absent dst: a gateway's
+      }
+      sim::ScopedPartition guard(sim_, partition);
+      schedule_delivery_event(mid, std::move(f), delay, duplicate, damaged);
+      return;
+    }
+    schedule_delivery_event(mid, std::move(f), delay, duplicate, damaged);
+  }
+
+  void schedule_delivery_event(Mid mid, FrameRef f, sim::Duration delay,
+                               bool duplicate, bool damaged) {
     sim_.after(delay, [this, mid, duplicate, damaged, f = std::move(f)]() {
       auto it = stations_.find(mid);
       if (it == stations_.end()) {

@@ -14,6 +14,7 @@
 #include "chaos/runner.h"
 #include "core/network.h"
 #include "inet/internet.h"
+#include "sim/parallel.h"
 #include "sodal/nameserver.h"
 #include "sodal/sodal.h"
 
@@ -306,15 +307,35 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   }
   auto& sim = net_single ? net_single->sim() : internet->sim();
 
+  // Partition the event queue before the first node schedules anything:
+  // one wheel per segment, or per node on a single bus (every cross-
+  // partition edge is then a bus delivery or gateway hold, both >= the
+  // declared lookahead, so the violation counter stays 0).
+  if (o.parallel_engine) {
+    sim.enable_partitions(segments > 1 ? segments : std::max(1, o.nodes));
+  }
+
   chaos::InvariantSet invariants = chaos::InvariantSet::standard();
   std::uint64_t hash = chaos::kTraceHashSeed;
+  std::unique_ptr<sim::AsyncTraceSink> sink;
   if (o.check_invariants) {
     sim.trace().enable_all();
     sim.trace().set_store(false);
-    sim.trace().set_observer([&](const sim::TraceEvent& e) {
+    auto observe = [&](const sim::TraceEvent& e) {
       hash = chaos::hash_event(hash, e);
       invariants.on_event(e);
-    });
+    };
+    if (o.parallel_engine) {
+      // Observer offload: the in-order consumer replays the identical
+      // sequence through the same fold + checkers off the sim thread.
+      sim::AsyncTraceSink::Options sink_opts;
+      sink_opts.fold_workers = o.engine_workers > 1 ? 1 : 0;
+      sink = std::make_unique<sim::AsyncTraceSink>(
+          sim::TraceObserver(observe), sink_opts);
+      sim.trace().set_observer(sink->observer());
+    } else {
+      sim.trace().set_observer(observe);
+    }
   }
 
   const int clients = o.nodes - o.servers;
@@ -358,10 +379,23 @@ HarnessResult run_harness(const HarnessOptions& opts) {
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t executed = 0;
-  while (tally.finished < clients && sim.now() < o.max_sim_time) {
-    executed += sim.run_until(sim.now() + slice);
+  if (o.parallel_engine) {
+    sim.set_lookahead(net_single ? net_single->bus().config().propagation
+                                 : internet->lookahead());
+    sim::ParallelEngine engine(sim,
+                               sim::ParallelConfig{o.engine_workers, 0});
+    while (tally.finished < clients && sim.now() < o.max_sim_time) {
+      executed += engine.run_until(sim.now() + slice);
+    }
+  } else {
+    while (tally.finished < clients && sim.now() < o.max_sim_time) {
+      executed += sim.run_until(sim.now() + slice);
+    }
   }
   const auto wall_end = std::chrono::steady_clock::now();
+  // Drain the async observer pipeline before anything below reads what
+  // the downstream observer writes (hash, violations, stats).
+  if (sink) sink->flush();
 
   if (net_single) {
     net_single->check_clients();
@@ -422,7 +456,9 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     r.trace_hash = hash;
     // The observer references locals of this frame; drop it before return.
     sim.trace().set_observer(nullptr);
+    sink.reset();
   }
+  r.lookahead_violations = sim.lookahead_violations();
   return r;
 }
 

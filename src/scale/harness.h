@@ -61,6 +61,15 @@ struct HarnessOptions {
   /// silence window is what collapses there, EXPERIMENTS.md).
   bool retransmit_backoff = false;
   bool check_invariants = true;
+  /// Drive the run with sim::ParallelEngine over a partitioned event
+  /// queue (one partition per segment, or per node on a single bus) and
+  /// move the observer path onto sim::AsyncTraceSink. Bit-identical
+  /// events, RNG draws, and trace_hash by construction — asserted by the
+  /// serial-vs-parallel loop in tests/test_determinism.cc.
+  bool parallel_engine = false;
+  /// Worker pool size for the parallel engine (prefetch + fold threads);
+  /// 0 = hardware_concurrency.
+  int engine_workers = 0;
   sim::Duration max_sim_time = 120 * sim::kSecond;  // hard stop
 };
 
@@ -88,6 +97,9 @@ struct HarnessResult {
   std::uint64_t cpu_busy_micros = 0;   // summed over all node CPUs
   std::uint64_t violations = 0;
   std::uint64_t trace_hash = 0;
+  /// Cross-partition schedules under the lookahead window (parallel
+  /// engine only; 0 for every shipped topology — the bench gate).
+  std::uint64_t lookahead_violations = 0;
   std::string first_violation;     // empty when clean
 };
 

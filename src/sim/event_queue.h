@@ -154,10 +154,23 @@ class EventQueue {
   /// event (enforced by Simulator, not here).
   template <typename F>
   EventId schedule(Time at, F&& fn) {
+    return schedule_tagged(at, seq_next_, std::forward<F>(fn));
+  }
+
+  /// Schedule with an externally assigned sequence number. The partitioned
+  /// Simulator stamps every event from one global counter so that the
+  /// (time, seq) pop order reconstructed by its merge heap is identical to
+  /// the order a single queue would have produced. Tags fed to one queue
+  /// must be strictly increasing (a subsequence of a global counter is),
+  /// because same-instant FIFO append and the past-due front list rely on
+  /// seq monotonicity within the queue.
+  template <typename F>
+  EventId schedule_tagged(Time at, std::uint64_t seq, F&& fn) {
     const std::uint32_t idx = alloc_cell();
     Cell& c = cells_[idx];
     c.at = at;
-    c.seq = seq_next_++;
+    c.seq = seq;
+    if (seq >= seq_next_) seq_next_ = seq + 1;
     c.fn.assign(std::forward<F>(fn));
     if (c.fn.heap_allocated()) ++sbo_spills_;
     ++live_;
@@ -202,6 +215,30 @@ class EventQueue {
     assert(ok);
     (void)ok;
     return has_front() ? cells_[front_[front_pos_]].at : ready_time_;
+  }
+
+  /// (time, seq) of the earliest pending event — the key the partitioned
+  /// merge orders queues by. Only valid when !empty(). Mirrors pop()'s
+  /// preference for the past-due front list over the active tick.
+  std::pair<Time, std::uint64_t> next_key() {
+    const bool ok = prepare();
+    assert(ok);
+    (void)ok;
+    const std::uint32_t idx =
+        has_front() ? front_[front_pos_] : ready_[ready_pos_];
+    const Cell& c = cells_[idx];
+    return {c.at, c.seq};
+  }
+
+  /// Advance wheel structure (cascades, overflow rebase, tick activation)
+  /// until the earliest live event sits at the head, without popping it.
+  /// Pure structural work with no effect on pop order, so partitioned
+  /// queues can be prefetched from worker threads while the merge loop is
+  /// parked — each queue's internals are disjoint from every other's.
+  /// Returns false when the queue is empty (nothing to do).
+  bool prefetch() {
+    if (live_ == 0) return false;
+    return prepare();
   }
 
   /// Pop and return the earliest pending event. Only valid when !empty().

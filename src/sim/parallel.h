@@ -1,0 +1,196 @@
+// Conservative parallel driver for the partitioned Simulator, plus the
+// parallel-reducible trace fold that attacks the determinism tax.
+//
+// The RNG wall (doc/PERFORMANCE.md): every component draws from the one
+// SplitMix64 stream and draws feed protocol timing, so callbacks MUST
+// execute in the exact global (time, seq) order — running two partitions'
+// callbacks concurrently would reorder draws and change the simulation,
+// not just its trace. What a conservative engine can parallelize without
+// touching that order:
+//
+//   1. Structural prefetch: each partition wheel's cascades / overflow
+//      rebases / tick activations are independent of every other wheel,
+//      so ParallelEngine fans prefetch_partition() across a worker pool
+//      at the start of each lookahead window while the merge loop is
+//      parked. The merge then pops pre-positioned heads.
+//   2. Observer offload: AsyncTraceSink moves the whole observer path
+//      (invariant checkers, stats counters, hash folding) off the
+//      simulation thread onto an in-order consumer, with the commutative
+//      TraceFold computed by round-robin fold workers and combined in
+//      deterministic worker order.
+//   3. Run-level fan-out: seed sweeps stay embarrassingly parallel
+//      (chaos::sweep_scenario); --workers there multiplies with 1+2.
+//
+// The merge itself is exact, so lookahead never changes results — it only
+// sets the window batching granularity (and is asserted honest via the
+// Simulator's violation counter).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace soda::sim {
+
+/// Commutative, parallel-reducible trace digest. The pinned FNV-1a chain
+/// (chaos::hash_event) is order-dependent byte-serial work on the hot
+/// path; this fold hashes each event independently (SplitMix64-style
+/// finalizer over the same ten fields) and combines with (+, ^, count) —
+/// so per-worker partial folds merge to the same digest in any order.
+/// Collisions are detectable, not correctable: engine-comparison harnesses
+/// treat digest equality as "almost surely identical" and replay the full
+/// ordered FNV fold on mismatch to localize the first divergent event.
+struct TraceFold {
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  std::uint64_t count = 0;
+
+  static std::uint64_t mix(std::uint64_t x);
+  static std::uint64_t fingerprint(const TraceEvent& e);
+
+  void add(const TraceEvent& e) {
+    const std::uint64_t f = fingerprint(e);
+    sum += f;
+    xr ^= f;
+    ++count;
+  }
+  void merge(const TraceFold& o) {
+    sum += o.sum;
+    xr ^= o.xr;
+    count += o.count;
+  }
+  /// Single-u64 summary of (sum, xr, count).
+  std::uint64_t digest() const;
+};
+
+/// Asynchronous trace-observer pipeline. The simulation thread appends
+/// events to a chunk buffer; full chunks flow to (a) one consumer thread
+/// that replays them *in order* through the downstream observer — so
+/// invariant checkers and the FNV hash fold see the identical sequence
+/// they would have seen inline — and (b) optional fold workers computing
+/// TraceFold partials per chunk, combined in worker-index order at
+/// flush(). Back-pressure: the producer blocks once max_pending_chunks
+/// are queued, bounding memory at chunk_events * max_pending * ~56 B.
+///
+/// Call flush() before reading anything the downstream observer writes
+/// (violations, hash, stats) — results are undefined mid-stream.
+class AsyncTraceSink {
+ public:
+  struct Options {
+    std::size_t chunk_events = 2048;
+    int fold_workers = 0;  // 0: the consumer thread folds too
+    std::size_t max_pending_chunks = 64;
+    bool fold_enabled = true;
+  };
+
+  // Two overloads, not one defaulted `Options{}` argument: a nested
+  // class's member initializers are only parsed at the end of the
+  // enclosing class, so `= {}` here would not compile.
+  AsyncTraceSink(TraceObserver downstream, Options options);
+  explicit AsyncTraceSink(TraceObserver downstream)
+      : AsyncTraceSink(std::move(downstream), Options()) {}
+  ~AsyncTraceSink();
+
+  AsyncTraceSink(const AsyncTraceSink&) = delete;
+  AsyncTraceSink& operator=(const AsyncTraceSink&) = delete;
+
+  /// Producer side (simulation thread only).
+  void on_event(const TraceEvent& e);
+
+  /// Adapter for Trace::set_observer.
+  TraceObserver observer() {
+    return [this](const TraceEvent& e) { on_event(e); };
+  }
+
+  /// Block until every queued event has passed through the downstream
+  /// observer and all fold partials are merged.
+  void flush();
+
+  /// flush() + the merged fold over everything seen so far.
+  TraceFold combined_fold();
+
+  std::uint64_t chunks_emitted() const { return chunks_emitted_; }
+
+ private:
+  using Chunk = std::vector<TraceEvent>;
+  using ChunkRef = std::shared_ptr<const Chunk>;
+
+  void emit_chunk();
+  void consumer_main();
+  void fold_main(int worker);
+
+  TraceObserver downstream_;
+  Options opt_;
+
+  Chunk current_;
+  std::uint64_t chunks_emitted_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_producer_;  // space available / drained
+  std::condition_variable cv_work_;      // work available
+  std::deque<ChunkRef> consumer_q_;
+  std::deque<ChunkRef> fold_q_;
+  std::size_t in_flight_ = 0;  // chunks not yet fully processed
+  bool stop_ = false;
+
+  std::thread consumer_;
+  std::vector<std::thread> fold_threads_;
+  std::vector<TraceFold> worker_folds_;  // [consumer] + one per fold worker
+};
+
+struct ParallelConfig {
+  int workers = 0;         // prefetch pool size; 0 = hardware_concurrency
+  Duration lookahead = 0;  // 0 = take the Simulator's configured lookahead
+};
+
+/// Window loop over a partitioned Simulator: park, prefetch every
+/// partition wheel in parallel, then let the exact merge execute all
+/// events inside [t, t + lookahead). Events, RNG draws, and traces are
+/// bit-identical to Simulator::run_until by construction — the engine
+/// only changes where the structural wheel work happens.
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(Simulator& sim, ParallelConfig config = {});
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Counterparts of Simulator::run_until / run.
+  std::size_t run_until(Time deadline);
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  void prefetch_all();
+  void worker_main();
+
+  Simulator& sim_;
+  ParallelConfig cfg_;
+  std::uint64_t windows_ = 0;
+
+  // Generation-stepped barrier pool: prefetch_all() publishes a new
+  // generation with a partition cursor; workers race the cursor, the last
+  // finisher wakes the engine.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::atomic<int> cursor_{0};
+  int pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace soda::sim

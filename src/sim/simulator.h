@@ -5,12 +5,29 @@
 // they read the clock, schedule callbacks, draw randomness, and record
 // traces through it. Running the simulator to quiescence executes the
 // whole distributed system deterministically.
+//
+// Partitioned mode (doc/PERFORMANCE.md §parallel): enable_partitions(P)
+// splits the single timer wheel into P wheels keyed by an ambient
+// partition index (segment or node affinity, set via ScopedPartition).
+// Every schedule still draws its sequence number from one global counter,
+// and a lazy merge heap over the per-partition head keys reconstructs the
+// exact global (time, seq) pop order — so callbacks execute, draw RNG,
+// and fold traces in bit-identical order to the single-wheel engine. The
+// wheels' structural work (cascades, overflow rebases, tick activation)
+// becomes independent per partition, which is what sim::ParallelEngine
+// farms out to worker threads between merge windows.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -33,30 +50,92 @@ class Simulator {
   stats::MetricsHub& metrics() { return metrics_; }
   const stats::MetricsHub& metrics() const { return metrics_; }
 
+  /// Split the event queue into `count` partition wheels. Must be called
+  /// before anything is scheduled — the merge invariants assume every
+  /// event was stamped by the global counter from birth.
+  void enable_partitions(int count) {
+    if (count < 1) throw std::logic_error("partition count must be >= 1");
+    if (part_ != nullptr) throw std::logic_error("partitions already enabled");
+    if (queue_.scheduled_total() != 0) {
+      throw std::logic_error("enable_partitions after events were scheduled");
+    }
+    part_ = std::make_unique<Partitioned>();
+    part_->queues.resize(static_cast<std::size_t>(count));
+  }
+
+  bool partitioned() const { return part_ != nullptr; }
+  int partition_count() const {
+    return part_ == nullptr ? 1 : static_cast<int>(part_->queues.size());
+  }
+
+  /// Ambient partition for newly scheduled events. Defaults to the
+  /// partition of the currently executing callback (events inherit their
+  /// scheduler's wheel); topology code pins it with ScopedPartition while
+  /// constructing nodes or delivering frames across a bus.
+  int current_partition() const { return part_ == nullptr ? 0 : part_->current; }
+  void set_current_partition(int p) {
+    if (part_ == nullptr) return;
+    assert(p >= 0 && p < partition_count());
+    part_->current = p;
+  }
+
+  /// Conservative lookahead: the minimum cross-partition latency the
+  /// topology guarantees (min bus propagation delay, gateway hold time).
+  /// Purely an accounting bound — the merge is exact regardless — but any
+  /// cross-partition schedule closer than this is counted as a violation
+  /// so tests can prove the window derivation is honest.
+  void set_lookahead(Duration d) {
+    if (part_ != nullptr) part_->lookahead = d;
+  }
+  Duration lookahead() const { return part_ == nullptr ? 0 : part_->lookahead; }
+  std::uint64_t lookahead_violations() const {
+    return part_ == nullptr ? 0 : part_->violations;
+  }
+
   /// Schedule `fn` to run `delay` microseconds from now. Callables whose
   /// captures fit EventFn::kInlineBytes are stored without allocating.
   template <typename F>
   EventId after(Duration delay, F&& fn) {
     assert(delay >= 0);
-    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+    return schedule_abs(now_ + delay, delay, std::forward<F>(fn));
   }
 
   /// Schedule `fn` at an absolute simulated time (must be >= now()).
   template <typename F>
   EventId at(Time when, F&& fn) {
     if (when < now_) throw std::logic_error("scheduling into the past");
-    return queue_.schedule(when, std::forward<F>(fn));
+    return schedule_abs(when, when - now_, std::forward<F>(fn));
   }
 
-  void cancel(EventId id) { queue_.cancel(id); }
+  void cancel(EventId id) {
+    if (part_ == nullptr) {
+      queue_.cancel(id);
+      return;
+    }
+    if (id == 0) return;  // default-initialized id never matches
+    Partitioned& p = *part_;
+    auto it = p.live.find(id - 1);
+    if (it == p.live.end()) return;  // already fired or cancelled
+    p.queues[it->second.part].cancel(it->second.inner);
+    p.live.erase(it);  // stale heap entry is discarded lazily at pop
+    ++p.cancelled;
+  }
 
   /// Run events until the queue drains or `deadline` is reached (whichever
   /// first). Returns the number of events executed.
   std::size_t run_until(Time deadline) {
     std::size_t n = 0;
-    while (!queue_.empty() && queue_.next_time() <= deadline) {
-      step();
-      ++n;
+    if (part_ == nullptr) {
+      while (!queue_.empty() && queue_.next_time() <= deadline) {
+        step();
+        ++n;
+      }
+    } else {
+      MergeEntry top;
+      while (peek(top) && top.at <= deadline) {
+        par_step(top);
+        ++n;
+      }
     }
     if (now_ < deadline) now_ = deadline;
     return n;
@@ -66,21 +145,144 @@ class Simulator {
   /// with an event-count limit.
   std::size_t run(std::size_t max_events = 100'000'000) {
     std::size_t n = 0;
-    while (!queue_.empty()) {
-      step();
-      if (++n > max_events) throw std::runtime_error("simulation runaway");
+    if (part_ == nullptr) {
+      while (!queue_.empty()) {
+        step();
+        if (++n > max_events) throw std::runtime_error("simulation runaway");
+      }
+    } else {
+      MergeEntry top;
+      while (peek(top)) {
+        par_step(top);
+        if (++n > max_events) throw std::runtime_error("simulation runaway");
+      }
     }
     return n;
   }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const {
+    return part_ == nullptr ? queue_.empty() : part_->live.empty();
+  }
+
+  /// Earliest pending event time across all partitions (nullopt when
+  /// idle). The parallel engine uses this to place its merge windows.
+  std::optional<Time> next_event_time() {
+    if (part_ == nullptr) {
+      if (queue_.empty()) return std::nullopt;
+      return queue_.next_time();
+    }
+    MergeEntry top;
+    if (!peek(top)) return std::nullopt;
+    return top.at;
+  }
+
+  /// Advance one partition wheel's structure up to its head event without
+  /// popping. Touches only that wheel — safe to call concurrently for
+  /// distinct partitions while the merge loop is parked (no schedule, pop,
+  /// or cancel may run concurrently with it).
+  void prefetch_partition(int p) {
+    if (part_ == nullptr) return;
+    part_->queues[static_cast<std::size_t>(p)].prefetch();
+  }
 
   /// Lifetime scheduling totals (see EventQueue) — the bench harness uses
   /// these as a deterministic proxy for timer-bookkeeping cost.
-  std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
-  std::uint64_t events_cancelled() const { return queue_.cancelled_total(); }
+  std::uint64_t events_scheduled() const {
+    return part_ == nullptr ? queue_.scheduled_total() : part_->seq_next;
+  }
+  std::uint64_t events_cancelled() const {
+    return part_ == nullptr ? queue_.cancelled_total() : part_->cancelled;
+  }
 
  private:
+  // One heap entry per schedule; (at, seq) orders entries exactly as a
+  // single queue would pop. Entries whose seq has left the live map are
+  // stale (fired or cancelled) and get discarded when they surface.
+  struct MergeEntry {
+    Time at;
+    std::uint64_t seq;
+  };
+  struct LiveEvent {
+    std::uint32_t part;
+    EventId inner;
+  };
+  struct Partitioned {
+    std::vector<EventQueue> queues;
+    std::vector<MergeEntry> heap;  // binary min-heap on (at, seq)
+    std::unordered_map<std::uint64_t, LiveEvent> live;  // seq -> location
+    std::uint64_t seq_next = 0;
+    std::uint64_t cancelled = 0;
+    Duration lookahead = 0;
+    std::uint64_t violations = 0;
+    int current = 0;    // ambient partition for new schedules
+    int executing = -1; // partition of the running callback, -1 outside one
+  };
+
+  static bool merge_after(const MergeEntry& a, const MergeEntry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  template <typename F>
+  EventId schedule_abs(Time when, Duration delay, F&& fn) {
+    if (part_ == nullptr) return queue_.schedule(when, std::forward<F>(fn));
+    Partitioned& p = *part_;
+    const int target = p.current;
+    if (p.executing >= 0 && target != p.executing && delay < p.lookahead) {
+      ++p.violations;
+    }
+    const std::uint64_t seq = p.seq_next++;
+    const EventId inner =
+        p.queues[static_cast<std::size_t>(target)].schedule_tagged(
+            when, seq, std::forward<F>(fn));
+    p.live.emplace(seq, LiveEvent{static_cast<std::uint32_t>(target), inner});
+    p.heap.push_back(MergeEntry{when, seq});
+    std::push_heap(p.heap.begin(), p.heap.end(), merge_after);
+    return seq + 1;  // outer id: +1 keeps 0 as the never-matches sentinel
+  }
+
+  /// Surface the live global minimum at the heap top, discarding stale
+  /// entries. Correctness: every live event has exactly one heap entry
+  /// with its exact (at, seq) key, so a live top IS the global minimum —
+  /// and must therefore also be its own queue's head (asserted in
+  /// par_step; an earlier live head would own a smaller live entry).
+  bool peek(MergeEntry& out) {
+    Partitioned& p = *part_;
+    while (!p.heap.empty()) {
+      const MergeEntry top = p.heap.front();
+      if (p.live.find(top.seq) != p.live.end()) {
+        out = top;
+        return true;
+      }
+      std::pop_heap(p.heap.begin(), p.heap.end(), merge_after);
+      p.heap.pop_back();
+    }
+    return false;
+  }
+
+  /// Pop and execute the validated global minimum `top` (from peek()).
+  void par_step(const MergeEntry& top) {
+    Partitioned& p = *part_;
+    auto it = p.live.find(top.seq);
+    assert(it != p.live.end());
+    const int part = static_cast<int>(it->second.part);
+    EventQueue& q = p.queues[static_cast<std::size_t>(part)];
+    assert(q.next_key() == std::make_pair(top.at, top.seq));
+    std::pop_heap(p.heap.begin(), p.heap.end(), merge_after);
+    p.heap.pop_back();
+    p.live.erase(it);
+    auto [at, fn] = q.pop();
+    assert(at >= now_);
+    now_ = at;
+    const int prev_current = p.current;
+    const int prev_executing = p.executing;
+    p.current = part;
+    p.executing = part;
+    fn();
+    p.current = prev_current;
+    p.executing = prev_executing;
+  }
+
   void step() {
     auto [at, fn] = queue_.pop();
     assert(at >= now_);
@@ -93,6 +295,26 @@ class Simulator {
   Rng rng_;
   Trace trace_;
   stats::MetricsHub metrics_;
+  std::unique_ptr<Partitioned> part_;
+};
+
+/// Pin the ambient partition for the current scope: topology constructors
+/// (node roots) and bus deliveries (receiver affinity) wrap themselves in
+/// one so events land on the wheel of the component that owns them. A
+/// no-op on an unpartitioned simulator.
+class ScopedPartition {
+ public:
+  ScopedPartition(Simulator& sim, int partition)
+      : sim_(sim), saved_(sim.current_partition()) {
+    sim_.set_current_partition(partition);
+  }
+  ~ScopedPartition() { sim_.set_current_partition(saved_); }
+  ScopedPartition(const ScopedPartition&) = delete;
+  ScopedPartition& operator=(const ScopedPartition&) = delete;
+
+ private:
+  Simulator& sim_;
+  int saved_;
 };
 
 }  // namespace soda::sim

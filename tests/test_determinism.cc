@@ -34,7 +34,11 @@ struct PinnedHash {
 };
 
 // Values produced by the PR-4 (binary-heap) engine; the timer-wheel
-// engine must reproduce them exactly.
+// engine must reproduce them exactly. The pool_failover and inet_* rows
+// were pinned by the PR that introduced the parallel engine (after the
+// gateway learned pattern-route steering for unknown unicasts, which the
+// earlier two-segment hashes are insensitive to — a two-port bridge
+// floods and directs identically).
 constexpr PinnedHash kPinned[] = {
     {"scale_32", 1, 0x51bc889e332cfdb7ull},
     {"scale_32", 2, 0xbc997acb1f0bbf21ull},
@@ -48,6 +52,30 @@ constexpr PinnedHash kPinned[] = {
     {"regression", 2, 0x4e749a076f624134ull},
     {"regression", 7, 0xd7391ba44d1390d5ull},
     {"regression", 42, 0xcf0c1525b9a0794dull},
+    {"pool_failover", 1, 0xd69591e3c42970dfull},
+    {"pool_failover", 2, 0x0052e717ebdcf7ceull},
+    {"pool_failover", 7, 0xf86cedee0e87ea5dull},
+    {"pool_failover", 42, 0xf76be0afc677199cull},
+    {"inet_smoke", 1, 0x33bcd66dac7e623full},
+    {"inet_smoke", 2, 0x4942b1454861a200ull},
+    {"inet_smoke", 7, 0x2a82aa12d07c76d3ull},
+    {"inet_smoke", 42, 0x3ff8f317f8ca33e1ull},
+    {"inet_partition", 1, 0x6381ef55668e1944ull},
+    {"inet_partition", 2, 0x93c8962a578a5155ull},
+    {"inet_partition", 7, 0x6ce20b2248dbad30ull},
+    {"inet_partition", 42, 0xb939143f9d1ea728ull},
+    {"gateway_flap", 1, 0x58b5579268921e22ull},
+    {"gateway_flap", 2, 0xf2bbaeeddc384428ull},
+    {"gateway_flap", 7, 0x9323e3c0264b0370ull},
+    {"gateway_flap", 42, 0xdfee8823cf3025a2ull},
+    {"inet_asymmetric", 1, 0x7a2c2205c14e5e20ull},
+    {"inet_asymmetric", 2, 0x00a973fbc6cd830bull},
+    {"inet_asymmetric", 7, 0xc360e83fd7165035ull},
+    {"inet_asymmetric", 42, 0x55cb180e0ea9de63ull},
+    {"inet_skew", 1, 0xae7e361a8966f173ull},
+    {"inet_skew", 2, 0xdbf5eb1f25591c50ull},
+    {"inet_skew", 7, 0x0ae3664fe0631214ull},
+    {"inet_skew", 42, 0x4589e7807530658bull},
 };
 
 TEST(PinnedDeterminism, BuiltinScenarioHashesUnchangedAcrossEngines) {
@@ -59,6 +87,27 @@ TEST(PinnedDeterminism, BuiltinScenarioHashesUnchangedAcrossEngines) {
         << p.scenario << " seed " << p.seed
         << ": the engine changed pop order, an RNG stream, or a trace "
            "payload (doc/PERFORMANCE.md determinism contract)";
+  }
+}
+
+TEST(PinnedDeterminism, ParallelEngineReproducesEveryPinnedHash) {
+  // The conservative parallel engine's whole contract: partitioned event
+  // queues plus the (time, seq) merge must execute callbacks, draw RNG,
+  // and fold traces bit-identically to the serial wheel — for EVERY
+  // pinned (scenario, seed), not just a smoke case.
+  RunOptions parallel;
+  parallel.engine = EngineMode::kParallel;
+  parallel.workers = 2;
+  for (const PinnedHash& p : kPinned) {
+    auto s = builtin_scenario(p.scenario);
+    ASSERT_TRUE(s.has_value()) << p.scenario;
+    auto r = run_scenario(*s, p.seed, nullptr, parallel);
+    EXPECT_EQ(r.trace_hash, p.hash)
+        << p.scenario << " seed " << p.seed
+        << ": the parallel engine diverged from the serial pop order";
+    EXPECT_EQ(r.lookahead_violations, 0u)
+        << p.scenario << " seed " << p.seed
+        << ": a cross-partition schedule beat the declared lookahead";
   }
 }
 
@@ -79,6 +128,17 @@ TEST(PinnedDeterminism, ScaleHarnessHashStableAcrossRepeats) {
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(a.frames_sent, b.frames_sent);
   EXPECT_EQ(a.violations, 0u) << a.first_violation;
+
+  // The same options under the parallel engine (per-node partitions on
+  // the single bus) must land on the identical hash and counters.
+  o.parallel_engine = true;
+  o.engine_workers = 2;
+  auto p = scale::run_harness(o);
+  EXPECT_EQ(p.trace_hash, a.trace_hash);
+  EXPECT_EQ(p.events_executed, a.events_executed);
+  EXPECT_EQ(p.frames_sent, a.frames_sent);
+  EXPECT_EQ(p.lookahead_violations, 0u);
+  EXPECT_EQ(p.violations, 0u) << p.first_violation;
 }
 
 }  // namespace

@@ -155,6 +155,47 @@ TEST(Inet, DiscoverCrossesGatewayAndSeedsPatternRoutes) {
   EXPECT_TRUE(learned);
 }
 
+TEST(Inet, PatternRouteSteersUnknownUnicastInsteadOfFlooding) {
+  // Three segments on a hub bridge — the first topology where "flood"
+  // and "directed" differ (a two-port bridge floods to exactly one other
+  // port anyway). A REQUEST for an unknown destination MID must consult
+  // the pattern routes the DISCOVER replies taught, and relay one copy
+  // toward the pattern's segment instead of copying onto every port.
+  Internet net(fast_inet(3));
+  net.spawn<Advertiser>(2, fast_node());                // MID 0, segment 2
+  auto& d = net.spawn<DiscoverClient>(1, fast_node());  // MID 1, segment 1
+  Gateway& g = net.add_gateway();                       // MID 2, hub
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(d.done);
+  // The reply that crossed taught the hub where kSvc lives...
+  bool learned = false;
+  for (const auto& pr : g.pattern_routes()) {
+    if (pr.pattern == kSvc && pr.segment == 2) learned = true;
+  }
+  ASSERT_TRUE(learned);
+
+  // ...now boot a SECOND advertiser on segment 2. It has never sent a
+  // frame across the hub, so its MID is unknown there — but its pattern
+  // names the segment it lives on.
+  auto& late = net.spawn<Advertiser>(2, fast_node());  // MID 3, segment 2
+  (void)late;
+  const std::size_t seg1_frames_before = net.bus(1).frames_sent();
+  const std::size_t forwards_before = g.pattern_forwards();
+  auto& b = net.spawn<Driver>(0, fast_node(), [](Driver& self) -> sim::Task {
+    auto c = co_await self.b_signal(ServerSignature{3, kSvc}, 0);
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(c.arg, 1234);
+  });
+  net.run_for(2 * sim::kSecond);
+  net.check_clients();
+  ASSERT_TRUE(b.done);
+  // The unknown-MID REQUEST was steered by the pattern route, and no
+  // flood copy ever landed on the uninvolved middle segment.
+  EXPECT_GT(g.pattern_forwards(), forwards_before);
+  EXPECT_EQ(net.bus(1).frames_sent(), seg1_frames_before);
+}
+
 TEST(Inet, TtlKillsRedundantBridgeLoops) {
   // Two bridges in parallel between the same pair of segments: a relayed
   // broadcast re-enters through the other bridge and would circulate

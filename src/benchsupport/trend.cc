@@ -60,6 +60,30 @@ void aggregate_chaos(TrendReport& r) {
   for (auto& [name, line] : by_scenario) r.chaos.push_back(line);
 }
 
+void aggregate_fleet(TrendReport& r) {
+  std::map<std::string, TrendReport::FleetLine> by_scenario;
+  for (const TrendRow& row : r.rows) {
+    const std::string kind = row.str("kind");
+    if (kind != "fleet_run" && kind != "fleet_compare") continue;
+    TrendReport::FleetLine& line = by_scenario[row.str("scenario")];
+    line.scenario = row.str("scenario");
+    if (kind == "fleet_run") {
+      if (row.str("skipped") == "true") {
+        ++line.skipped;
+      } else {
+        ++line.runs;
+        line.violations += static_cast<long>(row.num("violations").value_or(0));
+        line.wedged += static_cast<long>(row.num("wedged").value_or(0));
+        line.unexpected_exits +=
+            static_cast<long>(row.num("unexpected_exits").value_or(0));
+      }
+    } else if (row.str("match") != "true") {
+      ++line.twin_mismatches;
+    }
+  }
+  for (auto& [name, line] : by_scenario) r.fleet.push_back(line);
+}
+
 void aggregate_streams(TrendReport& r) {
   std::map<std::string, TrendReport::StreamLine> by_op;
   for (const TrendRow& row : r.rows) {
@@ -180,6 +204,7 @@ TrendReport build_trend_report(const std::vector<std::string>& paths) {
   aggregate_chaos(r);
   aggregate_streams(r);
   aggregate_scale(r);
+  aggregate_fleet(r);
   return r;
 }
 
@@ -209,6 +234,22 @@ std::string format_trend_report(const TrendReport& r) {
                     "  %-22s runs=%-4ld seeds=%-6ld failures=%ld%s\n",
                     c.scenario.c_str(), c.runs, c.seeds_swept, c.failures,
                     c.failures ? "  [FAILING]" : "");
+      out << buf;
+    }
+  }
+
+  if (!r.fleet.empty()) {
+    out << "\nFleet runs (real OS processes, doc/FLEET.md)\n";
+    char buf[200];
+    for (const auto& f : r.fleet) {
+      const bool bad =
+          f.violations || f.wedged || f.unexpected_exits || f.twin_mismatches;
+      std::snprintf(buf, sizeof buf,
+                    "  %-22s runs=%-3ld skipped=%-3ld violations=%ld "
+                    "wedged=%ld unexpected=%ld twin_mismatch=%ld%s\n",
+                    f.scenario.c_str(), f.runs, f.skipped, f.violations,
+                    f.wedged, f.unexpected_exits, f.twin_mismatches,
+                    bad ? "  [FAILING]" : "");
       out << buf;
     }
   }

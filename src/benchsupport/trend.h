@@ -96,6 +96,18 @@ struct TrendReport {
   std::vector<StreamLine> streams;
 
   std::vector<ScaleTrend> scale;
+
+  // fleet: real-process harness runs (BENCH_fleet.jsonl, doc/FLEET.md)
+  struct FleetLine {
+    std::string scenario;
+    long runs = 0;     // fleet_run rows that actually executed
+    long skipped = 0;  // fleet_run rows skipped (no fork/sockets)
+    long violations = 0;
+    long wedged = 0;
+    long unexpected_exits = 0;
+    long twin_mismatches = 0;  // fleet_compare rows with match=false
+  };
+  std::vector<FleetLine> fleet;
 };
 
 /// Parse the given JSONL files (unreadable files are skipped and recorded

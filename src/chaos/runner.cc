@@ -10,6 +10,7 @@
 
 #include "chaos/workload.h"
 #include "core/network.h"
+#include "stats/metrics.h"
 #include "inet/internet.h"
 #include "sim/parallel.h"
 
@@ -286,8 +287,12 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
         break;
       case TraceCategory::kRequestCompleted:
         ++result.stats.requests_completed;
-        if (e.status == sim::TraceStatus::kCrashed) {
+        if (e.status == sim::TraceStatus::kCompleted) {
+          ++result.stats.ok_completions;
+        } else if (e.status == sim::TraceStatus::kCrashed) {
           ++result.stats.crashed_completions;
+        } else if (e.status == sim::TraceStatus::kTimedOut) {
+          ++result.stats.timedout_completions;
         }
         break;
       default:
@@ -403,6 +408,8 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
     result.stats.frames_lost += b.frames_lost();
     result.stats.frames_duplicated += b.frames_duplicated();
   }
+  result.stats.duplicates_suppressed =
+      sim.metrics().total(stats::Counter::kDuplicatesSuppressed);
   if (options.keep_events) result.events = sim.trace().events();
   // The observer references locals of this frame; drop it before they die.
   sim.trace().set_observer(nullptr);

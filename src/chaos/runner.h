@@ -26,7 +26,14 @@ using InvariantFactory =
 struct RunStats {
   std::uint64_t requests_issued = 0;
   std::uint64_t requests_completed = 0;  // terminal events, any status
+  std::uint64_t ok_completions = 0;      // terminal status kCompleted
   std::uint64_t crashed_completions = 0;
+  std::uint64_t timedout_completions = 0;  // retry budget exhausted
+  /// Sequenced frames the Delta-t machinery re-answered from connection
+  /// state instead of redelivering (stats::Counter::kDuplicatesSuppressed
+  /// summed over all nodes) — one of the protocol statistics the fleet
+  /// harness cross-checks between real and simulated runs.
+  std::uint64_t duplicates_suppressed = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_lost = 0;

@@ -580,6 +580,35 @@ std::optional<Scenario> builtin_scenario(std::string_view name) {
     return s;
   }
 
+  if (name == "fleet_smoke") {
+    // The real-process harness scenario (doc/FLEET.md): small enough to
+    // run as 8 OS processes in CI, wide enough to exercise SIGKILL +
+    // §3.5 network-boot reboot of both a server and a client plus a
+    // background loss floor. soda_fleet runs it over real UDP sockets;
+    // soda_chaos runs the identical schedule in-sim as the validated
+    // twin. Mirrored in scenarios/fleet_smoke.json.
+    Scenario s;
+    s.name = "fleet_smoke";
+    s.nodes = 8;
+    s.servers = 2;
+    s.duration = 6 * kSecond;
+    s.drain = 4 * kSecond;
+    s.request_interval = 150 * kMillisecond;
+    s.payload = 64;
+    s.accept_delay = 2 * kMillisecond;
+    // Deliberately NOT fast_timing(): the real medium must stay inside the
+    // protocol's timing envelope. Calibrated MPL is 20 ms of simulated
+    // time = 2 ms of wall time at the default speedup 10, which the
+    // worker's pump cadence honors; fast() would shrink that to 200 us
+    // and real socket latency would violate Delta-t at-most-once.
+    s.lose(0.02)
+        .crash(/*node=*/0, /*at=*/1500 * kMillisecond,
+               /*reboot_after=*/2 * kSecond)  // a server dies and reboots
+        .crash(/*node=*/5, /*at=*/3 * kSecond,
+               /*reboot_after=*/2 * kSecond);  // ... and so does a client
+    return s;
+  }
+
   // ---- multi-segment internetwork builtins (doc/INTERNET.md). All use
   // 2 segments bridged by one hub gateway; node MID i lives on segment
   // i % 2, so server 0 / the even clients share segment 0 and server 1 /
@@ -704,7 +733,8 @@ std::vector<std::string> builtin_scenario_names() {
           "loss_storm",      "asymmetric_partition",
           "crash_during_boot", "skew_extreme",
           "overload",        "scale_32",
-          "pool_failover",   "inet_smoke",
+          "pool_failover",   "fleet_smoke",
+          "inet_smoke",
           "inet_partition",  "gateway_flap",
           "inet_asymmetric", "inet_skew"};
 }

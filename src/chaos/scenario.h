@@ -151,7 +151,10 @@ std::optional<Scenario> scenario_from_jsonl(std::string_view text);
 /// (3x fast and 3x slow Delta-t clocks side by side), "scale_32"
 /// (32 nodes under the fast timing preset — the scaling regression gate),
 /// "pool_failover" (clients target a 4-server anycast pool while two
-/// members crash mid-run — the pool must route around them), and the
+/// members crash mid-run — the pool must route around them), "fleet_smoke"
+/// (8 nodes, SIGKILL + network-boot reboot of a server and a client — the
+/// schedule soda_fleet executes as real OS processes and soda_chaos as its
+/// simulated twin, doc/FLEET.md), and the
 /// two-segment internetwork family "inet_smoke" / "inet_partition" /
 /// "gateway_flap" / "inet_asymmetric" / "inet_skew" (doc/INTERNET.md).
 std::optional<Scenario> builtin_scenario(std::string_view name);

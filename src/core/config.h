@@ -42,6 +42,15 @@ struct NodeConfig {
   /// they are hard to guess while staying network-wide unique.
   bool randomized_unique_ids = false;
 
+  /// First transaction id this kernel incarnation may issue (also the
+  /// stale-accept floor, §6). Inside one process the kernel object
+  /// survives crash() and next_tid_ stays monotone; a *re-executed*
+  /// process starts from scratch, so a real-process harness (src/fleet)
+  /// must seed each incarnation above every TID the previous one could
+  /// have issued — the analog of the paper's clock-derived §5.4 counter.
+  /// Values < 1 are clamped to 1.
+  net::Tid initial_tid = 1;
+
   /// --- admission control (overload shedding, doc/OVERLOAD.md) ---
   /// Shed REQUEST offers with an early BUSY-NACK (before any section
   /// processing) once the pending-accept backlog reaches this depth; the

@@ -52,6 +52,10 @@ Kernel::Kernel(sim::Simulator& sim, net::Bus& bus, Mid mid, NodeConfig config,
                 on_busy(peer, sent, hint);
               }}) {
   boot_patterns_.insert(kDefaultBootPattern);
+  if (config_.initial_tid > 1) {
+    next_tid_ = config_.initial_tid;
+    boot_min_tid_ = config_.initial_tid;
+  }
   if (config_.nic_pattern_filter) {
     // The predicate reads live kernel state, so advertise/unadvertise and
     // client death are reflected without re-registering.
@@ -1409,6 +1413,32 @@ void Kernel::respond_kernel_accept(const net::Frame& f, std::int32_t arg,
   transport_.send_control(f.src, std::move(af), /*store_as_response=*/true);
 }
 
+void Kernel::arm_load_deadline() {
+  // While load_pattern_ is set the boot pattern stops matching (§3.5.2),
+  // so a parent that dies or gives up mid-LOAD would otherwise leave the
+  // free machine unbootable forever — the same wedge class as the
+  // unbounded-ACCEPT wait of §3.3.2. Every load step (the boot GET and
+  // each core-image PUT chunk) re-arms a deadline of one record lifetime
+  // plus two retransmission spans; if the sequence stalls that long with
+  // no client booted, the load is abandoned and the machine returns to
+  // the free pool.
+  const sim::Duration grace = config_.timing.record_lifetime() +
+                              2 * config_.timing.retransmit_span();
+  load_started_at_ = sim_.now();
+  sim_.after(grace, [this, started = load_started_at_,
+                     epoch = death_epoch_]() {
+    if (epoch != death_epoch_) return;
+    if (load_pattern_ == 0 || host_.has_client()) return;
+    if (load_started_at_ != started) return;  // a later step re-armed it
+    sim_.trace().record(
+        sim_.now(), TraceCategory::kBoot, mid_,
+        sim::TracePayload{}.with_status(sim::TraceStatus::kLoadAbandoned));
+    metrics_.add(stats::Counter::kLoadsAbandoned);
+    load_pattern_ = 0;
+    core_image_.clear();
+  });
+}
+
 void Kernel::serve_reserved(const net::Frame& f) {
   const Pattern p = f.request->pattern & kPatternMask;
   const auto& rq = *f.request;
@@ -1424,6 +1454,7 @@ void Kernel::serve_reserved(const net::Frame& f) {
                             .with_peer(f.src)
                             .with_status(sim::TraceStatus::kLoadAllocated));
     respond_kernel_accept(f, 0, pattern_to_bytes(load_pattern_));
+    arm_load_deadline();
     return;
   }
 
@@ -1433,6 +1464,7 @@ void Kernel::serve_reserved(const net::Frame& f) {
       if (rq.carries_data) {
         core_image_.insert(core_image_.end(), f.data.begin(), f.data.end());
         respond_kernel_accept(f, 0, {});
+        arm_load_deadline();
       } else {
         // The chunk was stripped en route: ask for a late DATA frame.
         Frame af;
@@ -1443,6 +1475,7 @@ void Kernel::serve_reserved(const net::Frame& f) {
         oa.issued_at = sim_.now();
         oa.kernel_on_data = [this](const Bytes& d) {
           core_image_.insert(core_image_.end(), d.begin(), d.end());
+          arm_load_deadline();
         };
         accepts_.emplace(ServerKey{f.src, rq.tid}, std::move(oa));
         transport_.send_sequenced(f.src, std::move(af));

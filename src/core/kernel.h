@@ -327,6 +327,7 @@ class Kernel {
   void serve_reserved(const net::Frame& f);
   void respond_kernel_accept(const net::Frame& f, std::int32_t arg,
                              Bytes reply_data);
+  void arm_load_deadline();
   void reset_for_death(bool client_initiated);
 
   sim::Simulator& sim_;
@@ -347,6 +348,7 @@ class Kernel {
   std::set<Pattern> boot_patterns_;
   Pattern kill_pattern_ = kKillPattern;
   Pattern load_pattern_ = 0;  // 0 = none
+  sim::Time load_started_at_ = 0;  // last load-sequence activity
   bool boot_eligible_ = false;
 
   // handler state

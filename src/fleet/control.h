@@ -1,0 +1,115 @@
+// Control protocol between the soda_fleet driver and its soda_node
+// workers (doc/FLEET.md).
+//
+// Every worker holds one TCP connection to the driver and the two sides
+// exchange newline-delimited flat JSON objects ("kind" names the message):
+//
+//   worker -> driver   {"kind":"hello","mid":M,"epoch":E,"port":P}
+//                      {"kind":"trace",...}        (sim::to_json event)
+//                      {"kind":"stat",...}         (final counters)
+//                      {"kind":"bye"}
+//   driver -> worker   {"kind":"scenario",...} / {"kind":"fault",...}
+//                      (the chaos::to_jsonl lines, streamed verbatim)
+//                      {"kind":"peer","mid":M,"port":P}
+//                      {"kind":"start","sim_offset":T,"speedup":X,
+//                       "initial_tid":N,"drop":P}
+//                      {"kind":"stop"}
+//
+// The trace stream reuses the sim::TraceEvent JSONL codec, so the driver
+// replays worker events straight into chaos::InvariantSet. Everything is
+// loopback-only; a failure to open sockets is reported, never fatal to
+// the caller (CI sandboxes forbid them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/trace.h"
+
+namespace soda::fleet {
+
+// ---------------------------------------------------------------- sockets
+
+/// Bind + listen on an ephemeral loopback TCP port. Returns the fd (and
+/// the port via `port_out`) or -1.
+int listen_loopback(std::uint16_t* port_out);
+
+/// Connect to a loopback TCP port, retrying EINTR. Returns fd or -1.
+int connect_loopback(std::uint16_t port);
+
+bool set_nonblocking(int fd);
+
+/// Write all of `data`, polling a (possibly nonblocking) fd until done or
+/// `timeout_ms` elapses. Returns false on error/timeout.
+bool write_fully(int fd, std::string_view data, int timeout_ms);
+
+// ----------------------------------------------------------------- lines
+
+/// Accumulates stream bytes and yields complete '\n'-terminated lines.
+class LineBuffer {
+ public:
+  void feed(const char* data, std::size_t n);
+  /// Next complete line (without the newline), or nullopt.
+  std::optional<std::string> next_line();
+  /// Bytes sitting in the buffer (bounded by the driver's read cadence).
+  std::size_t pending() const { return buf_.size() - scan_; }
+
+ private:
+  std::string buf_;
+  std::size_t scan_ = 0;
+};
+
+// -------------------------------------------------------------- messages
+
+/// Final per-worker counters, reported in the "stat" line. The client op
+/// counters cover the process's *current* client incarnation only (a
+/// SIGKILLed incarnation takes its counters down with it); the driver's
+/// authoritative op accounting comes from the merged trace stream.
+struct WorkerStats {
+  std::uint64_t completed = 0, crashed = 0, timedout = 0, served = 0;
+  std::uint64_t datagrams_out = 0, datagrams_in = 0;
+  std::uint64_t dropped = 0, send_drops = 0, decode_failures = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t events_dropped = 0;  // trace lines shed by the outbuf cap
+  bool finished = false;  // sim reached scenario end inside the wall budget
+};
+
+struct Message {
+  enum class Kind {
+    kHello,
+    kScenarioLine,  // "scenario" or "fault": raw line for reassembly
+    kPeer,
+    kStart,
+    kStop,
+    kTrace,
+    kStat,
+    kBye,
+  };
+  Kind kind = Kind::kBye;
+  int mid = -1;
+  int epoch = 0;
+  std::uint16_t port = 0;
+  sim::Time sim_offset = 0;
+  double speedup = 10.0;
+  std::int64_t initial_tid = 1;
+  double drop = 0.0;
+  std::string raw;  // kScenarioLine: the verbatim line
+  std::optional<sim::TraceEvent> event;  // kTrace
+  WorkerStats stats;                     // kStat
+};
+
+std::string hello_line(int mid, int epoch, std::uint16_t udp_port);
+std::string peer_line(int mid, std::uint16_t udp_port);
+std::string start_line(sim::Time sim_offset, double speedup,
+                       std::int64_t initial_tid, double drop);
+std::string stop_line();
+std::string stat_line(const WorkerStats& s);
+std::string bye_line();
+
+/// Parse one control line. Returns nullopt on malformed input or an
+/// unknown kind (forward compatibility: callers skip those).
+std::optional<Message> parse_message(std::string_view line);
+
+}  // namespace soda::fleet

@@ -1,0 +1,31 @@
+// One fleet worker: a single SODA node in its own OS process, reachable
+// over a per-process posix::UdpBus endpoint, remote-controlled by the
+// soda_fleet driver over a TCP control connection (fleet/control.h).
+//
+// Lifecycle: connect + HELLO (reporting the UDP port this process bound),
+// receive the scenario + peer map + START, then advance the node's
+// simulated clock against the wall clock — anchored at the driver-supplied
+// sim_offset so every worker (including rebooted incarnations) stamps
+// trace events on one shared fleet timeline. Epoch 0 installs the chaos
+// workload client directly (the in-sim convention); re-executed epochs
+// come up as a *free machine* whose kernel advertises the §3.5 boot
+// pattern, and the driver's boot parent loads the "workload" core image
+// over the real network — the network-boot path, end to end.
+#pragma once
+
+#include <cstdint>
+
+namespace soda::fleet {
+
+struct WorkerOptions {
+  int mid = 0;
+  int epoch = 0;             // 0 = initial boot, >0 = re-exec after SIGKILL
+  std::uint16_t control_port = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Run the worker to completion. Exit codes: 0 = clean (stat + bye sent),
+/// 3 = environment failure (no sockets / no driver), 4 = protocol error.
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace soda::fleet

@@ -23,6 +23,19 @@ UdpBus::~UdpBus() {
 bool UdpBus::open_station(net::Mid mid) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return false;
+  // Size the receive buffer explicitly: the default varies per host, and
+  // at high speedups one pump() gap can see a burst of hundreds of
+  // datagrams. An explicit request makes overflow loss a measured,
+  // reproducible property instead of a silent per-machine variable.
+  if (rcvbuf_bytes_ > 0) {
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes_,
+                       sizeof(rcvbuf_bytes_));
+    int granted = 0;
+    socklen_t glen = sizeof(granted);
+    if (::getsockopt(fd, SOL_SOCKET, SO_RCVBUF, &granted, &glen) == 0) {
+      rcvbuf_effective_ = granted;
+    }
+  }
   // Bind to an ephemeral loopback port; record what we got.
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -43,33 +56,71 @@ bool UdpBus::open_station(net::Mid mid) {
   return true;
 }
 
+void UdpBus::set_peer(net::Mid mid, std::uint16_t port) {
+  peers_[mid] = port;
+}
+
+void UdpBus::forget_peer(net::Mid mid) { peers_.erase(mid); }
+
+std::uint16_t UdpBus::port_of(net::Mid mid) const {
+  const auto it = sockets_.find(mid);
+  return it == sockets_.end() ? 0 : it->second.port;
+}
+
+void UdpBus::send_datagram(int from_fd, std::uint16_t port, const void* data,
+                           std::size_t size) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ssize_t n;
+  do {
+    n = ::sendto(from_fd, data, size, 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0 && (errno == ENOBUFS || errno == EAGAIN ||
+                errno == EWOULDBLOCK)) {
+    // Kernel socket buffer full: the datagram is lost on the wire, the
+    // same as any other drop — count it and let retransmission recover.
+    ++send_drops_;
+    return;
+  }
+  ++datagrams_out_;
+}
+
 void UdpBus::send_ref(net::FrameRef fref) {
   const net::Frame& frame = *fref;
   const auto wire = net::encode_frame(frame);
-  auto send_to = [&](const Station& st) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(st.port);
-    // Send from the source's socket when we have one (any works on
-    // loopback; the frame itself names src/dst).
-    const auto src_it = sockets_.find(frame.src);
-    const int from_fd =
-        src_it != sockets_.end() ? src_it->second.fd : st.fd;
-    (void)::sendto(from_fd, wire.data(), wire.size(), 0,
-                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-    ++datagrams_out_;
-  };
+  // Send from the source's socket when we have one (any works on
+  // loopback; the frame itself names src/dst).
+  const auto src_it = sockets_.find(frame.src);
+  const int default_fd =
+      sockets_.empty() ? -1 : sockets_.begin()->second.fd;
+  const int from_fd =
+      src_it != sockets_.end() ? src_it->second.fd : default_fd;
+  if (from_fd < 0) return;
 
   count_sent(frame.wire_size());
   if (frame.dst == net::kBroadcastMid) {
     for (const auto& [mid, st] : sockets_) {
-      if (mid != frame.src) send_to(st);
+      if (mid != frame.src) {
+        send_datagram(from_fd, st.port, wire.data(), wire.size());
+      }
+    }
+    for (const auto& [mid, port] : peers_) {
+      if (mid != frame.src && sockets_.find(mid) == sockets_.end()) {
+        send_datagram(from_fd, port, wire.data(), wire.size());
+      }
     }
     return;
   }
-  const auto it = sockets_.find(frame.dst);
-  if (it != sockets_.end()) send_to(it->second);
+  if (const auto it = sockets_.find(frame.dst); it != sockets_.end()) {
+    send_datagram(from_fd, it->second.port, wire.data(), wire.size());
+    return;
+  }
+  if (const auto it = peers_.find(frame.dst); it != peers_.end()) {
+    send_datagram(from_fd, it->second, wire.data(), wire.size());
+  }
 }
 
 int UdpBus::pump() {
@@ -79,6 +130,7 @@ int UdpBus::pump() {
     for (;;) {
       const ssize_t n = ::recv(st.fd, buf, sizeof(buf), 0);
       if (n < 0) {
+        if (errno == EINTR) continue;  // signal landed mid-recv: retry
         break;  // EWOULDBLOCK or error: done with this socket
       }
       ++datagrams_in_;
@@ -96,6 +148,10 @@ int UdpBus::pump() {
       // datagrams were fanned out one per station already, so each is
       // consumed by exactly the socket it landed on).
       if (frame->dst != mid && frame->dst != net::kBroadcastMid) continue;
+      if (recv_filter_ && recv_filter_(*frame)) {
+        ++dropped_;  // scenario-scheduled loss window
+        continue;
+      }
       simulator().trace().record(simulator().now(),
                                  sim::TraceCategory::kPacketReceived, mid,
                                  net::trace_payload(*frame));
@@ -114,11 +170,13 @@ bool RealtimeRunner::run_until(std::function<bool()> until,
   // retransmission timers fire spuriously at high speedups.
   constexpr sim::Duration kSlice = 1 * sim::kMillisecond;
   const auto start = std::chrono::steady_clock::now();
+  const sim::Time base = sim_.now();
   for (;;) {
     const auto wall_elapsed = std::chrono::duration_cast<
         std::chrono::microseconds>(std::chrono::steady_clock::now() - start);
-    const auto sim_target = static_cast<sim::Time>(
-        static_cast<double>(wall_elapsed.count()) * speedup_);
+    const auto sim_target =
+        base + static_cast<sim::Time>(
+                   static_cast<double>(wall_elapsed.count()) * speedup_);
     while (sim_.now() < sim_target) {
       sim_.run_until(std::min(sim_.now() + kSlice, sim_target));
       if (bus_.pump() > 0) {

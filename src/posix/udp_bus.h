@@ -10,13 +10,23 @@
 // (optionally scaled), so kernel timers — retransmission, Delta-t record
 // expiry, probes — run in real time.
 //
+// Two deployment shapes share this class:
+//   - in-process (soda_soak, tests): open_station() once per MID, all
+//     kernels in one process, datagrams loop back between the stations;
+//   - fleet (src/fleet): ONE local station (this process's node) plus a
+//     peer map of MID -> UDP port for every other worker process, kept
+//     current by the soda_fleet driver as workers die and reboot.
+//
 // UDP gives the same failure model the paper assumes of the Megalink:
 // datagrams may be dropped or reordered, never corrupted past the
 // checksum; the alternating-bit machinery recovers exactly as in the
-// simulator.
+// simulator. Syscall-level hardening: EINTR is retried, transient send
+// failures (ENOBUFS/EAGAIN) count as drops rather than aborting the run,
+// and SO_RCVBUF is sized explicitly so burst loss is measurable.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -39,21 +49,52 @@ class UdpBus final : public net::Bus {
   bool open_station(net::Mid mid);
 
   /// Encode and transmit over UDP (unicast, or one datagram per station
-  /// for broadcast — loopback needs no real multicast configuration).
+  /// and registered peer for broadcast — loopback needs no real multicast
+  /// configuration).
   void send_ref(net::FrameRef frame) override;
 
   /// Drain every socket; decode and deliver arrivals to the attached
   /// sinks at the current simulated time. Returns frames delivered.
   int pump();
 
+  /// Register (or re-register, after a reboot rebinds the socket) the UDP
+  /// port another process's station listens on. Unicasts to `mid` and
+  /// broadcast fan-out then include that endpoint. A MID with a local
+  /// station ignores its peer entry.
+  void set_peer(net::Mid mid, std::uint16_t port);
+  void forget_peer(net::Mid mid);
+
+  /// Local station port for `mid` (0 when that MID has no local socket).
+  std::uint16_t port_of(net::Mid mid) const;
+
   std::size_t stations() const { return sockets_.size(); }
   std::size_t datagrams_in() const { return datagrams_in_; }
   std::size_t datagrams_out() const { return datagrams_out_; }
   std::size_t decode_failures() const { return decode_failures_; }
 
+  /// Datagrams sendto() could not queue (ENOBUFS / EAGAIN — the kernel
+  /// socket buffer was full). Transient by design: the frame is treated
+  /// as lost on the wire and retransmission recovers it.
+  std::size_t send_drops() const { return send_drops_; }
+
+  /// Receive-buffer size requested for every subsequently opened station
+  /// (SO_RCVBUF). Default 1 MiB: at high speedups one pump() gap can see
+  /// hundreds of datagrams, and an explicit size makes burst loss show up
+  /// in send_drops()/retransmits instead of silently varying per host.
+  void set_rcvbuf_bytes(int bytes) { rcvbuf_bytes_ = bytes; }
+  /// SO_RCVBUF the OS actually granted for the most recent station.
+  int rcvbuf_effective() const { return rcvbuf_effective_; }
+
   /// Drop this fraction of incoming datagrams (failure injection on top
   /// of whatever the real network does).
   void set_drop_probability(double p) { drop_probability_ = p; }
+
+  /// Scenario-driven receive filter (fleet workers install one compiled
+  /// from the chaos fault schedule): return true to drop the decoded
+  /// frame before delivery. Runs after the uniform drop_probability draw.
+  using RecvFilter = std::function<bool(const net::Frame&)>;
+  void set_recv_filter(RecvFilter f) { recv_filter_ = std::move(f); }
+
   std::size_t dropped() const { return dropped_; }
 
  private:
@@ -61,11 +102,19 @@ class UdpBus final : public net::Bus {
     int fd = -1;
     std::uint16_t port = 0;
   };
+  void send_datagram(int from_fd, std::uint16_t port, const void* data,
+                     std::size_t size);
+
   std::map<net::Mid, Station> sockets_;
+  std::map<net::Mid, std::uint16_t> peers_;
   std::size_t datagrams_in_ = 0;
   std::size_t datagrams_out_ = 0;
   std::size_t decode_failures_ = 0;
+  std::size_t send_drops_ = 0;
+  int rcvbuf_bytes_ = 1 << 20;
+  int rcvbuf_effective_ = 0;
   double drop_probability_ = 0.0;
+  RecvFilter recv_filter_;
   std::size_t dropped_ = 0;
 };
 

@@ -504,6 +504,7 @@ void Transport::process_sequenced(Mid peer, Record& r, const Frame& f) {
   if (r.has_recv && f.seq == r.last_recv_seq) {
     // Duplicate: the peer missed our acknowledgement. Re-answer from
     // connection state (§5.2.3).
+    metrics_->add(stats::Counter::kDuplicatesSuppressed);
     if (r.last_response) {
       Frame replay = *r.last_response;
       send_now(std::move(replay), /*sequenced_costs=*/false);

@@ -69,12 +69,13 @@ const char* to_string(TraceStatus s) {
     case TraceStatus::kTtlExpired: return "ttl_expired";
     case TraceStatus::kQueueOverflow: return "queue_overflow";
     case TraceStatus::kNoRoute: return "no_route";
+    case TraceStatus::kLoadAbandoned: return "load_abandoned";
   }
   return "unknown";
 }
 
 std::optional<TraceStatus> trace_status_from_string(std::string_view s) {
-  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kNoRoute);
+  constexpr auto kLast = static_cast<std::size_t>(TraceStatus::kLoadAbandoned);
   for (std::size_t i = 0; i <= kLast; ++i) {
     const auto st = static_cast<TraceStatus>(i);
     if (s == to_string(st)) return st;

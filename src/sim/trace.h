@@ -98,6 +98,8 @@ enum class TraceStatus : std::uint8_t {
   kTtlExpired,     // hop budget exhausted; frame not forwarded
   kQueueOverflow,  // bounded egress queue full; frame dropped
   kNoRoute,        // gateway declined to forward (self-echo / local dst)
+  // kBoot (appended to keep prior numeric values stable)
+  kLoadAbandoned,  // load deadline expired; machine returned to free pool
 };
 
 const char* to_string(TraceStatus s);

@@ -31,6 +31,8 @@ const char* to_string(Counter c) {
     case Counter::kCpuBusyMicros: return "cpu_busy_micros";
     case Counter::kShedOffers: return "shed_offers";
     case Counter::kBusyBudgetExhausted: return "busy_budget_exhausted";
+    case Counter::kDuplicatesSuppressed: return "duplicates_suppressed";
+    case Counter::kLoadsAbandoned: return "loads_abandoned";
     case Counter::kCounterCount: break;
   }
   return "unknown";

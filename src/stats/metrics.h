@@ -45,6 +45,9 @@ enum class Counter : std::uint8_t {
   kCpuBusyMicros,       // accumulated NodeCpu busy time
   kShedOffers,          // REQUEST offers BUSY-NACKed by admission control
   kBusyBudgetExhausted, // frames abandoned after the BUSY retry budget
+  kDuplicatesSuppressed,// sequenced frames re-answered from connection
+                        // state instead of redelivered (Delta-t §5.2.3)
+  kLoadsAbandoned,      // §3.5 LOAD sequences dropped by the stall deadline
   kCounterCount,        // sentinel, keep last
 };
 

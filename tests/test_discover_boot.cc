@@ -227,6 +227,47 @@ TEST(Boot, FullLoadStartKillCycle) {
   EXPECT_FALSE(target.has_client());
 }
 
+TEST(Boot, AbandonedLoadFreesTheMachine) {
+  Network net;
+  Node& target = net.add_node();  // MID 0: free machine
+  static BootProbe probe;
+  probe = {};
+  target.register_program("child",
+                          [] { return std::make_unique<Child>(&probe); });
+
+  // A parent that GETs the boot pattern (allocating the LOAD pattern)
+  // and then goes silent — the parent-died-mid-LOAD wedge.
+  class Abandoner : public SodalClient {
+   public:
+    sim::Task on_task() override {
+      Bytes load_b;
+      auto c = co_await b_get(
+          ServerSignature{0, Kernel::kDefaultBootPattern}, 0, &load_b, 8);
+      got = c.ok() && load_b.size() >= 8;
+      co_await park_forever();
+    }
+    bool got = false;
+  };
+  auto& quitter = net.spawn<Abandoner>(NodeConfig{});
+  net.run_for(sim::kSecond);
+  ASSERT_TRUE(quitter.got);
+  EXPECT_FALSE(target.has_client());
+
+  // Past the load deadline (record lifetime + two retransmit spans) the
+  // machine abandons the stale LOAD and returns to the free pool...
+  net.run_for(2 * sim::kSecond);
+  EXPECT_EQ(net.sim().metrics().total(stats::Counter::kLoadsAbandoned), 1u);
+
+  // ...so a second parent can run the full cycle from scratch.
+  auto& parent = net.spawn<Parent>(NodeConfig{}, /*target=*/0);
+  net.run_for(3 * sim::kSecond);
+  net.check_clients();
+  ASSERT_FALSE(parent.failed);
+  ASSERT_TRUE(parent.started);
+  EXPECT_EQ(probe.booted, 1);
+  EXPECT_TRUE(target.has_client());
+}
+
 TEST(Boot, KillPatternStopsRunawayClient) {
   Network net;
   net.spawn<Advertiser>(NodeConfig{});  // the victim, MID 0

@@ -2,7 +2,11 @@
 // loopback sockets in real time. Wall-clock budgets are generous; tests
 // skip when the environment forbids sockets.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include "net/wire.h"
 #include "posix/udp_network.h"
 #include "sodal/sodal.h"
 
@@ -141,6 +145,74 @@ TEST(Udp, SurvivesInjectedDatagramLoss) {
   net->check_clients();
   ASSERT_TRUE(finished) << "lossy UDP stream did not finish";
   EXPECT_EQ(caller.good, 5);  // alternating-bit recovered everything
+}
+
+// Raw malformed datagrams aimed straight at a station's socket: the wire
+// decoder (length-framed sections + Fletcher-16) must reject every image
+// without crashing, count it in decode_failures(), and leave the node
+// fully operational. Exercises the hardened pump() syscall path.
+TEST(Udp, RejectsMalformedDatagramsWithoutCrashing) {
+  std::unique_ptr<UdpNetwork> net;
+  try {
+    net = std::make_unique<UdpNetwork>(5, /*speedup=*/200.0);
+    net->spawn<Echo>(NodeConfig{});
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "UDP sockets unavailable";
+  }
+  const std::uint16_t victim = net->bus().port_of(0);
+  ASSERT_NE(victim, 0);
+  const int raw = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to.sin_port = htons(victim);
+  auto blast = [&](const void* data, std::size_t size) {
+    (void)::sendto(raw, data, size, 0, reinterpret_cast<sockaddr*>(&to),
+                   sizeof(to));
+  };
+
+  // A well-formed frame to mutilate.
+  net::Frame f;
+  f.src = 9;
+  f.dst = 0;
+  f.seq = 1;
+  net::RequestSection req;
+  req.tid = 7;
+  req.pattern = kEcho;
+  req.arg = 1;
+  f.request = req;
+  const auto wire = net::encode_frame(f);
+  ASSERT_GT(wire.size(), 8u);
+
+  // (1) Truncated: every prefix shorter than the full image.
+  blast(wire.data(), wire.size() / 2);
+  blast(wire.data(), 3);
+  // (2) Oversized garbage: a datagram far larger than any legal frame.
+  std::vector<std::uint8_t> junk(8192, 0xA5);
+  blast(junk.data(), junk.size());
+  // (3) Bit-flipped: valid image with one damaged bit — the Fletcher-16
+  // checksum catches every single-bit error (§5.2.2).
+  auto flipped = wire;
+  flipped[flipped.size() / 2] ^= 0x10;
+  blast(flipped.data(), flipped.size());
+  // (4) Empty datagram.
+  blast(wire.data(), 0);
+
+  const bool counted = net->run_until(
+      [&] { return net->bus().decode_failures() >= 4; },
+      std::chrono::milliseconds(5000));
+  ::close(raw);
+  EXPECT_TRUE(counted) << "decoder rejected only "
+                       << net->bus().decode_failures() << " of 4 images";
+
+  // The station shrugged it all off: a real exchange still works.
+  auto& caller = net->spawn<Caller>(NodeConfig{}, 3);
+  const bool finished = net->run_until([&] { return caller.done; },
+                                       std::chrono::milliseconds(10000));
+  net->check_clients();
+  ASSERT_TRUE(finished) << "node wedged after malformed datagrams";
+  EXPECT_EQ(caller.good, 3);
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+// soda_node — one SODA node in one OS process (the soda_fleet worker).
+//
+//   soda_node --mid N --control PORT [--epoch E] [--seed S]
+//
+// Not meant to be launched by hand: the soda_fleet driver forks/execs one
+// of these per scenario node, feeds it the scenario + peer map over the
+// control connection, and SIGKILLs / re-execs it on the fault schedule
+// (src/fleet/worker.h, doc/FLEET.md).
+//
+// Exit status: 0 clean, 2 usage error, 3 environment failure (no sockets
+// or no driver), 4 control-protocol error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fleet/worker.h"
+
+int main(int argc, char** argv) {
+  soda::fleet::WorkerOptions opts;
+  bool have_mid = false, have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (std::strcmp(a, "--mid") == 0 && v) {
+      opts.mid = std::atoi(v);
+      have_mid = true;
+      ++i;
+    } else if (std::strcmp(a, "--epoch") == 0 && v) {
+      opts.epoch = std::atoi(v);
+      ++i;
+    } else if (std::strcmp(a, "--control") == 0 && v) {
+      opts.control_port = static_cast<std::uint16_t>(std::atoi(v));
+      have_port = true;
+      ++i;
+    } else if (std::strcmp(a, "--seed") == 0 && v) {
+      opts.seed = std::strtoull(v, nullptr, 10);
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: soda_node --mid N --control PORT"
+                   " [--epoch E] [--seed S]\n");
+      return 2;
+    }
+  }
+  if (!have_mid || !have_port || opts.mid < 0) {
+    std::fprintf(stderr, "soda_node: --mid and --control are required\n");
+    return 2;
+  }
+  return soda::fleet::run_worker(opts);
+}

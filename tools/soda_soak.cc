@@ -135,8 +135,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(o.seed));
 
   const sim::Time end = s.end_time();
+  // Wall budget derived from what the run actually has to execute: the
+  // scenario's load + drain phases replayed at the configured speedup,
+  // with a 50% proportional allowance for scheduler jitter plus a small
+  // fixed startup term — not a flat fudge, so short smokes fail fast and
+  // long soaks aren't cut off mid-drain.
   const auto wall_budget = std::chrono::milliseconds(
-      static_cast<long long>(o.wall_seconds * 1000) + 5000);
+      static_cast<long long>(static_cast<double>(end) / o.speedup / 1000.0 *
+                             1.5) +
+      2000);
   const bool finished =
       net.run_until([&] { return sim.now() >= end; }, wall_budget);
   net.check_clients();

@@ -13,8 +13,9 @@
 // regressed (optimized goodput below base, or starvation: some client
 // finished zero ops while the base mode starved nobody), or the 128-node
 // anycast pool sweep lost its scaling headline (8-server pool goodput
-// below 4x the single-server pool), so CI can gate on it. --diff exits 1
-// when any [WORSE] line is printed.
+// below 4x the single-server pool), or a fleet run (BENCH_fleet.jsonl)
+// recorded violations / wedged workers / a real-vs-sim twin mismatch, so
+// CI can gate on it. --diff exits 1 when any [WORSE] line is printed.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -69,6 +70,21 @@ int main(int argc, char** argv) {
 
   bool failing = false;
   for (const auto& c : report.chaos) failing |= c.failures > 0;
+  // Fleet gate (doc/FLEET.md): any invariant violation over the merged
+  // real-process trace, a wedged or unexpectedly-dead worker, or a
+  // real-vs-simulated twin mismatch fails the snapshot. Skipped runs
+  // (environments without fork/sockets) never do.
+  for (const auto& f : report.fleet) {
+    if (f.violations > 0 || f.wedged > 0 || f.unexpected_exits > 0 ||
+        f.twin_mismatches > 0) {
+      std::fprintf(stderr,
+                   "soda_trend: fleet %s failing: violations=%ld wedged=%ld "
+                   "unexpected=%ld twin_mismatch=%ld\n",
+                   f.scenario.c_str(), f.violations, f.wedged,
+                   f.unexpected_exits, f.twin_mismatches);
+      failing = true;
+    }
+  }
   // Anycast pool gate (doc/OVERLOAD.md §4): the 128-node contention storm
   // against an 8-server pool must deliver at least 4x the goodput of the
   // same storm against a single server. Checked whenever both rows are in

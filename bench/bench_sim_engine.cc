@@ -11,6 +11,7 @@
 // SBO buffer, a container resize leaking into steady state, ...).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -262,13 +263,16 @@ void BM_AsyncTraceSinkOffload(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncTraceSinkOffload)->Arg(0)->Arg(2);
 
-// Partitioned wheels drained by the serial (time, seq) merge — the exact
-// cost the ParallelEngine variant below must beat via prefetch overlap.
+// Partitioned wheels walked by the serial window protocol (the epoch-2
+// reference): one thread executes every partition's window in ascending
+// partition order. This is the baseline the concurrent executor below
+// must beat on a multicore host.
 void BM_PartitionedMergeSerial(benchmark::State& state) {
   constexpr int kParts = 8, kPerPart = 400;
   for (auto _ : state) {
     sim::Simulator s;
     s.enable_partitions(kParts);
+    s.set_lookahead(64);
     int sink = 0;
     for (int p = 0; p < kParts; ++p) {
       sim::ScopedPartition sp(s, p);
@@ -283,11 +287,13 @@ void BM_PartitionedMergeSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionedMergeSerial);
 
-// Full conservative engine: Arg(N) prefetch workers fan the partition
-// wheels' structural work (cascades, tick activation) across the pool per
-// lookahead window while the exact merge preserves pop order. Events and
-// traces are bit-identical to the serial run; only wall clock may differ,
-// and the speedup is host-dependent (1 on a single-core container).
+// True concurrent execution: Arg(N) workers race over each window's
+// active partitions and execute their events in parallel; cross-partition
+// work funnels through the staging queues merged at the window barrier.
+// Events, RNG draws, and traces are bit-identical to the serial window
+// walk; only wall clock may differ, and the speedup is host-dependent
+// (~1x on a single-core container). The sink is atomic because callbacks
+// from distinct partitions genuinely run on distinct threads here.
 void BM_ParallelEngineRun(benchmark::State& state) {
   const int workers = static_cast<int>(state.range(0));
   constexpr int kParts = 8, kPerPart = 400;
@@ -295,16 +301,17 @@ void BM_ParallelEngineRun(benchmark::State& state) {
     sim::Simulator s;
     s.enable_partitions(kParts);
     s.set_lookahead(64);
-    int sink = 0;
+    std::atomic<int> sink{0};
     for (int p = 0; p < kParts; ++p) {
       sim::ScopedPartition sp(s, p);
       for (int i = 0; i < kPerPart; ++i) {
-        s.after(1 + (i * 37) % 5000, [&sink] { ++sink; });
+        s.after(1 + (i * 37) % 5000,
+                [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
       }
     }
     sim::ParallelEngine engine(s, sim::ParallelConfig{workers, 0});
     engine.run();
-    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(sink.load());
     if (s.lookahead_violations() != 0) {
       state.SkipWithError("lookahead violation in benchmark workload");
       return;
@@ -313,6 +320,37 @@ void BM_ParallelEngineRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kParts * kPerPart);
 }
 BENCHMARK(BM_ParallelEngineRun)->Arg(1)->Arg(2)->Arg(4);
+
+// Window-size x workers sweep for the concurrent executor. The window
+// (lookahead) sets the granularity of the parallelism: tiny windows mean
+// frequent barriers and little work per partition per window (barrier
+// overhead dominates); huge windows amortize the barrier but batch fewer,
+// larger window rounds. Args are {lookahead_us, workers}; the interesting
+// read is events/s across a row of constant workers.
+void BM_ConcurrentWindowSweep(benchmark::State& state) {
+  const auto window = static_cast<sim::Duration>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  constexpr int kParts = 8, kPerPart = 400;
+  for (auto _ : state) {
+    sim::Simulator s;
+    s.enable_partitions(kParts);
+    s.set_lookahead(window);
+    std::atomic<int> sink{0};
+    for (int p = 0; p < kParts; ++p) {
+      sim::ScopedPartition sp(s, p);
+      for (int i = 0; i < kPerPart; ++i) {
+        s.after(1 + (i * 37) % 5000,
+                [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+    sim::ParallelEngine engine(s, sim::ParallelConfig{workers, 0});
+    engine.run();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kParts * kPerPart);
+}
+BENCHMARK(BM_ConcurrentWindowSweep)
+    ->ArgsProduct({{16, 128, 1024}, {1, 2, 4}});
 
 void BM_NetworkSetupTeardown(benchmark::State& state) {
   for (auto _ : state) {

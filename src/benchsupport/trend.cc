@@ -102,10 +102,10 @@ void aggregate_streams(TrendReport& r) {
 
 void aggregate_scale(TrendReport& r) {
   // key: workload | nodes | loss | retransmit_backoff | pool_size |
-  //      segments | engine | workers
-  std::map<
-      std::tuple<std::string, int, double, bool, int, int, std::string, int>,
-      ScaleTrend>
+  //      segments | engine | workers | epoch
+  std::map<std::tuple<std::string, int, double, bool, int, int, std::string,
+                      int, int>,
+           ScaleTrend>
       pairs;
   for (const TrendRow& row : r.rows) {
     if (row.str("kind") != "scale") continue;
@@ -116,15 +116,20 @@ void aggregate_scale(TrendReport& r) {
                          row.num("retransmit_backoff").value_or(0) != 0;
     const int pool = static_cast<int>(row.num("pool_size").value_or(0));
     const int segments = static_cast<int>(row.num("segments").value_or(1));
-    // Rows older than the parallel engine carry no "engine" column and
-    // aggregate under "" — the same bucket as explicit engine=serial via
-    // scale_label's empty suffix, but kept distinct in the map key so a
-    // baseline regenerated with the column never half-matches.
-    const std::string engine = row.str("engine");
+    // "exec_mode" (classic/windowed/concurrent) supersedes the old
+    // "engine" column; fall back so historical rows still parse. Rows
+    // older than both columns aggregate under "" — the same bucket as
+    // explicit engine=serial via scale_label's empty suffix, but kept
+    // distinct in the map key so a baseline regenerated with the column
+    // never half-matches.
+    std::string engine = row.str("exec_mode");
+    if (engine.empty()) engine = row.str("engine");
     const int workers = static_cast<int>(row.num("workers").value_or(0));
+    // Rows predating the epoch-2 hash break carry no hash_epoch column.
+    const int epoch = static_cast<int>(row.num("hash_epoch").value_or(1));
     ScaleTrend& t =
         pairs[{workload, nodes, loss, backoff, pool, segments, engine,
-               workers}];
+               workers, epoch}];
     t.workload = workload;
     t.nodes = nodes;
     t.loss = loss;
@@ -133,6 +138,7 @@ void aggregate_scale(TrendReport& r) {
     t.segments = segments;
     t.engine = engine;
     t.workers = workers;
+    t.epoch = epoch;
     const bool opt = row.str("optimized") == "true" ||
                      row.num("optimized").value_or(0) != 0;
     const double events = row.num("events_executed").value_or(0);
@@ -173,12 +179,20 @@ void aggregate_scale(TrendReport& r) {
 
 std::string scale_label(const std::string& workload, bool backoff,
                         int pool_size, int segments = 1,
-                        const std::string& engine = "", int workers = 0) {
+                        const std::string& engine = "", int workers = 0,
+                        int epoch = 1) {
   std::string label = workload;
   if (backoff) label += "+bkoff";
   if (pool_size > 0) label += "+pool" + std::to_string(pool_size);
   if (segments > 1) label += "+seg" + std::to_string(segments);
-  if (engine == "parallel") label += "+par" + std::to_string(workers) + "w";
+  if (engine == "parallel" || engine == "concurrent") {
+    label += "+par" + std::to_string(workers) + "w";
+  } else if (engine == "windowed") {
+    label += "+win";
+  }
+  // Epoch-2 rows hash under a different RNG contract; make that visible
+  // so an e2 row is never eyeballed against an unmarked epoch-1 row.
+  if (epoch > 1) label += "@e" + std::to_string(epoch);
   return label;
 }
 
@@ -264,7 +278,7 @@ std::string format_trend_report(const TrendReport& r) {
     for (const auto& t : r.scale) {
       const std::string label = scale_label(
           t.workload, t.backoff, t.pool_size, t.segments, t.engine,
-          t.workers);
+          t.workers, t.epoch);
       std::snprintf(
           buf, sizeof buf,
           "  %-18s %5d %4.0f%% %9.0f->%-7.0f %2.0f%% %9.0f->%-7.0f %2.0f%% "
@@ -290,7 +304,7 @@ std::string format_trend_report(const TrendReport& r) {
         if (t.opt_ev_wall <= 0) continue;
         const std::string label = scale_label(
             t.workload, t.backoff, t.pool_size, t.segments, t.engine,
-            t.workers);
+            t.workers, t.epoch);
         std::snprintf(buf, sizeof buf, "  %-18s %5d %14.0f %12.0f\n",
                       label.c_str(), t.nodes, t.opt_ev_wall, t.opt_rss_kb);
         out << buf;
@@ -313,7 +327,7 @@ std::string format_trend_report(const TrendReport& r) {
         if (t.base_ops_max <= 0 && t.opt_ops_max <= 0) continue;
         const std::string label = scale_label(
             t.workload, t.backoff, t.pool_size, t.segments, t.engine,
-            t.workers);
+            t.workers, t.epoch);
         std::snprintf(buf, sizeof buf,
                       "  %-18s %5d %7.0f->%-8.0f %6.0f/%-6.0f %6.0f/%-6.0f "
                       "%4.0f->%-5.0f\n",
@@ -389,17 +403,17 @@ std::string format_trend_diff(const TrendReport& before,
   {
     std::map<
         std::tuple<std::string, int, double, bool, int, int, std::string,
-                   int>,
+                   int, int>,
         std::pair<const ScaleTrend*, const ScaleTrend*>>
         merged;
     for (const auto& t : before.scale) {
       merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size,
-              t.segments, t.engine, t.workers}]
+              t.segments, t.engine, t.workers, t.epoch}]
           .first = &t;
     }
     for (const auto& t : after.scale) {
       merged[{t.workload, t.nodes, t.loss, t.backoff, t.pool_size,
-              t.segments, t.engine, t.workers}]
+              t.segments, t.engine, t.workers, t.epoch}]
           .second = &t;
     }
     if (!merged.empty()) {
@@ -410,9 +424,10 @@ std::string format_trend_diff(const TrendReport& before,
       out << buf;
       for (const auto& [key, ba] : merged) {
         const auto& [workload, nodes, loss, backoff, pool, segments, engine,
-                     workers] = key;
-        const std::string label =
-            scale_label(workload, backoff, pool, segments, engine, workers);
+                     workers, epoch] = key;
+        const std::string label = scale_label(workload, backoff, pool,
+                                              segments, engine, workers,
+                                              epoch);
         if (!ba.first || !ba.second) {
           std::snprintf(buf, sizeof buf, "  %-18s %5d %4.0f%% %s\n",
                         label.c_str(), nodes, loss * 100,

@@ -250,11 +250,11 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
   }
   auto& sim = single ? single->sim() : internet->sim();
   const bool parallel = options.engine == EngineMode::kParallel;
-  if (parallel) {
-    // Per-segment wheels; a single bus falls back to per-node wheels.
-    sim.enable_partitions(segments > 1 ? segments
-                                       : std::max(1, scenario.nodes));
-  }
+  // Epoch 2: every run is partitioned — per-segment wheels, or per-node
+  // wheels on a single bus — regardless of engine. The serial engine
+  // walks the same windows one partition at a time, so the concurrent
+  // engine has a bit-identical reference to be compared against.
+  sim.enable_partitions(segments > 1 ? segments : std::max(1, scenario.nodes));
   sim.trace().enable_all();
   sim.trace().set_store(options.keep_events);
 
@@ -366,8 +366,11 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
   if (single) {
     install_link_faults(sim, single->bus(), 0, scenario);
     schedule_crashes(*single, scenario);
+    // The lookahead fixes the window boundaries, and the boundaries are
+    // part of the epoch-2 contract — both engines must use the identical
+    // value and the identical run_until deadline.
+    sim.set_lookahead(single->bus().config().propagation);
     if (parallel) {
-      sim.set_lookahead(single->bus().config().propagation);
       sim::ParallelEngine engine(sim,
                                  sim::ParallelConfig{options.workers, 0});
       engine.run_until(scenario.end_time());
@@ -381,8 +384,8 @@ RunResult run_scenario(const Scenario& scenario, std::uint64_t seed,
     }
     schedule_crashes(*internet, scenario);
     install_inet_faults(*internet, scenario);
+    sim.set_lookahead(internet->lookahead());
     if (parallel) {
-      sim.set_lookahead(internet->lookahead());
       sim::ParallelEngine engine(sim,
                                  sim::ParallelConfig{options.workers, 0});
       engine.run_until(scenario.end_time());

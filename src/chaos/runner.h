@@ -41,12 +41,24 @@ struct RunStats {
   std::uint64_t events = 0;  // trace events recorded
 };
 
-/// Which engine drives the run. Both produce bit-identical event, RNG,
-/// and trace order (proven by tests/test_parallel_sim.cc and the pinned
-/// hashes in tests/test_determinism.cc); kParallel partitions the event
-/// queue by segment (or node, on a single bus), prefetches the partition
-/// wheels on a worker pool, and moves the observer path onto an async
-/// in-order pipeline (sim::ParallelEngine / sim::AsyncTraceSink).
+/// Pinned-trace-hash epoch. Every chaos run partitions the simulator (by
+/// segment, or by node on a single bus) and executes the epoch-2 window
+/// protocol: partition-local RNG streams split from the root seed,
+/// receiver-side bus fault draws, per-serial unique-id sequences, and
+/// barrier-merged traces. Epoch 1 was the shared-stream serial engine;
+/// its pinned hashes are not comparable to epoch-2 ones, which is why
+/// chaos/bench JSONL rows carry this number.
+inline constexpr int kHashEpoch = 2;
+
+/// Which engine drives the run. Both execute the identical epoch-2
+/// window protocol over the identical window boundaries and produce
+/// bit-identical event, RNG, and trace order (proven by
+/// tests/test_parallel_sim.cc and the pinned hashes in
+/// tests/test_determinism.cc). kSerial walks the windows one partition
+/// at a time and is the reference; kParallel executes each window's
+/// partitions concurrently on a worker pool and moves the observer path
+/// onto an async in-order pipeline (sim::ParallelEngine /
+/// sim::AsyncTraceSink).
 enum class EngineMode { kSerial, kParallel };
 
 struct RunOptions {
@@ -69,7 +81,8 @@ struct RunResult {
   /// sampled_fold, or always under the parallel engine's fold workers).
   std::uint64_t sampled_digest = 0;
   /// Cross-partition schedules closer than the declared lookahead window
-  /// (parallel engine only; stays 0 for every shipped topology).
+  /// (counted identically by both engines; stays 0 for every shipped
+  /// topology).
   std::uint64_t lookahead_violations = 0;
   RunStats stats;
   std::vector<Violation> violations;

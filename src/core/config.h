@@ -1,7 +1,9 @@
 // Per-node configuration and network-wide unique-id generation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.h"
 #include "proto/timing.h"
@@ -96,24 +98,44 @@ struct NodeConfig {
 
 /// Network-wide unique pattern source (§5.4): the paper concatenates an
 /// 8-bit machine serial number with a 32-bit counter whose initial value
-/// comes from a monotonic clock on the development VAX. The simulator
-/// plays the VAX: one shared monotone counter.
+/// comes from a monotonic clock on the development VAX.
+///
+/// Epoch 2: the counter is per-serial, not shared. A shared monotone
+/// counter consumed at runtime (get_unique_id, the reboot load-pattern
+/// path) would make every pattern depend on the global cross-partition
+/// execution order — exactly the coupling the partition-local RNG
+/// streams remove. Per-serial sequences make each node's patterns a pure
+/// function of its own call count, and the layout below keeps them
+/// injective across (serial, seq), so network-wide uniqueness survives.
 class UniqueIdSource {
  public:
   /// A fresh pattern for machine `serial`. Never has the RESERVED or
   /// WELL-KNOWN bits set, so client-made names cannot collide with either
-  /// kernel patterns or published names (§3.4.2).
+  /// kernel patterns or published names (§3.4.2). Layout (low to high):
+  /// serial bits 0-7, a 24-bit per-serial sequence, serial bits 8-15 —
+  /// bits 40+ stay clear for the kernel's uniqueness-salt rider.
   net::Pattern next(net::Mid serial) {
-    const std::uint64_t counter = counter_++;
-    net::Pattern p = ((counter & 0xFFFFFFFFull) << 8) |
-                     (static_cast<std::uint64_t>(serial) & 0xFF);
+    const auto s =
+        static_cast<std::size_t>(static_cast<std::uint32_t>(serial));
+    if (s >= seq_.size()) seq_.resize(s + 1, 1);
+    const std::uint64_t seq = seq_[s]++;
+    const auto serial_bits = static_cast<std::uint64_t>(serial);
+    net::Pattern p = ((serial_bits >> 8) & 0xFFull) << 32 |
+                     (seq & 0xFFFFFFull) << 8 | (serial_bits & 0xFFull);
     return p & ~(net::kReservedBit | net::kWellKnownBit) & net::kPatternMask;
   }
 
-  std::uint64_t counter() const { return counter_; }
+  /// Pre-size the per-serial table for serials [0, count). Topology
+  /// constructors (Network/Internetwork::add_node) call this at setup so
+  /// runtime next() calls from concurrently executing partitions touch
+  /// disjoint, already-allocated slots — next() growing the table mid-run
+  /// would be a data race.
+  void reserve_serials(std::size_t count) {
+    if (count > seq_.size()) seq_.resize(count, 1);
+  }
 
  private:
-  std::uint64_t counter_ = 1;
+  std::vector<std::uint32_t> seq_;  // next sequence value per serial
 };
 
 }  // namespace soda

@@ -8,9 +8,24 @@
 // media. For deterministic tests (and the soda::chaos scenario engine),
 // set_loss_filter() / set_dup_filter() / set_delay_filter() /
 // set_corrupt_filter() replace the random draws with predicates.
+//
+// RNG affinity (hash epoch 2): in a partitioned simulation every fault
+// draw for a delivery is taken from the *receiver's* partition stream,
+// inside a bare arrival event scheduled at +wire on the receiver's wheel.
+// The sender's stream is never consumed by another node's luck, so
+// partitions can execute concurrently without racing on a shared
+// generator (doc/PERFORMANCE.md §5). Unpartitioned simulations keep the
+// historical epoch-1 send-side draw order bit-for-bit. Consequence of the
+// epoch-2 shift: loss/CRC-drop trace records and fault-filter predicates
+// observe the *arrival* time of the frame, not the send time.
+//
+// Filters and interest predicates may be evaluated concurrently from
+// several partition workers; they must be pure functions of their
+// arguments (every in-tree filter is).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -134,6 +149,10 @@ class Bus {
   /// §3.4.4) but shares the one immutable frame — corruption is carried as
   /// per-delivery metadata, never a mutation. Virtual so alternative media
   /// (the posix/ UDP backend) can carry the same kernels over real sockets.
+  ///
+  /// Partitioned (epoch-2) sims take no fault draws here: each receiver
+  /// gets a bare arrival event at +wire on its own wheel, and all of that
+  /// delivery's randomness comes from the receiver's partition stream.
   virtual void send_ref(FrameRef fref) {
     const Frame& frame = *fref;
     const std::size_t size = frame.wire_size();
@@ -142,13 +161,17 @@ class Bus {
         static_cast<sim::Duration>(size) * config_.us_per_byte;
     sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketSent,
                         frame.src, stamp(trace_payload(frame)));
-    ++frames_sent_;
-    bytes_sent_ += size;
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(size, std::memory_order_relaxed);
     if (auto* m = metrics_for(frame.src)) {
       m->add(stats::Counter::kFramesSent);
       m->add(stats::Counter::kBytesSent, size);
     }
+    const bool partitioned = sim_.partitioned();
 
+    // Legacy (epoch-1) send-side fault path: every draw comes from the
+    // single shared stream, in the historical order. Unpartitioned sims
+    // stay bit-identical to pre-epoch-2 builds.
     auto deliver_to = [&](Mid mid) {
       const bool dropped = loss_filter_
                                ? loss_filter_(frame, mid)
@@ -157,7 +180,7 @@ class Bus {
         sim_.trace().record(
             sim_.now(), sim::TraceCategory::kPacketDropped, mid,
             stamp(trace_payload(frame).with_status(sim::TraceStatus::kLost)));
-        ++frames_lost_;
+        frames_lost_.fetch_add(1, std::memory_order_relaxed);
         if (auto* m = metrics_for(mid)) m->add(stats::Counter::kFramesDropped);
         return;
       }
@@ -182,7 +205,7 @@ class Bus {
         // streams' determinism when toggled together with jitter).
         dup_lag = sim_.rng().next_range(0, std::max<sim::Duration>(
                                                config_.delivery_jitter, 0));
-        ++frames_duplicated_;
+        frames_duplicated_.fetch_add(1, std::memory_order_relaxed);
       }
       schedule_delivery(mid, fref, wire + jitter + shaped, false, damaged);
       if (duplicated) {
@@ -191,30 +214,57 @@ class Bus {
       }
     };
 
+    auto launch = [&](Mid mid) {
+      if (partitioned) {
+        schedule_arrival(mid, fref, wire);
+      } else {
+        deliver_to(mid);
+      }
+    };
+
     if (frame.dst == kBroadcastMid) {
       for (const auto& [mid, station] : stations_) {
         if (mid == frame.src) continue;
         if (station.interest && !station.interest(frame)) {
-          ++frames_filtered_;
+          frames_filtered_.fetch_add(1, std::memory_order_relaxed);
           continue;  // NIC hardware filter: frame never reaches the kernel
         }
-        deliver_to(mid);
+        launch(mid);
       }
     } else {
-      deliver_to(frame.dst);
+      launch(frame.dst);
     }
   }
 
   // --- statistics (used by tests and the bench harness) ---
-  std::size_t frames_sent() const { return frames_sent_; }
-  std::size_t bytes_sent() const { return bytes_sent_; }
-  std::size_t frames_lost() const { return frames_lost_; }
-  std::size_t frames_corrupted() const { return frames_corrupted_; }
-  std::size_t frames_duplicated() const { return frames_duplicated_; }
-  std::size_t frames_filtered() const { return frames_filtered_; }
+  // Counters are atomics because partitioned arrival events bump them
+  // from concurrent workers; read them between windows (or after run()),
+  // where they are exact.
+  std::size_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  std::size_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  std::size_t frames_lost() const {
+    return frames_lost_.load(std::memory_order_relaxed);
+  }
+  std::size_t frames_corrupted() const {
+    return frames_corrupted_.load(std::memory_order_relaxed);
+  }
+  std::size_t frames_duplicated() const {
+    return frames_duplicated_.load(std::memory_order_relaxed);
+  }
+  std::size_t frames_filtered() const {
+    return frames_filtered_.load(std::memory_order_relaxed);
+  }
   void reset_stats() {
-    frames_sent_ = bytes_sent_ = frames_lost_ = frames_corrupted_ =
-        frames_duplicated_ = frames_filtered_ = 0;
+    frames_sent_ = 0;
+    bytes_sent_ = 0;
+    frames_lost_ = 0;
+    frames_corrupted_ = 0;
+    frames_duplicated_ = 0;
+    frames_filtered_ = 0;
   }
 
   const BusConfig& config() const { return config_; }
@@ -282,7 +332,7 @@ class Bus {
       for (const auto& [mid, station] : stations_) {
         if (mid == f->src) continue;
         if (station.interest && !station.interest(*f)) {
-          ++frames_filtered_;
+          frames_filtered_.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         dispatch(station, f);
@@ -304,8 +354,8 @@ class Bus {
   bool station_attached(Mid mid) const { return stations_.count(mid) > 0; }
   sim::Simulator& simulator() { return sim_; }
   void count_sent(std::size_t bytes) {
-    ++frames_sent_;
-    bytes_sent_ += bytes;
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   /// Registry for an attached station, nullptr when not attached (e.g. a
@@ -344,66 +394,134 @@ class Bus {
     }
   }
 
-  /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted
-  /// deliveries (`damaged` is per-delivery — the shared frame is immutable).
-  /// A delivery whose station is absent (powered off, or on another
-  /// segment) goes to the relay taps instead, if any are registered.
-  void schedule_delivery(Mid mid, FrameRef f, sim::Duration delay,
-                         bool duplicate, bool damaged) {
-    if (sim_.partitioned()) {
-      // Deliveries land on the receiving station's wheel (the event runs
-      // that component's protocol code). The delay is at least the bus
-      // propagation, which bounds the partitioned engine's lookahead —
-      // cross-partition traffic never schedules inside the window.
-      int partition = sim_.current_partition();
-      if (auto it = stations_.find(mid); it != stations_.end()) {
-        partition = it->second.partition;
-      } else if (!taps_.empty()) {
-        partition = taps_.front().partition;  // absent dst: a gateway's
-      }
-      sim::ScopedPartition guard(sim_, partition);
-      schedule_delivery_event(mid, std::move(f), delay, duplicate, damaged);
-      return;
+  /// Partition with wheel affinity for deliveries addressed to `mid`: the
+  /// station's own, a gateway's for an absent destination, else the
+  /// sender's (frame vanishes there deterministically).
+  int delivery_partition(Mid mid) const {
+    if (auto it = stations_.find(mid); it != stations_.end()) {
+      return it->second.partition;
     }
-    schedule_delivery_event(mid, std::move(f), delay, duplicate, damaged);
+    if (!taps_.empty()) return taps_.front().partition;
+    return sim_.current_partition();
   }
 
-  void schedule_delivery_event(Mid mid, FrameRef f, sim::Duration delay,
-                               bool duplicate, bool damaged) {
+  /// Epoch-2 delivery path: schedule a bare arrival event at +wire on the
+  /// receiver's wheel. Every fault draw for this delivery happens inside
+  /// that event, from the receiver partition's stream — the sender's
+  /// stream is untouched, so senders in other partitions can execute
+  /// concurrently. The wire time is at least the bus propagation, which
+  /// bounds the partitioned engine's lookahead — cross-partition traffic
+  /// never schedules inside the current window.
+  void schedule_arrival(Mid mid, const FrameRef& fref, sim::Duration wire) {
+    sim::ScopedPartition guard(sim_, delivery_partition(mid));
+    sim_.after(wire, [this, mid, f = fref]() { on_arrival(mid, f); });
+  }
+
+  /// Runs at +wire in the receiver's partition: take the loss/corrupt/
+  /// jitter/shaping/duplicate draws (same order as the legacy send-side
+  /// path, but from the receiver's stream and at arrival time), then
+  /// deliver inline or after the extra fault latency.
+  void on_arrival(Mid mid, const FrameRef& f) {
+    const Frame& frame = *f;
+    const bool dropped = loss_filter_
+                             ? loss_filter_(frame, mid)
+                             : sim_.rng().chance(config_.loss_probability);
+    if (dropped) {
+      sim_.trace().record(
+          sim_.now(), sim::TraceCategory::kPacketDropped, mid,
+          stamp(trace_payload(frame).with_status(sim::TraceStatus::kLost)));
+      frames_lost_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* m = metrics_for(mid)) m->add(stats::Counter::kFramesDropped);
+      return;
+    }
+    const bool damaged =
+        corrupt_filter_ ? corrupt_filter_(frame, mid)
+                        : sim_.rng().chance(config_.corruption_probability);
+    sim::Duration jitter = 0;
+    if (config_.delivery_jitter > 0) {
+      jitter = sim_.rng().next_range(0, config_.delivery_jitter);
+    }
+    sim::Duration shaped = 0;
+    if (delay_filter_) {
+      shaped = std::max<sim::Duration>(0, delay_filter_(frame, mid));
+    }
+    const bool duplicated =
+        dup_filter_ ? dup_filter_(frame, mid)
+                    : sim_.rng().chance(config_.duplicate_probability);
+    sim::Duration dup_lag = 0;
+    if (duplicated) {
+      // The extra copy trails the original by an independent jitter draw
+      // (drawn even when jitter is 0 so dup faults don't perturb other
+      // streams' determinism when toggled together with jitter).
+      dup_lag = sim_.rng().next_range(
+          0, std::max<sim::Duration>(config_.delivery_jitter, 0));
+      frames_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const sim::Duration extra = jitter + shaped;
+    if (extra == 0) {
+      finish_delivery(mid, f, false, damaged);
+    } else {
+      sim_.after(extra, [this, mid, damaged, f]() {
+        finish_delivery(mid, f, false, damaged);
+      });
+    }
+    if (duplicated) {
+      const sim::Duration lag = extra + dup_lag;
+      if (lag == 0) {
+        finish_delivery(mid, f, true, damaged);
+      } else {
+        sim_.after(lag, [this, mid, damaged, f]() {
+          finish_delivery(mid, f, true, damaged);
+        });
+      }
+    }
+  }
+
+  /// Hand `f` to station `mid` after `delay`; CRC-discard corrupted
+  /// deliveries (`damaged` is per-delivery — the shared frame is immutable).
+  /// Legacy (unpartitioned, epoch-1) path only.
+  void schedule_delivery(Mid mid, FrameRef f, sim::Duration delay,
+                         bool duplicate, bool damaged) {
     sim_.after(delay, [this, mid, duplicate, damaged, f = std::move(f)]() {
-      auto it = stations_.find(mid);
-      if (it == stations_.end()) {
-        // No station here. Historically the frame just vanished; with
-        // relay taps registered it is the gateways' to forward — unless
-        // the CRC check would have discarded it anyway.
-        if (!damaged) {
-          for (const auto& tap : taps_) {
-            if (tap.mid == f->src) continue;
-            tap.sink(f);
-          }
-        }
-        return;
-      }
-      if (damaged) {
-        sim_.trace().record(
-            sim_.now(), sim::TraceCategory::kPacketDropped, mid,
-            stamp(trace_payload(*f).with_status(
-                sim::TraceStatus::kCrcDropped)));
-        ++frames_corrupted_;
-        if (auto* m = it->second.metrics) {
-          m->add(stats::Counter::kFramesDropped);
-          m->add(stats::Counter::kFramesCorrupted);
-        }
-        return;
-      }
-      auto payload = trace_payload(*f);
-      if (duplicate) payload.with_status(sim::TraceStatus::kDuplicated);
-      sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived,
-                          mid, stamp(payload));
-      if (auto* m = it->second.metrics)
-        m->add(stats::Counter::kFramesReceived);
-      dispatch(it->second, f);
+      finish_delivery(mid, f, duplicate, damaged);
     });
+  }
+
+  /// Terminal delivery step, shared by both epochs. A delivery whose
+  /// station is absent (powered off, or on another segment) goes to the
+  /// relay taps instead, if any are registered.
+  void finish_delivery(Mid mid, const FrameRef& f, bool duplicate,
+                       bool damaged) {
+    auto it = stations_.find(mid);
+    if (it == stations_.end()) {
+      // No station here. Historically the frame just vanished; with
+      // relay taps registered it is the gateways' to forward — unless
+      // the CRC check would have discarded it anyway.
+      if (!damaged) {
+        for (const auto& tap : taps_) {
+          if (tap.mid == f->src) continue;
+          tap.sink(f);
+        }
+      }
+      return;
+    }
+    if (damaged) {
+      sim_.trace().record(
+          sim_.now(), sim::TraceCategory::kPacketDropped, mid,
+          stamp(trace_payload(*f).with_status(sim::TraceStatus::kCrcDropped)));
+      frames_corrupted_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* m = it->second.metrics) {
+        m->add(stats::Counter::kFramesDropped);
+        m->add(stats::Counter::kFramesCorrupted);
+      }
+      return;
+    }
+    auto payload = trace_payload(*f);
+    if (duplicate) payload.with_status(sim::TraceStatus::kDuplicated);
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kPacketReceived, mid,
+                        stamp(payload));
+    if (auto* m = it->second.metrics) m->add(stats::Counter::kFramesReceived);
+    dispatch(it->second, f);
   }
 
   sim::Simulator& sim_;
@@ -416,12 +534,12 @@ class Bus {
   DupFilter dup_filter_;
   DelayFilter delay_filter_;
   CorruptFilter corrupt_filter_;
-  std::size_t frames_sent_ = 0;
-  std::size_t bytes_sent_ = 0;
-  std::size_t frames_lost_ = 0;
-  std::size_t frames_corrupted_ = 0;
-  std::size_t frames_duplicated_ = 0;
-  std::size_t frames_filtered_ = 0;
+  std::atomic<std::size_t> frames_sent_{0};
+  std::atomic<std::size_t> bytes_sent_{0};
+  std::atomic<std::size_t> frames_lost_{0};
+  std::atomic<std::size_t> frames_corrupted_{0};
+  std::atomic<std::size_t> frames_duplicated_{0};
+  std::atomic<std::size_t> frames_filtered_{0};
 };
 
 }  // namespace soda::net

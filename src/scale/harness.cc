@@ -1,6 +1,7 @@
 #include "scale/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,12 +50,19 @@ std::uint64_t read_peak_rss_kb() {
 #endif
 }
 
-/// Shared scoreboard the load clients report into. Single-threaded sim, so
-/// plain counters suffice.
+/// Shared scoreboard the load clients report into. Under kConcurrent,
+/// clients on distinct partitions bump these from distinct worker threads
+/// inside one window, so the shared counters are atomics (relaxed: the
+/// engine's window barrier orders them before the driver loop reads).
+/// per_client entries are each written by exactly one client — distinct
+/// objects, no race.
 struct Tally {
-  std::uint64_t ops_done = 0;
-  int finished = 0;
+  std::atomic<std::uint64_t> ops_done{0};
+  std::atomic<int> finished{0};
   std::vector<std::uint64_t> per_client;  // fairness (contention workload)
+
+  void op_done() { ops_done.fetch_add(1, std::memory_order_relaxed); }
+  void finish() { finished.fetch_add(1, std::memory_order_relaxed); }
 };
 
 class ScaleEchoServer final : public sodal::SodalClient {
@@ -89,9 +97,9 @@ class StarClient final : public sodal::SodalClient {
       Bytes in;
       auto c = co_await b_exchange(ServerSignature{server, kScalePattern},
                                    i, Bytes(o_.payload), &in, o_.payload);
-      if (c.ok()) ++tally_->ops_done;
+      if (c.ok()) tally_->op_done();
     }
-    ++tally_->finished;
+    tally_->finish();
     co_await park_forever();
   }
 
@@ -113,9 +121,9 @@ class DiscoverClient final : public sodal::SodalClient {
     co_await delay(static_cast<sim::Duration>(my_mid()) * 20);
     for (int i = 0; i < o_.ops_per_client; ++i) {
       auto s = co_await discover(kScalePattern);
-      if (s.pattern == kScalePattern) ++tally_->ops_done;
+      if (s.pattern == kScalePattern) tally_->op_done();
     }
-    ++tally_->finished;
+    tally_->finish();
     co_await park_forever();
   }
 
@@ -142,9 +150,9 @@ class StoreClient final : public sodal::SodalClient {
       const Bytes value = sodal::to_bytes("v" + std::to_string(i));
       auto w = co_await apps::store_set(*this, group, key, value);
       auto r = co_await apps::store_get(*this, group, key);
-      if (w.quorum(group.size()) && r && *r == value) ++tally_->ops_done;
+      if (w.quorum(group.size()) && r && *r == value) tally_->op_done();
     }
-    ++tally_->finished;
+    tally_->finish();
     co_await park_forever();
   }
 
@@ -168,13 +176,13 @@ class NameClient final : public sodal::SodalClient {
     for (int i = 0; i < o_.ops_per_client; ++i) {
       auto st = co_await sodal::ns_bind(
           *this, ns, dir + "/k" + std::to_string(i), self);
-      if (st.ok()) ++tally_->ops_done;
+      if (st.ok()) tally_->op_done();
       auto ls = co_await sodal::ns_list(*this, ns, dir);
       if (ls.ok() && static_cast<int>(ls->size()) == i + 1) {
-        ++tally_->ops_done;
+        tally_->op_done();
       }
     }
-    ++tally_->finished;
+    tally_->finish();
     co_await park_forever();
   }
 
@@ -212,11 +220,11 @@ class ContentionClient final : public sodal::SodalClient {
       auto c = co_await b_exchange(server, i, Bytes(o_.payload), &in,
                                    o_.payload);
       if (c.ok()) {
-        ++tally_->ops_done;
+        tally_->op_done();
         ++tally_->per_client[slot_];
       }
     }
-    ++tally_->finished;
+    tally_->finish();
     co_await park_forever();
   }
 
@@ -259,6 +267,15 @@ std::unique_ptr<Client> make_scale_client(const HarnessOptions& o, int mid,
 }
 
 }  // namespace
+
+const char* to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::kClassic: return "classic";
+    case ExecMode::kWindowed: return "windowed";
+    case ExecMode::kConcurrent: return "concurrent";
+  }
+  return "unknown";
+}
 
 const char* to_string(Workload w) {
   switch (w) {
@@ -310,8 +327,12 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   // Partition the event queue before the first node schedules anything:
   // one wheel per segment, or per node on a single bus (every cross-
   // partition edge is then a bus delivery or gateway hold, both >= the
-  // declared lookahead, so the violation counter stays 0).
-  if (o.parallel_engine) {
+  // declared lookahead, so the violation counter stays 0). kWindowed and
+  // kConcurrent share this setup — identical partitions, lookahead, and
+  // slice deadlines give identical window boundaries, which is what makes
+  // their trace hashes bit-identical.
+  const bool partitioned = o.exec_mode != ExecMode::kClassic;
+  if (partitioned) {
     sim.enable_partitions(segments > 1 ? segments : std::max(1, o.nodes));
   }
 
@@ -325,7 +346,7 @@ HarnessResult run_harness(const HarnessOptions& opts) {
       hash = chaos::hash_event(hash, e);
       invariants.on_event(e);
     };
-    if (o.parallel_engine) {
+    if (o.exec_mode == ExecMode::kConcurrent) {
       // Observer offload: the in-order consumer replays the identical
       // sequence through the same fold + checkers off the sim thread.
       sim::AsyncTraceSink::Options sink_opts;
@@ -377,18 +398,26 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   const sim::Duration slice =
       o.fast ? 2 * sim::kMillisecond : 20 * sim::kMillisecond;
 
-  const auto wall_start = std::chrono::steady_clock::now();
-  std::uint64_t executed = 0;
-  if (o.parallel_engine) {
+  // Both epoch-2 modes declare the same lookahead before the first
+  // window; the driver loops use the same sim.now() + slice deadlines, so
+  // the window boundaries (part of the epoch-2 hash contract) match.
+  if (partitioned) {
     sim.set_lookahead(net_single ? net_single->bus().config().propagation
                                  : internet->lookahead());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t executed = 0;
+  if (o.exec_mode == ExecMode::kConcurrent) {
     sim::ParallelEngine engine(sim,
                                sim::ParallelConfig{o.engine_workers, 0});
-    while (tally.finished < clients && sim.now() < o.max_sim_time) {
+    while (tally.finished.load(std::memory_order_relaxed) < clients &&
+           sim.now() < o.max_sim_time) {
       executed += engine.run_until(sim.now() + slice);
     }
   } else {
-    while (tally.finished < clients && sim.now() < o.max_sim_time) {
+    while (tally.finished.load(std::memory_order_relaxed) < clients &&
+           sim.now() < o.max_sim_time) {
       executed += sim.run_until(sim.now() + slice);
     }
   }
@@ -430,7 +459,7 @@ HarnessResult run_harness(const HarnessOptions& opts) {
   r.requests_issued = hub.total(stats::Counter::kRequestsIssued);
   r.requests_completed = hub.total(stats::Counter::kRequestsCompleted);
   r.cpu_busy_micros = hub.total(stats::Counter::kCpuBusyMicros);
-  r.ops_done = tally.ops_done;
+  r.ops_done = tally.ops_done.load(std::memory_order_relaxed);
   if (!tally.per_client.empty()) {
     const auto [lo, hi] =
         std::minmax_element(tally.per_client.begin(), tally.per_client.end());
@@ -438,7 +467,7 @@ HarnessResult run_harness(const HarnessOptions& opts) {
     r.ops_max = *hi;
   }
   if (sim.now() > 0) {
-    r.goodput_ops_per_s = static_cast<double>(tally.ops_done) * 1e6 /
+    r.goodput_ops_per_s = static_cast<double>(r.ops_done) * 1e6 /
                           static_cast<double>(sim.now());
   }
   r.requests_timedout = hub.total(stats::Counter::kBusyBudgetExhausted);

@@ -31,6 +31,24 @@ enum class Workload : std::uint8_t {
 
 const char* to_string(Workload w);
 
+/// Which engine drives the run (chaos::kHashEpoch tells the two hash
+/// families apart in JSONL rows):
+///  - kClassic: the unpartitioned single-queue serial engine — the epoch-1
+///    shared-RNG-stream configuration the original baseline rows and
+///    pre-epoch-2 pinned hashes were recorded under.
+///  - kWindowed: partitioned epoch-2 reference — the simulator walks the
+///    conservative window protocol one partition at a time on the calling
+///    thread (partition-local RNG streams, receiver-side bus draws,
+///    barrier-merged traces).
+///  - kConcurrent: the same epoch-2 window protocol with each window's
+///    partitions executed concurrently by sim::ParallelEngine and the
+///    observer path moved onto sim::AsyncTraceSink. Bit-identical events,
+///    RNG draws, and trace_hash to kWindowed by construction — asserted
+///    by tests/test_determinism.cc and tests/test_parallel_sim.cc.
+enum class ExecMode : std::uint8_t { kClassic, kWindowed, kConcurrent };
+
+const char* to_string(ExecMode m);
+
 struct HarnessOptions {
   Workload workload = Workload::kStarRpc;
   int nodes = 8;
@@ -61,14 +79,12 @@ struct HarnessOptions {
   /// silence window is what collapses there, EXPERIMENTS.md).
   bool retransmit_backoff = false;
   bool check_invariants = true;
-  /// Drive the run with sim::ParallelEngine over a partitioned event
-  /// queue (one partition per segment, or per node on a single bus) and
-  /// move the observer path onto sim::AsyncTraceSink. Bit-identical
-  /// events, RNG draws, and trace_hash by construction — asserted by the
-  /// serial-vs-parallel loop in tests/test_determinism.cc.
-  bool parallel_engine = false;
-  /// Worker pool size for the parallel engine (prefetch + fold threads);
-  /// 0 = hardware_concurrency.
+  /// Engine selection; kWindowed/kConcurrent partition the event queue
+  /// (one partition per segment, or per node on a single bus) and hash
+  /// under epoch 2 (chaos::kHashEpoch).
+  ExecMode exec_mode = ExecMode::kClassic;
+  /// Worker pool size for the concurrent engine (window executors + fold
+  /// threads); 0 = hardware_concurrency.
   int engine_workers = 0;
   sim::Duration max_sim_time = 120 * sim::kSecond;  // hard stop
 };

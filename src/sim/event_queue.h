@@ -99,6 +99,11 @@ class EventFn {
     emplace(std::forward<F>(fn));
   }
 
+  /// Assigning an already-wrapped EventFn relocates it instead of
+  /// wrapping it again (the staged cross-partition ops applied at the
+  /// window barrier re-schedule stored EventFns this way).
+  void assign(EventFn&& fn) { *this = std::move(fn); }
+
  private:
   struct VTable {
     void (*invoke)(void*);
@@ -239,6 +244,34 @@ class EventQueue {
   bool prefetch() {
     if (live_ == 0) return false;
     return prepare();
+  }
+
+  /// A popped event together with its (time, seq) key. The partitioned
+  /// epoch-2 executor pops with the key so it can erase the event's
+  /// live-map entry (keyed by seq) without a second wheel lookup.
+  struct KeyedEvent {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// Like pop(), but also returns the event's sequence tag.
+  KeyedEvent pop_keyed() {
+    const bool ok = prepare();
+    assert(ok);
+    (void)ok;
+    std::uint32_t idx;
+    if (has_front()) {
+      idx = front_[front_pos_++];
+    } else {
+      idx = ready_[ready_pos_++];
+    }
+    Cell& c = cells_[idx];
+    KeyedEvent out{c.at, c.seq, std::move(c.fn)};
+    retire(idx);
+    assert(live_ > 0);
+    --live_;
+    return out;
   }
 
   /// Pop and return the earliest pending event. Only valid when !empty().

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 namespace soda::sim {
@@ -155,8 +157,9 @@ TraceFold AsyncTraceSink::combined_fold() {
 // ParallelEngine
 
 ParallelEngine::ParallelEngine(Simulator& sim, ParallelConfig config)
-    : sim_(sim), cfg_(config) {
-  int n = cfg_.workers;
+    : sim_(sim) {
+  if (config.lookahead > 0) sim_.set_lookahead(config.lookahead);
+  int n = config.workers;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
     if (n <= 0) n = 1;
@@ -185,55 +188,66 @@ void ParallelEngine::worker_main() {
       if (stop_) return;
       seen = generation_;
     }
-    const int parts = sim_.partition_count();
+    // Race the cursor over this window's active-partition list. Each
+    // claimed partition's execution touches only partition-local state
+    // (wheel, RNG stream, live map, staging list, trace buffer) — the
+    // epoch-2 independence that makes this loop safe.
+    const std::vector<int>& parts = sim_.window_partitions();
     for (;;) {
-      const int p = cursor_.fetch_add(1, std::memory_order_relaxed);
-      if (p >= parts) break;
-      sim_.prefetch_partition(p);
+      const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= parts.size()) break;
+      const int p = parts[i];
+      try {
+        sim_.execute_partition_window(p);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (error_part_ < 0 || p < error_part_) {
+          error_part_ = p;
+          error_ = std::current_exception();
+        }
+      }
     }
     std::lock_guard<std::mutex> lk(mu_);
     if (--pending_ == 0) cv_done_.notify_one();
   }
 }
 
-void ParallelEngine::prefetch_all() {
-  if (threads_.empty() || !sim_.partitioned()) return;
-  std::unique_lock<std::mutex> lk(mu_);
-  cursor_.store(0, std::memory_order_relaxed);
-  pending_ = static_cast<int>(threads_.size());
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lk, [this] { return pending_ == 0; });
+void ParallelEngine::execute_window() {
+  ++windows_;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cursor_.store(0, std::memory_order_relaxed);
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+    cv_work_.notify_all();
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+    // Several workers may have thrown; surface the lowest partition's
+    // exception so failures are deterministic too.
+    error = std::exchange(error_, nullptr);
+    error_part_ = -1;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 std::size_t ParallelEngine::run_until(Time deadline) {
+  if (!sim_.partitioned()) return sim_.run_until(deadline);
   std::size_t n = 0;
-  for (;;) {
-    const auto next = sim_.next_event_time();
-    if (!next.has_value() || *next > deadline) break;
-    prefetch_all();
-    ++windows_;
-    const Duration la =
-        cfg_.lookahead > 0 ? cfg_.lookahead : sim_.lookahead();
-    Time window_end = *next + (la > 0 ? la - 1 : 0);
-    if (window_end > deadline) window_end = deadline;
-    n += sim_.run_until(window_end);
+  while (sim_.begin_window(deadline)) {
+    execute_window();
+    n += sim_.commit_window();
   }
   sim_.run_until(deadline);  // advance the clock even when idle
   return n;
 }
 
 std::size_t ParallelEngine::run(std::size_t max_events) {
+  if (!sim_.partitioned()) return sim_.run(max_events);
+  constexpr Time kNever = std::numeric_limits<Time>::max();
   std::size_t n = 0;
-  for (;;) {
-    const auto next = sim_.next_event_time();
-    if (!next.has_value()) break;
-    prefetch_all();
-    ++windows_;
-    const Duration la =
-        cfg_.lookahead > 0 ? cfg_.lookahead : sim_.lookahead();
-    const Time window_end = *next + (la > 0 ? la - 1 : 0);
-    n += sim_.run_until(window_end);
+  while (sim_.begin_window(kNever)) {
+    execute_window();
+    n += sim_.commit_window();
     if (n > max_events) throw std::runtime_error("simulation runaway");
   }
   return n;

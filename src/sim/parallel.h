@@ -1,29 +1,31 @@
-// Conservative parallel driver for the partitioned Simulator, plus the
-// parallel-reducible trace fold that attacks the determinism tax.
+// True-concurrent conservative driver for the partitioned Simulator,
+// plus the parallel-reducible trace fold that attacks the determinism tax.
 //
-// The RNG wall (doc/PERFORMANCE.md): every component draws from the one
-// SplitMix64 stream and draws feed protocol timing, so callbacks MUST
-// execute in the exact global (time, seq) order — running two partitions'
-// callbacks concurrently would reorder draws and change the simulation,
-// not just its trace. What a conservative engine can parallelize without
-// touching that order:
+// The RNG wall, broken (doc/PERFORMANCE.md §5): under hash epoch 1 every
+// component drew from one shared SplitMix64 stream, so callbacks had to
+// execute in the exact global (time, seq) order — an engine could only
+// parallelize structural wheel work around a serial merge loop. Epoch 2
+// gives each partition a private stream split from the root seed
+// (Rng(seed, p)), private sequence space, and a private trace buffer, so
+// within a lookahead window the partitions' event executions are fully
+// independent. ParallelEngine drives the Simulator's window protocol
+// with a worker pool:
 //
-//   1. Structural prefetch: each partition wheel's cascades / overflow
-//      rebases / tick activations are independent of every other wheel,
-//      so ParallelEngine fans prefetch_partition() across a worker pool
-//      at the start of each lookahead window while the merge loop is
-//      parked. The merge then pops pre-positioned heads.
-//   2. Observer offload: AsyncTraceSink moves the whole observer path
-//      (invariant checkers, stats counters, hash folding) off the
-//      simulation thread onto an in-order consumer, with the commutative
-//      TraceFold computed by round-robin fold workers and combined in
-//      deterministic worker order.
-//   3. Run-level fan-out: seed sweeps stay embarrassingly parallel
-//      (chaos::sweep_scenario); --workers there multiplies with 1+2.
+//   1. begin_window() places the window at the earliest pending event
+//      and collects the partitions with work in it.
+//   2. Workers race an atomic cursor over those partitions, each running
+//      execute_partition_window(p) — real concurrent event execution,
+//      own wheel / RNG / clock / staging / trace buffer per partition.
+//   3. commit_window() (engine thread, after the barrier) applies staged
+//      cross-partition schedules/cancels in ascending source-partition
+//      order and merges trace buffers by (time, partition).
 //
-// The merge itself is exact, so lookahead never changes results — it only
-// sets the window batching granularity (and is asserted honest via the
-// Simulator's violation counter).
+// The result is bit-identical to serial partitioned execution of the
+// same windows — Simulator::run_until is the epoch-2 reference, and
+// chaos::compare_engines holds the two to the same pinned hash.
+// AsyncTraceSink still offloads the observer path (invariant checkers,
+// hash folding) from whichever thread commits, and seed sweeps remain
+// embarrassingly parallel on top (chaos::sweep_scenario).
 #pragma once
 
 #include <atomic>
@@ -148,15 +150,21 @@ class AsyncTraceSink {
 };
 
 struct ParallelConfig {
-  int workers = 0;         // prefetch pool size; 0 = hardware_concurrency
-  Duration lookahead = 0;  // 0 = take the Simulator's configured lookahead
+  int workers = 0;         // execution pool size; 0 = hardware_concurrency
+  /// Nonzero: applied to the Simulator via set_lookahead() at engine
+  /// construction. The lookahead is part of the epoch-2 determinism
+  /// contract (it fixes the window boundaries), so a serial reference run
+  /// must use the identical value — prefer calling sim.set_lookahead()
+  /// once, before either engine, and leaving this 0.
+  Duration lookahead = 0;
 };
 
-/// Window loop over a partitioned Simulator: park, prefetch every
-/// partition wheel in parallel, then let the exact merge execute all
-/// events inside [t, t + lookahead). Events, RNG draws, and traces are
-/// bit-identical to Simulator::run_until by construction — the engine
-/// only changes where the structural wheel work happens.
+/// Concurrent window loop over a partitioned Simulator: each window's
+/// active partitions are executed by a worker pool (distinct partitions
+/// on distinct threads), with cross-partition effects staged and applied
+/// at the commit barrier. Events, RNG draws, and traces are bit-identical
+/// to serial Simulator::run_until over the same deadlines by construction
+/// — the engine only changes which thread runs each partition.
 class ParallelEngine {
  public:
   explicit ParallelEngine(Simulator& sim, ParallelConfig config = {});
@@ -173,22 +181,26 @@ class ParallelEngine {
   std::uint64_t windows() const { return windows_; }
 
  private:
-  void prefetch_all();
+  /// Dispatch the current window's partitions to the pool, wait for the
+  /// barrier, and rethrow the lowest-partition exception if any worker
+  /// threw.
+  void execute_window();
   void worker_main();
 
   Simulator& sim_;
-  ParallelConfig cfg_;
   std::uint64_t windows_ = 0;
 
-  // Generation-stepped barrier pool: prefetch_all() publishes a new
-  // generation with a partition cursor; workers race the cursor, the last
-  // finisher wakes the engine.
+  // Generation-stepped barrier pool: execute_window() publishes a new
+  // generation with a cursor over the window's partition list; workers
+  // race the cursor, the last finisher wakes the engine.
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::uint64_t generation_ = 0;
-  std::atomic<int> cursor_{0};
+  std::atomic<std::size_t> cursor_{0};
   int pending_ = 0;
+  std::exception_ptr error_;
+  int error_part_ = -1;
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

@@ -195,6 +195,26 @@ class Trace {
   /// turn retention off and rely on the observer + counters instead.
   void set_store(bool store) { store_ = store; }
 
+  /// Redirect this *thread's* record() calls into `buffer` (nullptr to
+  /// restore the normal path). The partitioned epoch-2 executor points
+  /// each worker at its partition's window buffer, so recording during
+  /// concurrent execution never touches the shared observer/retention/
+  /// counter state; the barrier replays the merged window through
+  /// commit() in the canonical (time, partition) order.
+  static void set_thread_buffer(std::vector<TraceEvent>* buffer) {
+    thread_buffer() = buffer;
+  }
+
+  /// Deliver one already-built event through the normal sink path
+  /// (observer, retention, counters). Used by the window barrier; record()
+  /// is equivalent to building the event and committing it when no thread
+  /// buffer is installed.
+  void commit(const TraceEvent& e) {
+    if (observer_) observer_(e);
+    if (store_) events_.push_back(e);
+    bump_counts(e.category, e.node);
+  }
+
   void record(Time at, TraceCategory c, int node,
               const TracePayload& payload = {}) {
     if (!enabled(c)) return;
@@ -203,24 +223,13 @@ class Trace {
     e.at = at;
     e.category = c;
     e.node = node;
+    if (std::vector<TraceEvent>* buf = thread_buffer()) {
+      buf->push_back(e);
+      return;
+    }
     if (observer_) observer_(e);
     if (store_) events_.push_back(e);
-    ++totals_[static_cast<std::size_t>(c)];
-    // Per-(category, node) counts live in a dense array indexed by node id
-    // (node -1 maps to row 0); arbitrary ids fall back to the map. This is
-    // once-per-event — a hash-map increment here shows up in profiles.
-    const int row = node + 1;
-    if (row >= 0 && row < kDenseNodeRows) {
-      auto idx = static_cast<std::size_t>(row) * kNumTraceCategories +
-                 static_cast<std::size_t>(c);
-      if (idx >= node_counts_dense_.size()) {
-        node_counts_dense_.resize((static_cast<std::size_t>(row) + 1) *
-                                  kNumTraceCategories);
-      }
-      ++node_counts_dense_[idx];
-    } else {
-      ++node_counts_[node_key(c, node)];
-    }
+    bump_counts(c, node);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -246,6 +255,30 @@ class Trace {
   }
 
  private:
+  static std::vector<TraceEvent>*& thread_buffer() {
+    static thread_local std::vector<TraceEvent>* buf = nullptr;
+    return buf;
+  }
+
+  void bump_counts(TraceCategory c, int node) {
+    ++totals_[static_cast<std::size_t>(c)];
+    // Per-(category, node) counts live in a dense array indexed by node id
+    // (node -1 maps to row 0); arbitrary ids fall back to the map. This is
+    // once-per-event — a hash-map increment here shows up in profiles.
+    const int row = node + 1;
+    if (row >= 0 && row < kDenseNodeRows) {
+      auto idx = static_cast<std::size_t>(row) * kNumTraceCategories +
+                 static_cast<std::size_t>(c);
+      if (idx >= node_counts_dense_.size()) {
+        node_counts_dense_.resize((static_cast<std::size_t>(row) + 1) *
+                                  kNumTraceCategories);
+      }
+      ++node_counts_dense_[idx];
+    } else {
+      ++node_counts_[node_key(c, node)];
+    }
+  }
+
   static constexpr std::uint64_t bit(TraceCategory c) {
     return 1ull << static_cast<unsigned>(c);
   }

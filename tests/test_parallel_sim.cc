@@ -1,19 +1,32 @@
 // Differential proof of the conservative parallel engine.
 //
-// Three engines must agree on the exact global pop order:
+// Epoch 2 (doc/PERFORMANCE.md §5): the partitioned Simulator executes
+// lookahead windows — each partition's events run independently inside a
+// window against partition-local state (wheel, RNG stream, clock, trace
+// buffer), and cross-partition schedules/cancels are staged and applied
+// at the commit barrier. The serial windowed walk is the reference;
+// sim::ParallelEngine must reproduce it bit-identically while genuinely
+// executing distinct partitions on distinct threads.
+//
+// The proof is differential, three layers deep:
 //   1. a naive std::priority_queue reference model ordered by (time, seq)
-//      — small enough to be obviously correct,
-//   2. the serial timer-wheel Simulator,
-//   3. the partitioned Simulator (the merge the parallel engine drives),
-// under seed-randomized schedule/cancel/run_until sequences that hit the
-// wheel's edge cases on purpose: past-due scheduling, far-future events
-// that land in the overflow list and get rebased, cancels of already-
-// fired events, and double cancels. On top of that: TraceFold algebra,
-// AsyncTraceSink in-order replay, ParallelEngine window equivalence, the
+//      — small enough to be obviously correct — pins the unpartitioned
+//      wheel and the 1-partition windowed walk, including the wheel's
+//      edge cases (past-due scheduling, overflow-list rebasing, cancels
+//      of already-fired events, double cancels);
+//   2. seed-randomized schedule/cancel/run_until storms hold the serial
+//      windowed engine and the concurrent engine to identical
+//      per-partition execution logs across partition counts, worker
+//      counts, and lookahead widths — clamped staged ops included;
+//   3. fault injection pins the staged-violation rule: a cross-partition
+//      schedule under the declared lookahead is counted AND lands exactly
+//      at the next window boundary, identically under both engines.
+// On top: TraceFold algebra, AsyncTraceSink in-order replay, the
 // lookahead-violation counter, and compare_engines over builtin chaos
 // scenarios.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -82,13 +95,21 @@ class RefEngine {
   std::uint64_t seq_next_ = 0;
 };
 
-// The execution log one engine produces: which event fired, when, and the
-// RNG-free deterministic tag it carried. Engines agree iff logs agree.
+// The execution log one engine produces: which event fired and when.
+// Engines agree iff logs agree.
 struct Fired {
   int tag;
   sim::Time at;
   bool operator==(const Fired& o) const { return tag == o.tag && at == o.at; }
 };
+
+// Children derive their tag from the parent's instead of drawing from a
+// shared counter: under the concurrent engine two partitions may spawn
+// children in the same window on different threads, so any shared
+// allocation would race — and, worse, make the logs depend on thread
+// interleaving. Parent tags stay below the base, so derived tags are
+// unique.
+constexpr int kChildTagBase = 1'000'000;
 
 // Deterministic op-sequence generator (private SplitMix64 so the test
 // script never touches the simulators' RNG streams).
@@ -103,18 +124,17 @@ struct Script {
 };
 
 // One randomized differential round: apply the identical op sequence to
-// all three engines and return each engine's log.
+// every engine under test.
 //
-// The generic driver sees an engine as three lambdas; `pick_partition`
-// lets the partitioned run pin each top-level schedule to a scripted
-// wheel (the serial engines ignore it). Events with tag % 3 == 0 schedule
-// a child on execution — scheduling from inside a callback is where
-// partition inheritance and the merge's executing-state bookkeeping earn
-// their keep.
+// The generic driver sees an engine as three lambdas; `part`/`child_part`
+// let the partitioned runs pin each schedule to a scripted wheel (the
+// reference model ignores them). Events with tag % 3 == 0 schedule a
+// child on execution — scheduling from inside a callback is where
+// partition inheritance, the staging protocol, and the merge's
+// executing-state bookkeeping earn their keep.
 template <typename ScheduleFn, typename CancelFn, typename RunFn>
-std::vector<Fired> drive(std::uint64_t seed, ScheduleFn schedule,
-                         CancelFn cancel, RunFn run_until) {
-  std::vector<Fired> log;
+void drive(std::uint64_t seed, ScheduleFn schedule, CancelFn cancel,
+           RunFn run_until) {
   Script rng{seed};
   std::vector<std::uint64_t> pending_ids;
   std::vector<std::uint64_t> fired_ids;
@@ -135,10 +155,10 @@ std::vector<Fired> drive(std::uint64_t seed, ScheduleFn schedule,
         default: delay = static_cast<sim::Duration>(rng.next() % 5000);
       }
       const int tag = next_tag++;
+      const int part = static_cast<int>(rng.next() % 4);
       const int child_part = static_cast<int>(rng.next() % 4);
-      std::uint64_t id = schedule(
-          delay, tag, static_cast<int>(rng.next() % 4),
-          /*spawn_child=*/tag % 3 == 0, child_part, &log, &next_tag);
+      std::uint64_t id = schedule(delay, tag, part,
+                                  /*spawn_child=*/tag % 3 == 0, child_part);
       pending_ids.push_back(id);
     }
     // Cancels: some pending, some already fired (must be no-ops), and an
@@ -169,82 +189,164 @@ std::vector<Fired> drive(std::uint64_t seed, ScheduleFn schedule,
     fired_ids = pending_ids;
   }
   run_until(horizon + (1ll << 37));  // drain everything, rebase included
-  return log;
 }
 
-// Adapter glue for the three engines. The scheduled callback is the same
-// everywhere: log the tag, optionally spawn a child 17 us out.
+// Adapter glue. The scheduled callback is the same everywhere: log the
+// tag, optionally spawn a child 17 us out.
 std::vector<Fired> drive_ref(std::uint64_t seed) {
   RefEngine eng;
-  return drive(
+  std::vector<Fired> log;
+  drive(
       seed,
-      [&eng](sim::Duration delay, int tag, int /*part*/, bool spawn_child,
-             int /*child_part*/, std::vector<Fired>* log, int* next_tag) {
+      [&eng, &log](sim::Duration delay, int tag, int /*part*/,
+                   bool spawn_child, int /*child_part*/) {
         const sim::Time at = eng.now() + delay;
-        return eng.schedule(at, [&eng, tag, spawn_child, log, next_tag]() {
-          log->push_back(Fired{tag, eng.now()});
+        return eng.schedule(at, [&eng, &log, tag, spawn_child]() {
+          log.push_back(Fired{tag, eng.now()});
           if (spawn_child) {
-            const int child = (*next_tag)++;
-            eng.schedule(eng.now() + 17, [&eng, child, log]() {
-              log->push_back(Fired{child, eng.now()});
+            eng.schedule(eng.now() + 17, [&eng, &log, tag]() {
+              log.push_back(Fired{kChildTagBase + tag, eng.now()});
             });
           }
         });
       },
       [&eng](std::uint64_t id) { eng.cancel(id); },
       [&eng](sim::Time t) { eng.run_until(t); });
+  return log;
 }
 
-std::vector<Fired> drive_sim(std::uint64_t seed, int partitions,
-                             bool use_engine = false, int workers = 0) {
+// A partitioned run's observable result: one execution log per partition.
+// Per-partition (rather than one global vector) because that is the
+// epoch-2 unit of determinism — and because under the concurrent engine a
+// partition's log is written by whichever thread executes its window, so
+// a shared vector would be a data race. Each inner vector has exactly one
+// writer at a time (window barriers order successive windows).
+struct SimRun {
+  std::vector<std::vector<Fired>> logs;
+  std::uint64_t violations = 0;
+};
+
+SimRun drive_sim(std::uint64_t seed, int partitions, sim::Duration lookahead,
+                 bool use_engine = false, int workers = 0) {
   sim::Simulator s;
-  if (partitions > 0) s.enable_partitions(partitions);
-  auto schedule = [&s, partitions](sim::Duration delay, int tag, int part,
-                                   bool spawn_child, int child_part,
-                                   std::vector<Fired>* log, int* next_tag) {
+  if (partitions > 0) {
+    s.enable_partitions(partitions);
+    s.set_lookahead(lookahead);
+  }
+  SimRun run;
+  run.logs.resize(partitions > 0 ? static_cast<std::size_t>(partitions) : 1);
+  auto& logs = run.logs;
+  auto schedule = [&s, &logs, partitions](sim::Duration delay, int tag,
+                                          int part, bool spawn_child,
+                                          int child_part) {
     sim::ScopedPartition guard(s, partitions > 0 ? part % partitions : 0);
-    return s.after(delay, [&s, tag, spawn_child, child_part, partitions, log,
-                           next_tag]() {
-      log->push_back(Fired{tag, s.now()});
+    return s.after(delay, [&s, &logs, tag, spawn_child, child_part,
+                           partitions]() {
+      logs[static_cast<std::size_t>(s.current_partition())].push_back(
+          Fired{tag, s.now()});
       if (spawn_child) {
-        const int child = (*next_tag)++;
-        sim::ScopedPartition guard(
+        sim::ScopedPartition to_child(
             s, partitions > 0 ? child_part % partitions : 0);
-        s.after(17, [&s, child, log]() {
-          log->push_back(Fired{child, s.now()});
+        s.after(17, [&s, &logs, tag]() {
+          logs[static_cast<std::size_t>(s.current_partition())].push_back(
+              Fired{kChildTagBase + tag, s.now()});
         });
       }
     });
   };
   auto cancel = [&s](std::uint64_t id) { s.cancel(id); };
   if (use_engine) {
-    sim::ParallelEngine eng(s, sim::ParallelConfig{workers, 64});
-    return drive(seed, schedule, cancel,
-                 [&eng](sim::Time t) { eng.run_until(t); });
+    sim::ParallelEngine eng(s, sim::ParallelConfig{workers, 0});
+    drive(seed, schedule, cancel, [&eng](sim::Time t) { eng.run_until(t); });
+  } else {
+    drive(seed, schedule, cancel, [&s](sim::Time t) { s.run_until(t); });
   }
-  return drive(seed, schedule, cancel,
-               [&s](sim::Time t) { s.run_until(t); });
+  run.violations = s.lookahead_violations();
+  return run;
 }
 
-TEST(ParallelSimDifferential, ThreeEnginesAgreeOnPopOrder) {
+std::vector<Fired> sorted_by_time_and_tag(std::vector<Fired> v) {
+  std::sort(v.begin(), v.end(), [](const Fired& a, const Fired& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.tag < b.tag;
+  });
+  return v;
+}
+
+std::vector<Fired> flattened(const SimRun& run) {
+  std::vector<Fired> all;
+  for (const auto& l : run.logs) all.insert(all.end(), l.begin(), l.end());
+  return sorted_by_time_and_tag(std::move(all));
+}
+
+TEST(ParallelSimDifferential, SerialWheelMatchesReference) {
   for (std::uint64_t seed : {1ull, 2ull, 7ull, 42ull, 1984ull}) {
     const auto ref = drive_ref(seed);
-    const auto serial = drive_sim(seed, /*partitions=*/0);
-    const auto part1 = drive_sim(seed, /*partitions=*/1);
-    const auto part4 = drive_sim(seed, /*partitions=*/4);
     ASSERT_FALSE(ref.empty()) << "seed " << seed << " scheduled nothing";
-    EXPECT_EQ(serial, ref) << "serial wheel diverged, seed " << seed;
-    EXPECT_EQ(part1, ref) << "1-partition merge diverged, seed " << seed;
-    EXPECT_EQ(part4, ref) << "4-partition merge diverged, seed " << seed;
+    const auto serial = drive_sim(seed, /*partitions=*/0, /*lookahead=*/0);
+    EXPECT_EQ(serial.logs[0], ref) << "serial wheel diverged, seed " << seed;
   }
 }
 
-TEST(ParallelSimDifferential, ParallelEngineMatchesReference) {
-  for (std::uint64_t seed : {3ull, 11ull, 1984ull}) {
+TEST(ParallelSimDifferential, SinglePartitionWindowedMatchesReference) {
+  // With one partition there is no cross-partition traffic, so the
+  // windowed walk must reproduce the reference pop order exactly — the
+  // window machinery only batches, it must not reorder.
+  for (std::uint64_t seed : {1ull, 7ull, 1984ull}) {
     const auto ref = drive_ref(seed);
-    const auto engine2 =
-        drive_sim(seed, /*partitions=*/4, /*use_engine=*/true, /*workers=*/2);
-    EXPECT_EQ(engine2, ref) << "ParallelEngine diverged, seed " << seed;
+    for (sim::Duration la : {sim::Duration{0}, sim::Duration{64}}) {
+      const auto win = drive_sim(seed, /*partitions=*/1, la);
+      EXPECT_EQ(win.logs[0], ref)
+          << "1-partition windowed walk diverged, seed " << seed
+          << " lookahead " << la;
+      EXPECT_EQ(win.violations, 0u);
+    }
+  }
+}
+
+TEST(ParallelSimDifferential, ConcurrentEngineMatchesWindowedReference) {
+  // The tentpole contract: for identical (seed, partitions, lookahead,
+  // run_until deadlines), the concurrent engine's per-partition execution
+  // logs — events, order, AND firing times, clamped staged ops included —
+  // are bit-identical to the serial windowed walk's, for every worker
+  // count. The storms cover width-1 windows (lookahead 0), windows small
+  // against the schedule delays (64), and windows that swallow whole
+  // bursts (1000).
+  for (std::uint64_t seed : {1ull, 2ull, 7ull, 42ull, 1984ull}) {
+    const auto ref = drive_ref(seed);
+    for (int partitions : {2, 4, 8}) {
+      for (sim::Duration la :
+           {sim::Duration{0}, sim::Duration{64}, sim::Duration{1000}}) {
+        const auto windowed = drive_sim(seed, partitions, la);
+        if (la == 0) {
+          // Width-1 windows never clamp a staged op, so every event fires
+          // at its reference time; only the within-instant order becomes
+          // partition-major. Compare as sorted multisets.
+          EXPECT_EQ(flattened(windowed), sorted_by_time_and_tag(ref))
+              << "windowed walk lost/moved events, seed " << seed
+              << " partitions " << partitions;
+          EXPECT_EQ(windowed.violations, 0u);
+        } else {
+          // Cross-partition children (delay 17 < lookahead) are staged
+          // violations; the storms must actually exercise the clamp path.
+          EXPECT_GT(windowed.violations, 0u)
+              << "seed " << seed << " partitions " << partitions
+              << " lookahead " << la;
+        }
+        for (int workers : {1, 4}) {
+          const auto conc = drive_sim(seed, partitions, la,
+                                      /*use_engine=*/true, workers);
+          EXPECT_EQ(conc.logs, windowed.logs)
+              << "concurrent engine diverged, seed " << seed
+              << " partitions " << partitions << " lookahead " << la
+              << " workers " << workers;
+          EXPECT_EQ(conc.violations, windowed.violations)
+              << "violation count diverged, seed " << seed
+              << " partitions " << partitions << " lookahead " << la
+              << " workers " << workers;
+        }
+      }
+    }
   }
 }
 
@@ -358,6 +460,38 @@ TEST(Lookahead, CrossPartitionSchedulesUnderTheWindowAreCounted) {
   }
   s.run();
   EXPECT_EQ(s.lookahead_violations(), 1u);
+}
+
+TEST(Lookahead, StagedViolationLandsAtTheNextWindowBoundary) {
+  // A cross-partition schedule under the declared lookahead cannot be
+  // delivered at its nominal time — the target partition may already be
+  // executing past it on another thread. The rule (commit_window in
+  // sim/simulator.h): the staged op lands at window_end + 1 — late by
+  // less than one window, and deterministically so. Pin the exact landing
+  // time under both engines.
+  for (bool use_engine : {false, true}) {
+    sim::Simulator s;
+    s.enable_partitions(2);
+    s.set_lookahead(100);
+    sim::Time fired_at = 0;
+    {
+      sim::ScopedPartition p0(s, 0);
+      s.after(10, [&s, &fired_at]() {
+        // Nominal target t=20 on the other partition — inside the
+        // [10, 109] window, so it must be deferred.
+        sim::ScopedPartition p1(s, 1);
+        s.after(10, [&s, &fired_at]() { fired_at = s.now(); });
+      });
+    }
+    if (use_engine) {
+      sim::ParallelEngine eng(s, sim::ParallelConfig{2, 0});
+      eng.run();
+    } else {
+      s.run();
+    }
+    EXPECT_EQ(s.lookahead_violations(), 1u) << "engine=" << use_engine;
+    EXPECT_EQ(fired_at, 110) << "engine=" << use_engine;
+  }
 }
 
 // ---------------------------------------------------------------------------

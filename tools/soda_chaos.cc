@@ -40,11 +40,15 @@ int usage() {
                "  --max-failures N stop collecting after N failures (16)\n"
                "\n"
                "engine options (sweep and single-run):\n"
-               "  --engine E       serial (default), parallel, or compare:\n"
-               "                   parallel partitions the event queue and\n"
-               "                   must produce the identical trace hash;\n"
-               "                   compare runs both engines per seed and\n"
-               "                   diffs their digests (--seed only)\n"
+               "  --engine E       serial (default), parallel, or compare.\n"
+               "                   Every run partitions the event queue and\n"
+               "                   hashes under epoch 2 (partition-local\n"
+               "                   RNG streams, receiver-side fault draws);\n"
+               "                   serial walks the windows one partition\n"
+               "                   at a time, parallel executes them\n"
+               "                   concurrently with the identical hash,\n"
+               "                   compare runs both per seed and diffs\n"
+               "                   their digests\n"
                "  --workers N      parallel-engine pool size (0: hardware)\n"
                "\n"
                "single-run options:\n"
@@ -92,6 +96,7 @@ stats::JsonObject run_row(const chaos::Scenario& s, const chaos::RunResult& r,
   o.set("kind", "chaos_run")
       .set("scenario", s.name)
       .set("engine", engine_name(opts.engine))
+      .set("hash_epoch", chaos::kHashEpoch)
       .set("seed", static_cast<std::uint64_t>(r.seed))
       .set("trace_hash", static_cast<std::uint64_t>(r.trace_hash))
       .set("ok", r.ok() ? 1 : 0)
@@ -104,10 +109,9 @@ stats::JsonObject run_row(const chaos::Scenario& s, const chaos::RunResult& r,
       .set("lost", static_cast<std::int64_t>(r.stats.frames_lost))
       .set("duplicated",
            static_cast<std::int64_t>(r.stats.frames_duplicated));
-  if (opts.engine == chaos::EngineMode::kParallel) {
-    o.set("lookahead_violations",
-          static_cast<std::int64_t>(r.lookahead_violations));
-  }
+  // Counted identically by both engines now that every run partitions.
+  o.set("lookahead_violations",
+        static_cast<std::int64_t>(r.lookahead_violations));
   if (!r.violations.empty()) {
     o.set("first_violation", r.violations.front().invariant);
   }
@@ -135,6 +139,7 @@ int compare_run(const chaos::Scenario& scenario, std::uint64_t seed,
   stats::JsonObject o;
   o.set("kind", "chaos_compare")
       .set("scenario", scenario.name)
+      .set("hash_epoch", chaos::kHashEpoch)
       .set("seed", static_cast<std::uint64_t>(seed))
       .set("serial_digest", static_cast<std::uint64_t>(c.serial_digest))
       .set("parallel_digest", static_cast<std::uint64_t>(c.parallel_digest))
